@@ -1,0 +1,186 @@
+//! CPU software baseline (the paper's Table 4 comparison point).
+//!
+//! The paper times a Caffe-based C++ implementation on a Xeon 2.20 GHz.
+//! We substitute a from-scratch direct-convolution forward pass in Rust,
+//! measured on the host running the experiments. Absolute milliseconds
+//! differ from the paper's testbed; the claim being reproduced is the
+//! 2-3 orders-of-magnitude accelerator speedup, which is insensitive to
+//! the exact CPU.
+//!
+//! Timing a full VGG-16 naive forward pass takes tens of seconds, so the
+//! harness measures the machine's sustained MAC rate on a representative
+//! layer once and extrapolates by MAC count — the standard methodology
+//! when only a throughput ratio is needed. [`run_layer_forward`] executes
+//! layers for real (used by tests and for calibration).
+
+use cbrain_model::{reference, ConvWeights, Layer, LayerKind, Network, Tensor3};
+use std::time::Instant;
+
+/// Result of (or estimate for) a CPU forward pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuMeasurement {
+    /// Network name.
+    pub network: String,
+    /// Milliseconds for the convolution(+pool) forward pass.
+    pub ms: f64,
+    /// MAC operations covered.
+    pub macs: u64,
+    /// Whether the number was extrapolated from the calibrated MAC rate
+    /// rather than measured end to end.
+    pub extrapolated: bool,
+}
+
+/// Executes one layer's forward pass on real data, returning elapsed
+/// seconds (the forward result is discarded).
+///
+/// # Panics
+///
+/// Panics if the layer is invalid (zoo layers never are).
+pub fn run_layer_forward(layer: &Layer, seed: u64) -> f64 {
+    let input = Tensor3::random(layer.input, seed);
+    let start = Instant::now();
+    match &layer.kind {
+        LayerKind::Conv(p) => {
+            let weights = ConvWeights::random(p, seed + 1);
+            let out = reference::conv_forward(&input, &weights, None, p)
+                .expect("zoo layer is valid");
+            std::hint::black_box(out.as_slice()[0]);
+        }
+        LayerKind::Pool(p) => {
+            let out = reference::pool_forward(&input, p).expect("zoo layer is valid");
+            std::hint::black_box(out.as_slice()[0]);
+        }
+        LayerKind::FullyConnected(p) => {
+            let weights = vec![0.01f32; p.in_features * p.out_features];
+            let out = reference::fc_forward(input.as_slice(), &weights, None, p)
+                .expect("zoo layer is valid");
+            std::hint::black_box(out[0]);
+        }
+    }
+    start.elapsed().as_secs_f64()
+}
+
+/// Measures the host's sustained direct-convolution MAC rate (MACs per
+/// second) on a mid-size calibration layer.
+pub fn calibrate_mac_rate() -> f64 {
+    use cbrain_model::{ConvParams, TensorShape};
+    let params = ConvParams::new(64, 64, 3, 1, 1);
+    let layer = Layer::conv("calibrate", TensorShape::new(64, 32, 32), params);
+    let macs = layer.macs().expect("calibration layer is valid") as f64;
+    // Warm up once, then take the best of three to dodge scheduler noise.
+    let _ = run_layer_forward(&layer, 0);
+    let secs = (1..=3)
+        .map(|i| run_layer_forward(&layer, i))
+        .fold(f64::INFINITY, f64::min);
+    macs / secs
+}
+
+/// Estimates a network's convolution(+pool) forward-pass time from the
+/// calibrated MAC rate.
+///
+/// # Panics
+///
+/// Panics if the network is invalid.
+pub fn estimate_forward_ms(net: &Network, mac_rate: f64) -> CpuMeasurement {
+    let macs: u64 = net
+        .layers()
+        .iter()
+        .filter(|l| !matches!(l.kind, LayerKind::FullyConnected(_)))
+        .map(|l| l.macs().expect("zoo layer is valid"))
+        .sum();
+    CpuMeasurement {
+        network: net.name().to_owned(),
+        ms: macs as f64 / mac_rate * 1e3,
+        macs,
+        extrapolated: true,
+    }
+}
+
+/// Measures a network's convolution(+pool) forward pass end to end.
+/// Slow for the large networks; prefer [`estimate_forward_ms`] in sweeps.
+///
+/// # Panics
+///
+/// Panics if the network is invalid.
+pub fn measure_forward_ms(net: &Network, seed: u64) -> CpuMeasurement {
+    let mut secs = 0.0;
+    let mut macs = 0u64;
+    for (i, layer) in net.layers().iter().enumerate() {
+        if matches!(layer.kind, LayerKind::FullyConnected(_)) {
+            continue;
+        }
+        secs += run_layer_forward(layer, seed + i as u64);
+        macs += layer.macs().expect("zoo layer is valid");
+    }
+    CpuMeasurement {
+        network: net.name().to_owned(),
+        ms: secs * 1e3,
+        macs,
+        extrapolated: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbrain_model::{zoo, ConvParams, TensorShape};
+
+    #[test]
+    fn layer_forward_takes_time() {
+        let layer = Layer::conv(
+            "t",
+            TensorShape::new(8, 16, 16),
+            ConvParams::new(8, 8, 3, 1, 1),
+        );
+        let secs = run_layer_forward(&layer, 1);
+        assert!(secs > 0.0);
+    }
+
+    #[test]
+    fn calibration_rate_is_sane() {
+        let rate = calibrate_mac_rate();
+        // Any machine runs naive f32 conv between 10 MMAC/s and 100 GMAC/s.
+        assert!(rate > 1e7 && rate < 1e11, "rate={rate}");
+    }
+
+    #[test]
+    fn estimates_scale_with_network_size() {
+        let rate = 1e9;
+        let a = estimate_forward_ms(&zoo::alexnet(), rate);
+        let v = estimate_forward_ms(&zoo::vgg16(), rate);
+        // VGG has >10x the MACs of AlexNet's conv stack.
+        assert!(v.ms > 10.0 * a.ms);
+        assert!(a.extrapolated);
+    }
+
+    #[test]
+    fn estimate_excludes_fc() {
+        let net = zoo::alexnet();
+        let est = estimate_forward_ms(&net, 1e9);
+        assert!(est.macs < net.total_macs().unwrap());
+        assert_eq!(
+            est.macs,
+            net.layers()
+                .iter()
+                .filter(|l| !matches!(l.kind, LayerKind::FullyConnected(_)))
+                .map(|l| l.macs().unwrap())
+                .sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn measured_and_estimated_agree_on_tiny_net() {
+        use cbrain_model::NetworkBuilder;
+        let tiny = NetworkBuilder::new("tiny", TensorShape::new(16, 32, 32))
+            .conv("c1", 32, 3, 1, 1)
+            .conv("c2", 32, 3, 1, 1)
+            .build()
+            .unwrap();
+        let rate = calibrate_mac_rate();
+        let measured = measure_forward_ms(&tiny, 9);
+        let estimated = estimate_forward_ms(&tiny, rate);
+        // Loose agreement (same order of magnitude) is all we claim.
+        let ratio = measured.ms / estimated.ms;
+        assert!(ratio > 0.05 && ratio < 20.0, "ratio={ratio}");
+    }
+}

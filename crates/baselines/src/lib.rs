@@ -1,0 +1,16 @@
+//! # cbrain-baselines
+//!
+//! The two comparison points of the paper's evaluation that are *not* the
+//! C-Brain accelerator itself:
+//!
+//! * [`cpu`] — a from-scratch CPU forward pass standing in for the paper's
+//!   Caffe/Xeon software baseline (Table 4);
+//! * [`zhang`] — an analytic loop-nest model of Zhang et al.'s FPGA'15
+//!   accelerator (`<Tm=64, Tn=7>` unrolling at 100 MHz), the paper's
+//!   Fig. 9 comparison.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cpu;
+pub mod zhang;

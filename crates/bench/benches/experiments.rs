@@ -1,0 +1,160 @@
+//! Criterion benches: one group per paper table/figure, timing how long
+//! the simulator takes to regenerate it, plus per-scheme compile+simulate
+//! microbenches. These are throughput benchmarks of the *reproduction
+//! system*; the figures' own numbers come from the `exp_*` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cbrain::{Policy, RunOptions, Runner, Scheme, Workload};
+use cbrain_bench::experiments;
+use cbrain_model::zoo;
+use cbrain_sim::AcceleratorConfig;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("regenerate");
+    g.sample_size(10);
+    g.bench_function("fig3_unrolling", |b| {
+        b.iter(|| black_box(experiments::fig3()))
+    });
+    g.bench_function("fig7_conv1", |b| b.iter(|| black_box(experiments::fig7())));
+    g.bench_function("fig8_whole_net", |b| {
+        b.iter(|| black_box(experiments::fig8()))
+    });
+    g.bench_function("fig9_zhang", |b| b.iter(|| black_box(experiments::fig9())));
+    g.bench_function("fig10_buffer_traffic", |b| {
+        b.iter(|| black_box(experiments::fig10()))
+    });
+    g.bench_function("table2_networks", |b| {
+        b.iter(|| black_box(experiments::table2()))
+    });
+    g.bench_function("table4_cpu", |b| {
+        // Fixed synthetic MAC rate: the bench times the accelerator-side
+        // sweep, not the host CPU calibration.
+        b.iter(|| black_box(experiments::table4(1e9)))
+    });
+    g.bench_function("table5_energy", |b| {
+        b.iter(|| black_box(experiments::table5()))
+    });
+    g.bench_function("sweep_pe_width", |b| {
+        b.iter(|| black_box(experiments::sweep_pe_width()))
+    });
+    g.bench_function("oracle_gap", |b| {
+        b.iter(|| black_box(experiments::oracle_gap()))
+    });
+    g.bench_function("batch_scaling", |b| {
+        b.iter(|| black_box(experiments::batch_scaling()))
+    });
+    g.finish();
+}
+
+fn bench_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_alexnet");
+    g.sample_size(20);
+    let runner = Runner::new(AcceleratorConfig::paper_16_16());
+    let net = zoo::alexnet();
+    for scheme in Scheme::ALL {
+        g.bench_function(scheme.to_string(), |b| {
+            b.iter(|| black_box(runner.run_network(&net, Policy::Fixed(scheme)).unwrap()))
+        });
+    }
+    g.bench_function("adpa-2", |b| {
+        b.iter(|| {
+            black_box(
+                runner
+                    .run_network(
+                        &net,
+                        Policy::Adaptive {
+                            improved_inter: true,
+                        },
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_biggest_network(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulate_vgg16");
+    g.sample_size(10);
+    let runner = Runner::with_options(
+        AcceleratorConfig::paper_32_32(),
+        RunOptions {
+            workload: Workload::FullNetwork,
+            ..RunOptions::default()
+        },
+    );
+    let net = zoo::vgg16();
+    g.bench_function("adpa-2_full", |b| {
+        b.iter(|| {
+            black_box(
+                runner
+                    .run_network(
+                        &net,
+                        Policy::Adaptive {
+                            improved_inter: true,
+                        },
+                    )
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("ablate_overlap", |b| {
+        b.iter(|| black_box(experiments::ablate_overlap()))
+    });
+    g.bench_function("ablate_addstore", |b| {
+        b.iter(|| black_box(experiments::ablate_addstore()))
+    });
+    g.bench_function("ablate_layout", |b| {
+        b.iter(|| black_box(experiments::ablate_layout()))
+    });
+    g.bench_function("ablate_ks", |b| b.iter(|| black_box(experiments::ablate_ks())));
+    g.finish();
+}
+
+fn bench_compile(c: &mut Criterion) {
+    use cbrain_compiler::{compile_conv, Scheme};
+    let mut g = c.benchmark_group("compile");
+    let cfg = AcceleratorConfig::paper_16_16();
+    let net = zoo::vgg16();
+    let layer = net.layer("conv3_2").expect("layer exists");
+    for scheme in Scheme::ALL {
+        g.bench_function(format!("vgg_conv3_2/{scheme}"), |b| {
+            b.iter(|| black_box(compile_conv(layer, scheme, &cfg).unwrap()))
+        });
+    }
+    g.bench_function("plan_googlenet_schedule", |b| {
+        let gnet = zoo::googlenet();
+        b.iter(|| {
+            black_box(
+                cbrain::schedule::plan_network(
+                    &gnet,
+                    Policy::Adaptive {
+                        improved_inter: true,
+                    },
+                    &cfg,
+                    true,
+                )
+                .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_figures,
+    bench_schemes,
+    bench_biggest_network,
+    bench_ablations,
+    bench_compile
+);
+criterion_main!(benches);

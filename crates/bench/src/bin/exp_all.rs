@@ -1,0 +1,32 @@
+//! Runs every experiment in paper order — the one-shot reproduction
+//! driver. Equivalent to running each `exp_*` binary in sequence.
+
+use std::process::Command;
+
+fn main() {
+    let exps = [
+        "exp_table2",
+        "exp_table3",
+        "exp_fig3",
+        "exp_fig7",
+        "exp_fig8",
+        "exp_fig9",
+        "exp_table4",
+        "exp_table5",
+        "exp_fig10",
+        "exp_sweep",
+        "exp_batch",
+        "exp_ablations",
+    ];
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe dir");
+    for exp in exps {
+        println!("{}", "=".repeat(78));
+        let bin = dir.join(exp);
+        let status = Command::new(&bin)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", bin.display()));
+        assert!(status.success(), "{exp} failed");
+        println!();
+    }
+}

@@ -1,0 +1,38 @@
+//! Regenerates Table 4: CPU software baseline vs adap-16-16 / adap-32-32.
+//!
+//! The CPU column is measured on *this* host (naive direct convolution,
+//! calibrated MAC rate); the paper's column is Caffe on a Xeon 2.20 GHz.
+//! The reproduced claim is the 2-3 orders-of-magnitude speedup.
+
+use cbrain::report::render_table;
+use cbrain_baselines::cpu::calibrate_mac_rate;
+use cbrain_bench::experiments::table4;
+
+fn main() {
+    let rate = calibrate_mac_rate();
+    println!(
+        "Table 4 — CPU vs adaptive accelerator (host MAC rate {:.2e}/s)\n",
+        rate
+    );
+    let rows: Vec<Vec<String>> = table4(rate)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.network.clone(),
+                format!("{:.2}", r.cpu_ms),
+                format!("{:.2}", r.adap_16_ms),
+                format!("{:.1}x", r.speedup_16),
+                format!("{:.2}", r.adap_32_ms),
+                format!("{:.1}x", r.speedup_32),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["network", "CPU ms", "adap-16-16 ms", "speedup", "adap-32-32 ms", "speedup"],
+            &rows
+        )
+    );
+    println!("Paper: 82x-212x for adap-16-16, 270x-697x for adap-32-32 (avg 139x / 469x).");
+}

@@ -1,0 +1,11 @@
+//! Regenerates the canonical `specs/*.spec` files from the zoo networks.
+//! Run from the repository root: `cargo run -p cbrain-bench --bin gen_specs`.
+
+fn main() {
+    for net in cbrain_model::zoo::all() {
+        let path = format!("specs/{}.spec", net.name());
+        std::fs::write(&path, cbrain_model::spec::to_text(&net))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+        println!("wrote {path}");
+    }
+}

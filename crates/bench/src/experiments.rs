@@ -1,0 +1,898 @@
+//! One function per table/figure of the paper's evaluation section.
+//!
+//! Every function returns structured rows; the `exp_*` binaries print them
+//! and the Criterion benches time their regeneration. EXPERIMENTS.md
+//! records the paper-vs-measured comparison for each.
+
+use cbrain::partition_math::unrolled_bits;
+use cbrain::{Policy, RunOptions, Runner, Scheme, Workload};
+use cbrain_baselines::zhang::ZhangConfig;
+use cbrain_compiler::ideal_cycles;
+use cbrain_model::{zoo, LayerKind, Network};
+use cbrain_sim::{AcceleratorConfig, EnergyModel, MachineOptions, PeConfig};
+
+/// The two PE configurations of the paper's sweeps.
+pub fn paper_configs() -> [AcceleratorConfig; 2] {
+    [
+        AcceleratorConfig::paper_16_16(),
+        AcceleratorConfig::paper_32_32(),
+    ]
+}
+
+fn conv1_runner(cfg: AcceleratorConfig) -> Runner {
+    Runner::with_options(
+        cfg,
+        RunOptions {
+            workload: Workload::Conv1Only,
+            ..RunOptions::default()
+        },
+    )
+}
+
+// ---------------------------------------------------------------- Fig. 3
+
+/// One bar pair of Fig. 3: raw vs unrolled data size of an early conv
+/// layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig3Row {
+    /// `network/layer` label.
+    pub layer: String,
+    /// Raw input bits.
+    pub raw_bits: u64,
+    /// Unrolled input bits (Eq. 1).
+    pub unrolled_bits: u64,
+}
+
+/// Fig. 3: unrolling blow-up of the first five conv layers of AlexNet and
+/// the early layers of GoogLeNet.
+pub fn fig3() -> Vec<Fig3Row> {
+    let mut rows = Vec::new();
+    let alexnet = zoo::alexnet();
+    for name in ["conv1", "conv2", "conv3", "conv4", "conv5"] {
+        rows.push(fig3_row(&alexnet, name));
+    }
+    let googlenet = zoo::googlenet();
+    for name in [
+        "conv1/7x7_s2",
+        "conv2/3x3",
+        "inception_3a/3x3",
+        "inception_3a/5x5",
+        "inception_3b/3x3",
+    ] {
+        rows.push(fig3_row(&googlenet, name));
+    }
+    rows
+}
+
+fn fig3_row(net: &Network, name: &str) -> Fig3Row {
+    let layer = net.layer(name).expect("zoo layer exists");
+    let p = layer.as_conv().expect("conv layer");
+    // Eq. 1 evaluates on the padded extent the window sweep actually sees.
+    let (raw, unrolled) = unrolled_bits(
+        p.in_maps,
+        layer.input.height + 2 * p.pad,
+        layer.input.width + 2 * p.pad,
+        p.kernel,
+        p.stride,
+    );
+    Fig3Row {
+        layer: format!("{}/{name}", net.name()),
+        raw_bits: (layer.input.bytes() * 8) as u64,
+        unrolled_bits: unrolled.max(raw),
+    }
+}
+
+// ---------------------------------------------------------------- Fig. 7
+
+/// One group of Fig. 7 bars: conv1 cycles under each scheme.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig7Row {
+    /// Network name.
+    pub network: String,
+    /// PE configuration label (`16-16` / `32-32`).
+    pub pe: String,
+    /// The 100%-utilization bound.
+    pub ideal: u64,
+    /// Inter-kernel cycles.
+    pub inter: u64,
+    /// Intra-kernel (unrolled) cycles.
+    pub intra: u64,
+    /// Kernel-partition cycles.
+    pub partition: u64,
+}
+
+/// Fig. 7: conv1 execution time under inter/intra/partition vs ideal,
+/// for all four networks at both PE widths.
+pub fn fig7() -> Vec<Fig7Row> {
+    let mut rows = Vec::new();
+    for cfg in paper_configs() {
+        for net in zoo::all() {
+            let runner = conv1_runner(cfg);
+            let run = |s| {
+                runner
+                    .run_network(&net, Policy::Fixed(s))
+                    .expect("zoo layers compile")
+                    .cycles()
+            };
+            rows.push(Fig7Row {
+                network: net.name().to_owned(),
+                pe: cfg.pe.to_string(),
+                ideal: ideal_cycles(net.conv1(), &cfg).expect("valid layer"),
+                inter: run(Scheme::Inter),
+                intra: run(Scheme::Intra),
+                partition: run(Scheme::Partition),
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- Fig. 8
+
+/// One group of Fig. 8 bars: whole-network cycles under the five arms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig8Row {
+    /// Network name.
+    pub network: String,
+    /// PE configuration label.
+    pub pe: String,
+    /// Cycles per arm, in `Policy::PAPER_ARMS` order
+    /// (inter, intra, partition, adpa-1, adpa-2).
+    pub cycles: [u64; 5],
+}
+
+/// Fig. 8: whole-network (conv+pool) performance of the five arms.
+pub fn fig8() -> Vec<Fig8Row> {
+    let mut rows = Vec::new();
+    for cfg in paper_configs() {
+        for net in zoo::all() {
+            let runner = Runner::new(cfg);
+            let reports = runner.run_paper_arms(&net).expect("zoo layers compile");
+            let mut cycles = [0u64; 5];
+            for (c, r) in cycles.iter_mut().zip(&reports) {
+                *c = r.cycles();
+            }
+            rows.push(Fig8Row {
+                network: net.name().to_owned(),
+                pe: cfg.pe.to_string(),
+                cycles,
+            });
+        }
+    }
+    rows
+}
+
+// ---------------------------------------------------------------- Fig. 9
+
+/// One bar pair of Fig. 9: conv1 and whole-network milliseconds at
+/// 100 MHz.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig9Row {
+    /// Design label (`zhang-7-64`, `adpa-16-24`, ...).
+    pub design: String,
+    /// Conv1 milliseconds.
+    pub conv1_ms: f64,
+    /// Whole-network (all conv layers) milliseconds.
+    pub whole_ms: f64,
+}
+
+/// Fig. 9: AlexNet vs the Zhang FPGA'15 design at iso-frequency
+/// (100 MHz). `adpa-16-28` matches Zhang's 448 multipliers; 16-24 has 14%
+/// fewer, 16-32 14% more.
+pub fn fig9() -> Vec<Fig9Row> {
+    let net = zoo::alexnet();
+    let zhang = ZhangConfig::paper();
+    let mut rows = vec![Fig9Row {
+        design: "zhang-7-64".to_owned(),
+        conv1_ms: zhang.conv1_ms(&net),
+        whole_ms: zhang.network_conv_ms(&net),
+    }];
+    for tout in [24, 28, 32] {
+        // Down-clock the core but keep the same absolute DDR bandwidth
+        // (8 GB/s at 1 GHz x 8 B/cycle -> 80 B/cycle at 100 MHz).
+        let cfg = AcceleratorConfig::with_pe(PeConfig::new(16, tout))
+            .at_mhz(100)
+            .with_dram_bytes_per_cycle(80);
+        let adaptive = Policy::Adaptive {
+            improved_inter: true,
+        };
+        let conv1 = conv1_runner(cfg)
+            .run_network(&net, adaptive)
+            .expect("compiles");
+        let whole = Runner::with_options(
+            cfg,
+            RunOptions {
+                workload: Workload::ConvLayers,
+                ..RunOptions::default()
+            },
+        )
+        .run_network(&net, adaptive)
+        .expect("compiles");
+        rows.push(Fig9Row {
+            design: format!("adpa-16-{tout}"),
+            conv1_ms: conv1.ms(),
+            whole_ms: whole.ms(),
+        });
+    }
+    rows
+}
+
+// --------------------------------------------------------------- Fig. 10
+
+/// One group of Fig. 10 bars: buffer access bits under the five arms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig10Row {
+    /// Network name.
+    pub network: String,
+    /// PE configuration label.
+    pub pe: String,
+    /// Buffer access bits per arm, in `Policy::PAPER_ARMS` order.
+    pub access_bits: [u64; 5],
+}
+
+/// Fig. 10: on-chip buffer traffic of the five arms.
+pub fn fig10() -> Vec<Fig10Row> {
+    let mut rows = Vec::new();
+    for cfg in paper_configs() {
+        for net in zoo::all() {
+            let runner = Runner::new(cfg);
+            let reports = runner.run_paper_arms(&net).expect("zoo layers compile");
+            let mut bits = [0u64; 5];
+            for (b, r) in bits.iter_mut().zip(&reports) {
+                *b = r.totals.buffer_access_bits();
+            }
+            rows.push(Fig10Row {
+                network: net.name().to_owned(),
+                pe: cfg.pe.to_string(),
+                access_bits: bits,
+            });
+        }
+    }
+    rows
+}
+
+// --------------------------------------------------------------- Table 2
+
+/// One row of Table 2 (benchmark characteristics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table2Row {
+    /// Network name.
+    pub network: String,
+    /// Conv1 parameters `(Din, k, s, Dout)`.
+    pub conv1: (usize, usize, usize, usize),
+    /// Convolution layer count.
+    pub conv_layers: usize,
+    /// Distinct kernel sizes, descending.
+    pub kernel_types: Vec<usize>,
+}
+
+/// Table 2: the benchmark networks.
+pub fn table2() -> Vec<Table2Row> {
+    zoo::all()
+        .into_iter()
+        .map(|net| {
+            let c1 = net.conv1().as_conv().expect("conv1").to_owned();
+            Table2Row {
+                network: net.name().to_owned(),
+                conv1: (c1.in_maps, c1.kernel, c1.stride, c1.out_maps),
+                conv_layers: net.conv_layers().count(),
+                kernel_types: net.kernel_types(),
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------- Table 4
+
+/// One row of Table 4: CPU vs accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table4Row {
+    /// Network name.
+    pub network: String,
+    /// CPU milliseconds (measured/extrapolated on this host).
+    pub cpu_ms: f64,
+    /// adap-16-16 milliseconds at 1 GHz.
+    pub adap_16_ms: f64,
+    /// Speedup of adap-16-16 over the CPU.
+    pub speedup_16: f64,
+    /// adap-32-32 milliseconds at 1 GHz.
+    pub adap_32_ms: f64,
+    /// Speedup of adap-32-32 over the CPU.
+    pub speedup_32: f64,
+}
+
+/// Table 4: CPU software baseline vs the adaptive accelerator at 1 GHz.
+///
+/// `mac_rate` is the host's calibrated MAC throughput
+/// ([`cbrain_baselines::cpu::calibrate_mac_rate`]); passing it in keeps
+/// this function deterministic and cheap for the benches.
+pub fn table4(mac_rate: f64) -> Vec<Table4Row> {
+    let adaptive = Policy::Adaptive {
+        improved_inter: true,
+    };
+    zoo::all()
+        .into_iter()
+        .map(|net| {
+            let cpu = cbrain_baselines::cpu::estimate_forward_ms(&net, mac_rate);
+            let ms16 = Runner::new(AcceleratorConfig::paper_16_16())
+                .run_network(&net, adaptive)
+                .expect("compiles")
+                .ms();
+            let ms32 = Runner::new(AcceleratorConfig::paper_32_32())
+                .run_network(&net, adaptive)
+                .expect("compiles")
+                .ms();
+            Table4Row {
+                network: net.name().to_owned(),
+                cpu_ms: cpu.ms,
+                adap_16_ms: ms16,
+                speedup_16: cpu.ms / ms16,
+                adap_32_ms: ms32,
+                speedup_32: cpu.ms / ms32,
+            }
+        })
+        .collect()
+}
+
+// --------------------------------------------------------------- Table 5
+
+/// One row of Table 5: PE energy reduction vs the inter baseline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table5Row {
+    /// Network name.
+    pub network: String,
+    /// Percent PE-energy reduction per arm relative to inter, in
+    /// (intra, partition, adpa-1, adpa-2) order. Negative = worse.
+    pub reduction_percent: [f64; 4],
+}
+
+/// Table 5: PE energy reduction of each arm over inter-kernel (16-16).
+pub fn table5() -> Vec<Table5Row> {
+    let model = EnergyModel::default();
+    let runner = Runner::new(AcceleratorConfig::paper_16_16());
+    // The paper's Table 5 lists AlexNet, GoogLeNet and VGG.
+    [zoo::alexnet(), zoo::googlenet(), zoo::vgg16()]
+        .into_iter()
+        .map(|net| {
+            let reports = runner.run_paper_arms(&net).expect("zoo layers compile");
+            let base = &reports[0].totals;
+            let mut red = [0.0; 4];
+            for (i, r) in reports[1..].iter().enumerate() {
+                red[i] = model.pe_reduction_percent(base, &r.totals);
+            }
+            Table5Row {
+                network: net.name().to_owned(),
+                reduction_percent: red,
+            }
+        })
+        .collect()
+}
+
+// -------------------------------------------------------------- Ablations
+
+/// Result of one ablation arm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationRow {
+    /// Arm label.
+    pub arm: String,
+    /// Whole-network cycles (AlexNet, adpa-2, 16-16 unless stated).
+    pub cycles: u64,
+    /// Buffer access bits.
+    pub buffer_bits: u64,
+}
+
+/// Ablation: DMA double-buffering on/off.
+pub fn ablate_overlap() -> Vec<AblationRow> {
+    let net = zoo::vgg16(); // the DRAM-heavy network shows the effect
+    let policy = Policy::Adaptive {
+        improved_inter: true,
+    };
+    [("overlap", true), ("serial", false)]
+        .into_iter()
+        .map(|(label, overlap)| {
+            let r = Runner::with_options(
+                AcceleratorConfig::paper_16_16(),
+                RunOptions {
+                    machine: MachineOptions {
+                        overlap_dma: overlap,
+                        add_store_on_critical_path: false,
+                    },
+                    ..RunOptions::default()
+                },
+            )
+            .run_network(&net, policy)
+            .expect("compiles");
+            AblationRow {
+                arm: label.to_owned(),
+                cycles: r.cycles(),
+                buffer_bits: r.totals.buffer_access_bits(),
+            }
+        })
+        .collect()
+}
+
+/// Ablation: add-and-store hidden behind the store port vs charged on the
+/// critical path (what the Sec. 4.2.2 hardware support buys).
+pub fn ablate_addstore() -> Vec<AblationRow> {
+    let net = zoo::alexnet();
+    let policy = Policy::Adaptive {
+        improved_inter: true,
+    };
+    [("hidden", false), ("on-critical-path", true)]
+        .into_iter()
+        .map(|(label, charged)| {
+            let r = Runner::with_options(
+                AcceleratorConfig::paper_16_16(),
+                RunOptions {
+                    machine: MachineOptions {
+                        overlap_dma: true,
+                        add_store_on_critical_path: charged,
+                    },
+                    ..RunOptions::default()
+                },
+            )
+            .run_network(&net, policy)
+            .expect("compiles");
+            AblationRow {
+                arm: label.to_owned(),
+                cycles: r.cycles(),
+                buffer_bits: r.totals.buffer_access_bits(),
+            }
+        })
+        .collect()
+}
+
+/// Ablation: Algorithm 2's layout planning on/off (off inserts explicit
+/// layout-transform passes between scheme switches).
+pub fn ablate_layout() -> Vec<AblationRow> {
+    let net = zoo::alexnet();
+    let policy = Policy::Adaptive {
+        improved_inter: true,
+    };
+    [("planned", true), ("transforms", false)]
+        .into_iter()
+        .map(|(label, planning)| {
+            let r = Runner::with_options(
+                AcceleratorConfig::paper_16_16(),
+                RunOptions {
+                    layout_planning: planning,
+                    ..RunOptions::default()
+                },
+            )
+            .run_network(&net, policy)
+            .expect("compiles");
+            AblationRow {
+                arm: label.to_owned(),
+                cycles: r.cycles(),
+                buffer_bits: r.totals.buffer_access_bits(),
+            }
+        })
+        .collect()
+}
+
+/// Ablation: sub-kernel size `ks = s` (Eq. 2) vs a coarser `ks = 2s`
+/// partitioning, evaluated on AlexNet conv1. Coarser pieces overlap
+/// between adjacent windows, re-introducing exactly the alignment problem
+/// Eq. 2 eliminates; we model that as the sliding-window transaction cost.
+pub fn ablate_ks() -> Vec<AblationRow> {
+    use cbrain_compiler::{emit_window_sweep, ConvGeometry, WindowSweep};
+    use cbrain_sim::{Machine, Program, Tile};
+
+    let net = zoo::alexnet();
+    let geom = ConvGeometry::from_layer(net.conv1()).expect("conv1 geometry");
+    let cfg = AcceleratorConfig::paper_16_16();
+    let machine = Machine::new(cfg);
+
+    let mut rows = Vec::new();
+    for (label, ks_mult) in [("ks=s (Eq.2)", 1usize), ("ks=2s", 2usize)] {
+        let ks = geom.s * ks_mult;
+        let g = geom.k.div_ceil(ks);
+        let sweep = WindowSweep {
+            passes: (g * g) as u64,
+            window: ks * ks,
+            windows: geom.out_pixels(),
+            din: geom.din_g,
+            dout: geom.dout_g,
+            groups: geom.groups,
+        };
+        let mut ops = emit_window_sweep(&sweep, &cfg);
+        if ks_mult > 1 {
+            // ks > s: adjacent windows overlap, so the packed run is no
+            // longer contiguous — every window needs its own transaction.
+            for op in &mut ops {
+                if let cbrain_sim::MacroOp::MacBurst {
+                    input_requests,
+                    input_reads,
+                    ..
+                } = op
+                {
+                    if *input_reads > 0 {
+                        *input_requests = (*input_reads as usize).div_ceil(ks * ks).max(1) as u32;
+                        // each window also re-reads overlapped columns
+                    }
+                }
+            }
+        }
+        let stats = machine.run(&Program::single_tile(
+            label,
+            Tile {
+                dram_read_bytes: 0,
+                dram_write_bytes: 0,
+                ops,
+            },
+        ));
+        rows.push(AblationRow {
+            arm: label.to_owned(),
+            cycles: stats.cycles,
+            buffer_bits: stats.buffer_access_bits(),
+        });
+    }
+    rows
+}
+
+// ------------------------------------------------------------ scalability
+
+/// One row of the PE-width scalability sweep (not a paper figure; it
+/// quantifies Sec. 4.1.1's claim that inter-kernel scales poorly because
+/// "with Tin becomes wider, more and more computing resources will be
+/// wasted").
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// `Tin`-`Tout` label.
+    pub pe: String,
+    /// Multiplier count.
+    pub multipliers: usize,
+    /// Inter-kernel whole-network cycles (AlexNet, conv+pool).
+    pub inter_cycles: u64,
+    /// Inter-kernel PE utilization.
+    pub inter_util: f64,
+    /// Adaptive (adpa-2) cycles.
+    pub adaptive_cycles: u64,
+    /// Adaptive PE utilization.
+    pub adaptive_util: f64,
+}
+
+/// Sweeps square PE arrays from 8-8 to 64-64 on AlexNet: inter-kernel's
+/// utilization collapses with width while the adaptive mapper holds.
+pub fn sweep_pe_width() -> Vec<SweepRow> {
+    let net = zoo::alexnet();
+    [8usize, 16, 24, 32, 48, 64]
+        .into_iter()
+        .map(|t| {
+            let cfg = AcceleratorConfig::with_pe(PeConfig::new(t, t));
+            let runner = Runner::new(cfg);
+            let inter = runner
+                .run_network(&net, Policy::Fixed(Scheme::Inter))
+                .expect("compiles");
+            let adaptive = runner
+                .run_network(
+                    &net,
+                    Policy::Adaptive {
+                        improved_inter: true,
+                    },
+                )
+                .expect("compiles");
+            SweepRow {
+                pe: cfg.pe.to_string(),
+                multipliers: cfg.pe.multipliers(),
+                inter_cycles: inter.cycles(),
+                inter_util: inter.totals.pe_utilization(),
+                adaptive_cycles: adaptive.cycles(),
+                adaptive_util: adaptive.totals.pe_utilization(),
+            }
+        })
+        .collect()
+}
+
+/// The oracle-vs-Algorithm-2 comparison: how much of the exhaustive
+/// per-layer search's win the paper's O(1) heuristic captures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleRow {
+    /// Network name.
+    pub network: String,
+    /// adpa-2 cycles.
+    pub adaptive_cycles: u64,
+    /// Oracle (exhaustive per-layer) cycles.
+    pub oracle_cycles: u64,
+    /// adpa-2 / oracle ratio (1.0 = heuristic is optimal).
+    pub gap: f64,
+}
+
+/// Runs the oracle comparison on all four networks at 16-16.
+pub fn oracle_gap() -> Vec<OracleRow> {
+    let runner = Runner::new(AcceleratorConfig::paper_16_16());
+    zoo::all()
+        .into_iter()
+        .map(|net| {
+            let adaptive = runner
+                .run_network(
+                    &net,
+                    Policy::Adaptive {
+                        improved_inter: true,
+                    },
+                )
+                .expect("compiles");
+            let oracle = runner.run_network(&net, Policy::Oracle).expect("compiles");
+            OracleRow {
+                network: net.name().to_owned(),
+                adaptive_cycles: adaptive.cycles(),
+                oracle_cycles: oracle.cycles(),
+                gap: adaptive.cycles() as f64 / oracle.cycles() as f64,
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------ batching
+
+/// One row of the batch-scaling extension experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchRow {
+    /// Batch size.
+    pub batch: usize,
+    /// Cycles per image (AlexNet, full network incl. FC, adpa-2, 16-16).
+    pub cycles_per_image: f64,
+    /// DRAM bytes per image.
+    pub dram_per_image: f64,
+    /// Energy per image in millijoules.
+    pub energy_per_image_mj: f64,
+}
+
+/// Batch-scaling sweep: per-image cost of the full AlexNet forward pass
+/// (FC included) as the batch grows. The FC weight stream — the dominant
+/// DRAM consumer at batch 1 — amortizes across the batch via the
+/// weight-chunk-outer ordering.
+pub fn batch_scaling() -> Vec<BatchRow> {
+    let net = zoo::alexnet();
+    [1usize, 2, 4, 8, 16, 32]
+        .into_iter()
+        .map(|batch| {
+            let runner = Runner::with_options(
+                AcceleratorConfig::paper_16_16(),
+                RunOptions {
+                    workload: Workload::FullNetwork,
+                    batch,
+                    ..RunOptions::default()
+                },
+            );
+            let r = runner
+                .run_network(
+                    &net,
+                    Policy::Adaptive {
+                        improved_inter: true,
+                    },
+                )
+                .expect("compiles");
+            BatchRow {
+                batch,
+                cycles_per_image: r.cycles_per_image(),
+                dram_per_image: r.dram_bytes_per_image(),
+                energy_per_image_mj: r.energy.total_mj() / batch as f64,
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------ conveniences
+
+/// Total conv(+pool) MACs of a network — used by several binaries.
+pub fn forward_macs(net: &Network) -> u64 {
+    net.layers()
+        .iter()
+        .filter(|l| !matches!(l.kind, LayerKind::FullyConnected(_)))
+        .map(|l| l.macs().expect("zoo layer valid"))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_unrolling_blowup_in_paper_range() {
+        for row in fig3() {
+            let factor = row.unrolled_bits as f64 / row.raw_bits as f64;
+            // The blow-up is bounded by k^2/s^2 (25 for the padded
+            // 5x5/s1 layers; the paper's 18.9 top end is the unpadded
+            // variant of the same layer).
+            assert!((1.0..=26.0).contains(&factor), "{}: {factor}", row.layer);
+        }
+        // The paper quotes 9x-18.9x for these layers; the big-kernel ones
+        // must be deep into that range.
+        let rows = fig3();
+        let c1 = &rows[0];
+        assert!(c1.unrolled_bits > 6 * c1.raw_bits);
+    }
+
+    #[test]
+    fn fig7_partition_wins_conv1_everywhere() {
+        for row in fig7() {
+            assert!(
+                row.partition < row.inter,
+                "{} {}: partition {} !< inter {}",
+                row.network,
+                row.pe,
+                row.partition,
+                row.inter
+            );
+            assert!(row.partition <= row.intra, "{} {}", row.network, row.pe);
+            // Partition approaches the achievable bound: the compute
+            // ideal or, for VGG's conv1 (6.4 MB output), the DRAM floor.
+            let net = cbrain_model::zoo::by_name(&row.network).expect("zoo name");
+            let dram_floor = (net.conv1().input.bytes() as u64
+                + net.conv1().output_shape().expect("valid").bytes() as u64)
+                / 8;
+            let bound = row.ideal.max(dram_floor) as f64;
+            assert!(
+                (row.partition as f64) < 1.6 * bound,
+                "{} {}: {} vs bound {}",
+                row.network,
+                row.pe,
+                row.partition,
+                bound
+            );
+        }
+    }
+
+    #[test]
+    fn fig7_average_speedups_near_paper() {
+        // Paper: partition outperforms inter by 5.8x and intra by 2.1x on
+        // average over the 4 networks and both configs.
+        let rows = fig7();
+        let geo = |f: &dyn Fn(&Fig7Row) -> f64| {
+            let logsum: f64 = rows.iter().map(|r| f(r).ln()).sum();
+            (logsum / rows.len() as f64).exp()
+        };
+        let vs_inter = geo(&|r| r.inter as f64 / r.partition as f64);
+        let vs_intra = geo(&|r| r.intra as f64 / r.partition as f64);
+        assert!(vs_inter > 3.0 && vs_inter < 9.0, "vs_inter={vs_inter}");
+        assert!(vs_intra > 1.3 && vs_intra < 3.5, "vs_intra={vs_intra}");
+    }
+
+    #[test]
+    fn fig8_adaptive_wins_every_cell() {
+        for row in fig8() {
+            let adpa2 = row.cycles[4];
+            for (i, c) in row.cycles[..3].iter().enumerate() {
+                assert!(
+                    adpa2 <= *c,
+                    "{} {}: adpa-2 {} vs arm {} {}",
+                    row.network,
+                    row.pe,
+                    adpa2,
+                    i,
+                    c
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig9_adaptive_beats_zhang() {
+        let rows = fig9();
+        let zhang = &rows[0];
+        let adpa28 = rows.iter().find(|r| r.design == "adpa-16-28").unwrap();
+        // Paper: 2.22x on conv1, 1.20x whole network at iso-resources.
+        let conv1 = zhang.conv1_ms / adpa28.conv1_ms;
+        let whole = zhang.whole_ms / adpa28.whole_ms;
+        assert!(conv1 > 1.5, "conv1 speedup {conv1}");
+        assert!(whole > 1.0, "whole speedup {whole}");
+    }
+
+    #[test]
+    fn fig10_adpa2_slashes_traffic() {
+        for row in fig10() {
+            let [inter, intra, _partition, adpa1, adpa2] = row.access_bits;
+            assert!(adpa2 < adpa1 / 3, "{} {}", row.network, row.pe);
+            assert!(adpa2 < inter / 3, "{} {}", row.network, row.pe);
+            assert!(adpa2 < intra, "{} {}", row.network, row.pe);
+        }
+    }
+
+    #[test]
+    fn table2_matches_paper() {
+        let rows = table2();
+        assert_eq!(rows[0].conv1, (3, 11, 4, 96));
+        assert_eq!(rows[1].conv1, (3, 7, 2, 64));
+        assert_eq!(rows[2].conv1, (3, 3, 1, 64));
+        assert_eq!(rows[3].conv1, (3, 11, 4, 96));
+        assert_eq!(rows[1].conv_layers, 57);
+    }
+
+    #[test]
+    fn table4_speedups_are_orders_of_magnitude() {
+        // Fixed synthetic CPU rate (1 GMAC/s, Xeon-class for naive code).
+        for row in table4(1e9) {
+            assert!(row.speedup_16 > 20.0, "{}: {}", row.network, row.speedup_16);
+            assert!(
+                row.speedup_32 > row.speedup_16,
+                "{}: 32-32 should be faster",
+                row.network
+            );
+        }
+    }
+
+    #[test]
+    fn table5_shape_matches_paper() {
+        let rows = table5();
+        let alexnet = &rows[0];
+        let vgg = &rows[2];
+        // AlexNet: every alternative saves PE energy; adpa best-ish.
+        assert!(alexnet.reduction_percent[2] > 18.0); // adpa-1
+        assert!(alexnet.reduction_percent[1] > 8.0); // partition
+        // VGG: intra *costs* energy (paper: -44.72%).
+        assert!(vgg.reduction_percent[0] < 0.0, "{:?}", vgg.reduction_percent);
+        // VGG adaptive stays near break-even (paper: ~3%).
+        assert!(vgg.reduction_percent[2].abs() < 15.0);
+    }
+
+    #[test]
+    fn sweep_shows_inter_scalability_collapse() {
+        let rows = sweep_pe_width();
+        // Inter utilization decreases monotonically with width...
+        for w in rows.windows(2) {
+            assert!(
+                w[1].inter_util <= w[0].inter_util + 1e-9,
+                "{} -> {}",
+                w[0].pe,
+                w[1].pe
+            );
+        }
+        // ...and adaptive holds a large margin at every width.
+        for r in &rows {
+            assert!(
+                r.adaptive_util > r.inter_util,
+                "{}: {} vs {}",
+                r.pe,
+                r.adaptive_util,
+                r.inter_util
+            );
+            assert!(r.adaptive_cycles <= r.inter_cycles, "{}", r.pe);
+        }
+        // At 64 lanes, inter wastes most of the array on AlexNet.
+        let last = rows.last().unwrap();
+        assert!(last.inter_util < 0.45, "{}", last.inter_util);
+    }
+
+    #[test]
+    fn algorithm_2_is_near_oracle_everywhere() {
+        for row in oracle_gap() {
+            assert!(row.gap >= 1.0 - 1e-9, "{}: {}", row.network, row.gap);
+            assert!(row.gap < 1.10, "{}: {}", row.network, row.gap);
+        }
+    }
+
+    #[test]
+    fn batch_scaling_reduces_per_image_cost() {
+        let rows = batch_scaling();
+        for w in rows.windows(2) {
+            assert!(
+                w[1].dram_per_image <= w[0].dram_per_image * 1.001,
+                "batch {} -> {}",
+                w[0].batch,
+                w[1].batch
+            );
+        }
+        let first = &rows[0];
+        let last = rows.last().unwrap();
+        // The FC weight stream dominates at batch 1; at batch 32 it is
+        // nearly fully amortized.
+        assert!(last.dram_per_image < 0.2 * first.dram_per_image);
+        assert!(last.cycles_per_image < first.cycles_per_image);
+    }
+
+    #[test]
+    fn ablations_point_the_right_way() {
+        let overlap = ablate_overlap();
+        assert!(overlap[0].cycles < overlap[1].cycles);
+
+        let addstore = ablate_addstore();
+        assert!(addstore[0].cycles <= addstore[1].cycles);
+
+        let layout = ablate_layout();
+        assert!(layout[0].cycles < layout[1].cycles);
+
+        let ks = ablate_ks();
+        assert!(ks[0].cycles < ks[1].cycles, "{ks:?}");
+    }
+}

@@ -1,0 +1,16 @@
+//! # cbrain-bench
+//!
+//! Experiment harness regenerating every table and figure of the C-Brain
+//! paper's evaluation section (Sec. 5). Each table/figure has:
+//!
+//! * a function in [`experiments`] returning structured rows,
+//! * an `exp_*` binary printing the rows (`cargo run -p cbrain-bench
+//!   --bin exp_fig7 --release`),
+//! * a Criterion bench timing its regeneration (`cargo bench`).
+//!
+//! EXPERIMENTS.md at the repository root records paper-vs-measured values.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;

@@ -1,0 +1,400 @@
+//! Argument parsing for the `cbrain` binary (hand-rolled; the project
+//! deliberately keeps its dependency set to the offline-sanctioned crates).
+
+use cbrain::{Policy, Scheme, Workload};
+use cbrain_sim::{AcceleratorConfig, PeConfig};
+use std::fmt;
+
+/// A fully parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `cbrain run ...` — simulate a network under a policy.
+    Run(RunArgs),
+    /// `cbrain schedule ...` — print the planned per-layer schedule.
+    Schedule(ScheduleArgs),
+    /// `cbrain scheme ...` — query Algorithm 2 for one layer shape.
+    Scheme(SchemeArgs),
+    /// `cbrain spec-check <file>` — validate a network spec file.
+    SpecCheck {
+        /// Path to the spec file.
+        path: String,
+    },
+    /// `cbrain zoo` — list the built-in benchmark networks.
+    Zoo,
+    /// `cbrain help` or `--help`.
+    Help,
+}
+
+/// Arguments of `cbrain run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Network source (zoo name or spec file).
+    pub network: NetworkRef,
+    /// Parallelization policy.
+    pub policy: Policy,
+    /// Accelerator configuration.
+    pub config: AcceleratorConfig,
+    /// Layer subset.
+    pub workload: Workload,
+    /// Images per run.
+    pub batch: usize,
+    /// Print the per-layer breakdown table.
+    pub breakdown: bool,
+}
+
+/// Arguments of `cbrain schedule`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleArgs {
+    /// Network source.
+    pub network: NetworkRef,
+    /// Policy to plan with.
+    pub policy: Policy,
+    /// Accelerator configuration.
+    pub config: AcceleratorConfig,
+}
+
+/// Arguments of `cbrain scheme`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemeArgs {
+    /// Input map count (per group).
+    pub din: usize,
+    /// Kernel size.
+    pub k: usize,
+    /// Stride.
+    pub s: usize,
+    /// PE configuration.
+    pub pe: PeConfig,
+}
+
+/// Where a network comes from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkRef {
+    /// A zoo network name (`alexnet`, `googlenet`, `vgg`, `nin`).
+    Zoo(String),
+    /// A network-spec file path.
+    SpecFile(String),
+}
+
+/// Argument parsing error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+fn fail<T>(msg: impl Into<String>) -> Result<T, ArgError> {
+    Err(ArgError(msg.into()))
+}
+
+/// Parses a `TinxTout` PE description, e.g. `16x16` or `16x28`.
+pub fn parse_pe(s: &str) -> Result<PeConfig, ArgError> {
+    let Some((a, b)) = s.split_once('x') else {
+        return fail(format!("--pe expects TinxTout, got `{s}`"));
+    };
+    let tin = a
+        .parse::<usize>()
+        .map_err(|_| ArgError(format!("bad Tin `{a}`")))?;
+    let tout = b
+        .parse::<usize>()
+        .map_err(|_| ArgError(format!("bad Tout `{b}`")))?;
+    if tin == 0 || tout == 0 {
+        return fail("PE dimensions must be non-zero");
+    }
+    Ok(PeConfig::new(tin, tout))
+}
+
+/// Parses a policy name (`inter`, `intra`, `partition`, `inter-improved`,
+/// `adpa-1`, `adpa-2`, `oracle`).
+pub fn parse_policy(s: &str) -> Result<Policy, ArgError> {
+    match s {
+        "adpa-1" | "adap-1" => Ok(Policy::Adaptive {
+            improved_inter: false,
+        }),
+        "adpa-2" | "adap-2" | "adaptive" => Ok(Policy::Adaptive {
+            improved_inter: true,
+        }),
+        "oracle" => Ok(Policy::Oracle),
+        other => other
+            .parse::<Scheme>()
+            .map(Policy::Fixed)
+            .map_err(|_| ArgError(format!("unknown policy `{other}`"))),
+    }
+}
+
+/// Parses a workload name.
+pub fn parse_workload(s: &str) -> Result<Workload, ArgError> {
+    match s {
+        "conv1" => Ok(Workload::Conv1Only),
+        "conv" => Ok(Workload::ConvLayers),
+        "conv+pool" => Ok(Workload::ConvAndPool),
+        "full" => Ok(Workload::FullNetwork),
+        other => fail(format!(
+            "unknown workload `{other}` (conv1|conv|conv+pool|full)"
+        )),
+    }
+}
+
+struct Flags<'a> {
+    tokens: &'a [String],
+    index: usize,
+}
+
+impl<'a> Flags<'a> {
+    fn value(&mut self, flag: &str) -> Result<&'a str, ArgError> {
+        self.index += 1;
+        self.tokens
+            .get(self.index)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError(format!("{flag} needs a value")))
+    }
+}
+
+type CommonArgs = (
+    Option<NetworkRef>,
+    Policy,
+    AcceleratorConfig,
+    Workload,
+    usize,
+    bool,
+);
+
+fn parse_common(tokens: &[String]) -> Result<CommonArgs, ArgError> {
+    let mut network = None;
+    let mut policy = Policy::Adaptive {
+        improved_inter: true,
+    };
+    let mut pe = PeConfig::new(16, 16);
+    let mut mhz = 1000u64;
+    let mut workload = Workload::ConvAndPool;
+    let mut batch = 1usize;
+    let mut breakdown = false;
+
+    let mut f = Flags { tokens, index: 0 };
+    while f.index < tokens.len() {
+        match tokens[f.index].as_str() {
+            "--network" => network = Some(NetworkRef::Zoo(f.value("--network")?.to_owned())),
+            "--spec" => network = Some(NetworkRef::SpecFile(f.value("--spec")?.to_owned())),
+            "--policy" => policy = parse_policy(f.value("--policy")?)?,
+            "--pe" => pe = parse_pe(f.value("--pe")?)?,
+            "--mhz" => {
+                let v = f.value("--mhz")?;
+                mhz = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad --mhz `{v}`")))?;
+            }
+            "--workload" => workload = parse_workload(f.value("--workload")?)?,
+            "--batch" => {
+                let v = f.value("--batch")?;
+                batch = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad --batch `{v}`")))?;
+                if batch == 0 {
+                    return fail("--batch must be at least 1");
+                }
+            }
+            "--breakdown" => breakdown = true,
+            other => return fail(format!("unknown flag `{other}`")),
+        }
+        f.index += 1;
+    }
+    let config = AcceleratorConfig::with_pe(pe).at_mhz(mhz);
+    Ok((network, policy, config, workload, batch, breakdown))
+}
+
+/// Parses a full command line (without the program name).
+///
+/// # Errors
+///
+/// Returns an [`ArgError`] with a user-facing message on any malformed
+/// input.
+pub fn parse(tokens: &[String]) -> Result<Command, ArgError> {
+    let Some(sub) = tokens.first() else {
+        return Ok(Command::Help);
+    };
+    match sub.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "run" => {
+            let (network, policy, config, workload, batch, breakdown) =
+                parse_common(&tokens[1..])?;
+            let network =
+                network.ok_or_else(|| ArgError("run needs --network or --spec".into()))?;
+            Ok(Command::Run(RunArgs {
+                network,
+                policy,
+                config,
+                workload,
+                batch,
+                breakdown,
+            }))
+        }
+        "zoo" => Ok(Command::Zoo),
+        "schedule" => {
+            let (network, policy, config, _, _, _) = parse_common(&tokens[1..])?;
+            let network =
+                network.ok_or_else(|| ArgError("schedule needs --network or --spec".into()))?;
+            Ok(Command::Schedule(ScheduleArgs {
+                network,
+                policy,
+                config,
+            }))
+        }
+        "scheme" => {
+            let mut din = None;
+            let mut k = None;
+            let mut s_ = None;
+            let mut pe = PeConfig::new(16, 16);
+            let rest = &tokens[1..];
+            let mut f = Flags {
+                tokens: rest,
+                index: 0,
+            };
+            while f.index < rest.len() {
+                match rest[f.index].as_str() {
+                    "--din" => din = Some(f.value("--din")?.parse().map_err(|_| ArgError("bad --din".into()))?),
+                    "--k" => k = Some(f.value("--k")?.parse().map_err(|_| ArgError("bad --k".into()))?),
+                    "--s" => s_ = Some(f.value("--s")?.parse().map_err(|_| ArgError("bad --s".into()))?),
+                    "--pe" => pe = parse_pe(f.value("--pe")?)?,
+                    other => return fail(format!("unknown flag `{other}`")),
+                }
+                f.index += 1;
+            }
+            match (din, k, s_) {
+                (Some(din), Some(k), Some(s)) => Ok(Command::Scheme(SchemeArgs { din, k, s, pe })),
+                _ => fail("scheme needs --din, --k and --s"),
+            }
+        }
+        "spec-check" => match tokens.get(1) {
+            Some(path) => Ok(Command::SpecCheck { path: path.clone() }),
+            None => fail("spec-check needs a file path"),
+        },
+        other => fail(format!("unknown command `{other}` (try `cbrain help`)")),
+    }
+}
+
+/// The help text.
+pub const HELP: &str = "\
+cbrain — C-Brain (DAC 2016) accelerator reproduction
+
+USAGE:
+  cbrain run      --network <alexnet|googlenet|vgg|nin> | --spec <file>
+                  [--policy inter|intra|partition|inter-improved|adpa-1|adpa-2|oracle]
+                  [--pe TinxTout] [--mhz N] [--workload conv1|conv|conv+pool|full]
+                  [--batch N] [--breakdown]
+  cbrain schedule --network <name> | --spec <file> [--policy ...] [--pe TinxTout]
+  cbrain scheme   --din N --k K --s S [--pe TinxTout]
+  cbrain spec-check <file>
+  cbrain zoo
+  cbrain help
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_owned).collect()
+    }
+
+    #[test]
+    fn parse_pe_variants() {
+        assert_eq!(parse_pe("16x16").unwrap(), PeConfig::new(16, 16));
+        assert_eq!(parse_pe("16x28").unwrap(), PeConfig::new(16, 28));
+        assert!(parse_pe("16").is_err());
+        assert!(parse_pe("0x16").is_err());
+        assert!(parse_pe("axb").is_err());
+    }
+
+    #[test]
+    fn parse_policy_variants() {
+        assert_eq!(parse_policy("inter").unwrap(), Policy::Fixed(Scheme::Inter));
+        assert_eq!(
+            parse_policy("adpa-1").unwrap(),
+            Policy::Adaptive {
+                improved_inter: false
+            }
+        );
+        assert_eq!(parse_policy("oracle").unwrap(), Policy::Oracle);
+        assert!(parse_policy("magic").is_err());
+    }
+
+    #[test]
+    fn run_command_full() {
+        let cmd = parse(&toks(
+            "run --network alexnet --policy adpa-2 --pe 32x32 --mhz 100 --workload conv1 --batch 8 --breakdown",
+        ))
+        .unwrap();
+        let Command::Run(args) = cmd else {
+            panic!("run expected")
+        };
+        assert_eq!(args.network, NetworkRef::Zoo("alexnet".into()));
+        assert_eq!(args.config.pe, PeConfig::new(32, 32));
+        assert_eq!(args.config.freq_mhz, 100);
+        assert_eq!(args.workload, Workload::Conv1Only);
+        assert_eq!(args.batch, 8);
+        assert!(args.breakdown);
+        assert!(parse(&toks("run --network alexnet --batch 0")).is_err());
+        assert_eq!(parse(&toks("zoo")).unwrap(), Command::Zoo);
+    }
+
+    #[test]
+    fn run_defaults() {
+        let Command::Run(args) = parse(&toks("run --network vgg")).unwrap() else {
+            panic!("run expected")
+        };
+        assert_eq!(
+            args.policy,
+            Policy::Adaptive {
+                improved_inter: true
+            }
+        );
+        assert_eq!(args.config.pe, PeConfig::new(16, 16));
+        assert_eq!(args.workload, Workload::ConvAndPool);
+        assert!(!args.breakdown);
+    }
+
+    #[test]
+    fn run_requires_network() {
+        assert!(parse(&toks("run --policy inter")).is_err());
+    }
+
+    #[test]
+    fn spec_source() {
+        let Command::Run(args) = parse(&toks("run --spec net.spec")).unwrap() else {
+            panic!("run expected")
+        };
+        assert_eq!(args.network, NetworkRef::SpecFile("net.spec".into()));
+    }
+
+    #[test]
+    fn scheme_command() {
+        let Command::Scheme(args) = parse(&toks("scheme --din 3 --k 11 --s 4")).unwrap() else {
+            panic!("scheme expected")
+        };
+        assert_eq!((args.din, args.k, args.s), (3, 11, 4));
+        assert!(parse(&toks("scheme --din 3 --k 11")).is_err());
+    }
+
+    #[test]
+    fn spec_check_command() {
+        assert_eq!(
+            parse(&toks("spec-check foo.spec")).unwrap(),
+            Command::SpecCheck {
+                path: "foo.spec".into()
+            }
+        );
+        assert!(parse(&toks("spec-check")).is_err());
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&toks("--help")).unwrap(), Command::Help);
+        assert!(parse(&toks("frobnicate")).is_err());
+        assert!(parse(&toks("run --network alexnet --frob")).is_err());
+    }
+}

@@ -1,0 +1,21 @@
+//! # cbrain-cli
+//!
+//! Command-line front end for the C-Brain reproduction. The `cbrain`
+//! binary wraps the library crates:
+//!
+//! ```text
+//! cbrain run --network alexnet --policy adpa-2 --pe 16x16
+//! cbrain run --spec my_net.spec --policy oracle --breakdown
+//! cbrain schedule --network googlenet --pe 32x32
+//! cbrain scheme --din 3 --k 11 --s 4
+//! cbrain spec-check my_net.spec
+//! ```
+//!
+//! The argument grammar lives in [`args`] and the command implementations
+//! in [`commands`]; `main` only dispatches, so everything is unit-testable.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod args;
+pub mod commands;

@@ -1,0 +1,38 @@
+//! The `cbrain` binary: thin dispatch over [`cbrain_cli`].
+
+use cbrain_cli::args::{self, Command};
+use cbrain_cli::commands;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let tokens: Vec<String> = std::env::args().skip(1).collect();
+    let command = match args::parse(&tokens) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", args::HELP);
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command {
+        Command::Help => {
+            println!("{}", args::HELP);
+            return ExitCode::SUCCESS;
+        }
+        Command::Run(a) => commands::run(&a),
+        Command::Schedule(a) => commands::schedule(&a),
+        Command::Scheme(a) => Ok(commands::scheme(&a)),
+        Command::SpecCheck { path } => commands::spec_check(&path),
+        Command::Zoo => Ok(commands::zoo_list()),
+    };
+    match result {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Compiler error type.
+
+use cbrain_model::ModelError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while compiling a layer to a macro-op program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// A convolution-only code path was handed a non-convolution layer.
+    NotConvolution {
+        /// Offending layer name.
+        layer: String,
+    },
+    /// The layer itself is invalid (wrapped model error).
+    Model(ModelError),
+    /// A layer's minimal working set cannot fit on chip even at the finest
+    /// supported tiling.
+    WorkingSetTooLarge {
+        /// Offending layer name.
+        layer: String,
+        /// Minimal tile bytes required.
+        required: u64,
+        /// Available buffer bytes.
+        available: u64,
+    },
+}
+
+impl CompileError {
+    pub(crate) fn named(self, layer: &str) -> Self {
+        match self {
+            CompileError::NotConvolution { .. } => CompileError::NotConvolution {
+                layer: layer.to_owned(),
+            },
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::NotConvolution { layer } => {
+                write!(f, "layer `{layer}` is not a convolution")
+            }
+            CompileError::Model(e) => write!(f, "invalid layer: {e}"),
+            CompileError::WorkingSetTooLarge {
+                layer,
+                required,
+                available,
+            } => write!(
+                f,
+                "layer `{layer}` needs a {required}-byte tile but only {available} bytes of buffer exist"
+            ),
+        }
+    }
+}
+
+impl Error for CompileError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CompileError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for CompileError {
+    fn from(e: ModelError) -> Self {
+        CompileError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CompileError::NotConvolution {
+            layer: "pool1".into(),
+        };
+        assert!(e.to_string().contains("pool1"));
+
+        let e = CompileError::WorkingSetTooLarge {
+            layer: "conv1".into(),
+            required: 100,
+            available: 10,
+        };
+        assert!(e.to_string().contains("100"));
+    }
+
+    #[test]
+    fn wraps_model_error() {
+        let m = ModelError::InvalidLayer {
+            layer: "x".into(),
+            reason: "y".into(),
+        };
+        let e = CompileError::from(m);
+        assert!(e.source().is_some());
+    }
+}

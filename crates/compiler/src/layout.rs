@@ -1,0 +1,86 @@
+//! Memory data layouts (Algorithm 2, lines 4-5).
+//!
+//! The adaptive mapper stores each layer's output in the order its
+//! *consumer's* scheme wants, so data is aligned in the buffer without any
+//! "rotatable buffers or data layout transformation unit" (Sec. 4.2.3).
+
+use crate::scheme::Scheme;
+use std::fmt;
+
+/// How a feature-map cube is ordered in external memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum DataLayout {
+    /// Depth-major `(Din, X, Y)`: the `Din` direction is contiguous, so an
+    /// inter-kernel burst (`Tin` pixels from `Tin` different maps at the
+    /// same position) is one buffer transaction.
+    InterOrder,
+    /// Window-major `(X, Y, Din)`: each map is stored as a sequence of
+    /// non-overlapping kernel windows, so an intra-kernel / partition burst
+    /// reads one contiguous run.
+    #[default]
+    IntraOrder,
+}
+
+impl DataLayout {
+    /// The layout each scheme wants its *input* in.
+    pub const fn preferred_by(scheme: Scheme) -> DataLayout {
+        match scheme {
+            Scheme::Inter | Scheme::InterImproved => DataLayout::InterOrder,
+            Scheme::Intra | Scheme::Partition => DataLayout::IntraOrder,
+        }
+    }
+
+    /// Whether this layout satisfies the given scheme without a transform.
+    pub const fn matches(&self, scheme: Scheme) -> bool {
+        matches!(
+            (self, scheme),
+            (DataLayout::InterOrder, Scheme::Inter)
+                | (DataLayout::InterOrder, Scheme::InterImproved)
+                | (DataLayout::IntraOrder, Scheme::Intra)
+                | (DataLayout::IntraOrder, Scheme::Partition)
+        )
+    }
+}
+
+impl fmt::Display for DataLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataLayout::InterOrder => f.write_str("inter-order (Din,X,Y)"),
+            DataLayout::IntraOrder => f.write_str("intra-order (X,Y,Din)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preferred_layouts() {
+        assert_eq!(
+            DataLayout::preferred_by(Scheme::Inter),
+            DataLayout::InterOrder
+        );
+        assert_eq!(
+            DataLayout::preferred_by(Scheme::InterImproved),
+            DataLayout::InterOrder
+        );
+        assert_eq!(
+            DataLayout::preferred_by(Scheme::Intra),
+            DataLayout::IntraOrder
+        );
+        assert_eq!(
+            DataLayout::preferred_by(Scheme::Partition),
+            DataLayout::IntraOrder
+        );
+    }
+
+    #[test]
+    fn matches_is_consistent_with_preferred() {
+        for s in Scheme::ALL {
+            assert!(DataLayout::preferred_by(s).matches(s));
+        }
+        assert!(!DataLayout::InterOrder.matches(Scheme::Partition));
+        assert!(!DataLayout::IntraOrder.matches(Scheme::Inter));
+    }
+}

@@ -1,0 +1,63 @@
+//! # cbrain-compiler
+//!
+//! The layer-to-accelerator compiler of the C-Brain reproduction: it turns
+//! a [`cbrain_model::Layer`] plus a parallelization [`Scheme`] into a
+//! tiled, DMA-annotated macro-op [`cbrain_sim::Program`].
+//!
+//! The paper's three scheme families (Sec. 4) each have a code generator:
+//!
+//! * [`Scheme::Inter`] / [`Scheme::InterImproved`] — vectorize over `Din`
+//!   (and, improved, hold weights + accumulate partial sums by
+//!   add-and-store);
+//! * [`Scheme::Intra`] — vectorize inside the kernel window, as a sliding
+//!   window when `k == s`, else via data unrolling (Eq. 1);
+//! * [`Scheme::Partition`] — Eq. 2 kernel partitioning into `g^2`
+//!   non-overlapping `s x s` sub-kernels (Algorithm 1).
+//!
+//! # Examples
+//!
+//! ```
+//! use cbrain_compiler::{compile_conv, Scheme};
+//! use cbrain_model::zoo;
+//! use cbrain_sim::{AcceleratorConfig, Machine};
+//!
+//! let net = zoo::alexnet();
+//! let cfg = AcceleratorConfig::paper_16_16();
+//! let machine = Machine::new(cfg);
+//!
+//! // The paper's c1 pathology: inter-kernel wastes 13 of 16 lanes...
+//! let inter = compile_conv(net.conv1(), Scheme::Inter, &cfg)?;
+//! // ...kernel partitioning fixes it.
+//! let partition = compile_conv(net.conv1(), Scheme::Partition, &cfg)?;
+//!
+//! let s_inter = machine.run(&inter.program);
+//! let s_part = machine.run(&partition.program);
+//! assert!(s_part.cycles * 3 < s_inter.cycles);
+//! # Ok::<(), cbrain_compiler::CompileError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod codegen;
+pub mod cost;
+mod emit;
+mod error;
+mod geometry;
+mod layout;
+mod scheme;
+mod tiling;
+
+pub use codegen::{
+    compile_conv, compile_conv_batched, compile_fc, compile_fc_batched, compile_layer,
+    compile_layer_batched, compile_pool, compile_pool_batched, ideal_cycles,
+    layout_transform_program, CompiledLayer,
+};
+pub use emit::{
+    emit_inter, emit_intra, emit_partition, emit_window_sweep, IntraEmission, PartitionEmission, WindowSweep,
+};
+pub use error::CompileError;
+pub use geometry::ConvGeometry;
+pub use layout::DataLayout;
+pub use scheme::{ParseSchemeError, Scheme};
+pub use tiling::TilePlan;

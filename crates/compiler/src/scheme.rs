@@ -1,0 +1,111 @@
+//! The parallelization schemes (paper Sec. 4, Table 1).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A data-level parallelization scheme for convolution layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Scheme {
+    /// Inter-kernel: vectorize across input feature maps (`Din`), DianNao
+    /// style (Sec. 4.1.1). Easy to map; wastes lanes when `Din < Tin` and
+    /// reloads both data and weights every burst.
+    Inter,
+    /// Intra-kernel: vectorize inside the `k x k` window of one map
+    /// (Sec. 4.1.2). Implemented as a true sliding window when `k == s`
+    /// and via data unrolling (duplication factor of Eq. 1) otherwise.
+    Intra,
+    /// Kernel-partitioning hybrid (Sec. 4.2.1): split the kernel into
+    /// `g x g` sub-kernels of side `ks = s` so sub-windows tile the input
+    /// with no overlap; accumulate the `g^2` partial maps in the output
+    /// buffer (Algorithm 1).
+    Partition,
+    /// Inter-kernel with the Sec. 4.2.2 improvement: hold weights in the
+    /// PE across an output sweep and accumulate `1/(k*k)` partial sums via
+    /// add-and-store, trading cheap stores for expensive reloads. Same
+    /// cycle count as [`Scheme::Inter`], far less buffer traffic.
+    InterImproved,
+}
+
+impl Scheme {
+    /// All schemes, in the paper's presentation order.
+    pub const ALL: [Scheme; 4] = [
+        Scheme::Inter,
+        Scheme::Intra,
+        Scheme::Partition,
+        Scheme::InterImproved,
+    ];
+
+    /// Table 1's "suited layer characteristic" in one line.
+    pub const fn suited_for(&self) -> &'static str {
+        match self {
+            Scheme::Inter => "large #input maps and small kernel",
+            Scheme::Intra => "kernel = stride",
+            Scheme::Partition => "big kernel or small #input maps",
+            Scheme::InterImproved => "large #input maps; buffer-energy sensitive",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Scheme::Inter => "inter",
+            Scheme::Intra => "intra",
+            Scheme::Partition => "partition",
+            Scheme::InterImproved => "inter-improved",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Error from parsing a scheme name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSchemeError(String);
+
+impl fmt::Display for ParseSchemeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown scheme `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseSchemeError {}
+
+impl FromStr for Scheme {
+    type Err = ParseSchemeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "inter" => Ok(Scheme::Inter),
+            "intra" => Ok(Scheme::Intra),
+            "partition" | "kernel-partition" => Ok(Scheme::Partition),
+            "inter-improved" | "improved" => Ok(Scheme::InterImproved),
+            other => Err(ParseSchemeError(other.to_owned())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_names() {
+        for s in Scheme::ALL {
+            assert_eq!(s.to_string().parse::<Scheme>().unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn parse_aliases() {
+        assert_eq!("kernel-partition".parse::<Scheme>().unwrap(), Scheme::Partition);
+        assert_eq!("IMPROVED".parse::<Scheme>().unwrap(), Scheme::InterImproved);
+        assert!("systolic".parse::<Scheme>().is_err());
+    }
+
+    #[test]
+    fn table_1_rows_present() {
+        for s in Scheme::ALL {
+            assert!(!s.suited_for().is_empty());
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Adaptive scheme selection (paper Algorithm 2) and run policies.
+
+use cbrain_compiler::Scheme;
+use cbrain_model::ConvParams;
+use cbrain_sim::AcceleratorConfig;
+use std::fmt;
+
+/// How a network run chooses per-layer schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Every conv layer uses the same scheme (the paper's `inter`,
+    /// `intra`, `partition` experiment arms).
+    Fixed(Scheme),
+    /// Algorithm 2 per layer. `improved_inter = false` is the paper's
+    /// `adpa-1`; `true` is `adpa-2` (Sec. 4.2.2 inter-kernel).
+    Adaptive {
+        /// Use the improved inter-kernel mapping for inter-selected layers.
+        improved_inter: bool,
+    },
+    /// Exhaustive per-layer search: compile and simulate every scheme and
+    /// keep the cheapest (an oracle upper bound for what *any* selection
+    /// heuristic can achieve). Not in the paper; used to quantify how
+    /// close Algorithm 2 gets to optimal.
+    Oracle,
+}
+
+impl Policy {
+    /// The paper's five experiment arms, in Fig. 8 order.
+    pub const PAPER_ARMS: [Policy; 5] = [
+        Policy::Fixed(Scheme::Inter),
+        Policy::Fixed(Scheme::Intra),
+        Policy::Fixed(Scheme::Partition),
+        Policy::Adaptive {
+            improved_inter: false,
+        },
+        Policy::Adaptive {
+            improved_inter: true,
+        },
+    ];
+
+    /// The paper's label for this arm (`inter`, `intra`, `partition`,
+    /// `adpa-1`, `adpa-2`).
+    pub const fn label(&self) -> &'static str {
+        match self {
+            Policy::Fixed(Scheme::Inter) => "inter",
+            Policy::Fixed(Scheme::Intra) => "intra",
+            Policy::Fixed(Scheme::Partition) => "partition",
+            Policy::Fixed(Scheme::InterImproved) => "inter-improved",
+            Policy::Adaptive {
+                improved_inter: false,
+            } => "adpa-1",
+            Policy::Adaptive {
+                improved_inter: true,
+            } => "adpa-2",
+            Policy::Oracle => "oracle",
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Algorithm 2, lines 1-3: pick the scheme for one convolution layer.
+///
+/// ```text
+/// 1: IF k = s and k != 1, THEN select intra-kernel parallelism
+/// 2: ELSE-IF Din < Tin, THEN select kernel-partition
+/// 3: ELSE select inter-kernel parallelism
+/// ```
+///
+/// `Din` is the per-group input-map count (the paper's Table 2 counts
+/// AlexNet c2 as `Din = 48` accordingly).
+///
+/// # Examples
+///
+/// ```
+/// use cbrain::adaptive::select_scheme;
+/// use cbrain_compiler::Scheme;
+/// use cbrain_model::ConvParams;
+/// use cbrain_sim::AcceleratorConfig;
+///
+/// let cfg = AcceleratorConfig::paper_16_16();
+/// // AlexNet conv1: k=11 != s=4, Din=3 < 16 -> kernel partition.
+/// let c1 = ConvParams::new(3, 96, 11, 4, 0);
+/// assert_eq!(select_scheme(&c1, &cfg, false), Scheme::Partition);
+/// ```
+pub fn select_scheme(
+    conv: &ConvParams,
+    cfg: &AcceleratorConfig,
+    improved_inter: bool,
+) -> Scheme {
+    if conv.kernel == conv.stride && conv.kernel != 1 {
+        Scheme::Intra
+    } else if conv.in_maps_per_group() < cfg.pe.tin {
+        Scheme::Partition
+    } else if improved_inter {
+        Scheme::InterImproved
+    } else {
+        Scheme::Inter
+    }
+}
+
+/// Resolves the scheme a policy assigns to one convolution layer.
+///
+/// [`Policy::Oracle`] has no closed-form answer (it simulates every
+/// scheme); this function returns Algorithm 2's adpa-2 choice as its
+/// stand-in — the runner overrides it with the true per-layer search.
+pub fn scheme_for(policy: Policy, conv: &ConvParams, cfg: &AcceleratorConfig) -> Scheme {
+    match policy {
+        Policy::Fixed(s) => s,
+        Policy::Adaptive { improved_inter } => select_scheme(conv, cfg, improved_inter),
+        Policy::Oracle => select_scheme(conv, cfg, true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbrain_model::zoo;
+
+    fn cfg16() -> AcceleratorConfig {
+        AcceleratorConfig::paper_16_16()
+    }
+
+    fn cfg32() -> AcceleratorConfig {
+        AcceleratorConfig::paper_32_32()
+    }
+
+    #[test]
+    fn bottom_layers_get_partition() {
+        // All four benchmark conv1 layers have Din = 3 < Tin.
+        for net in zoo::all() {
+            let c1 = net.conv1().as_conv().unwrap();
+            assert_eq!(
+                select_scheme(c1, &cfg16(), false),
+                Scheme::Partition,
+                "{}",
+                net.name()
+            );
+        }
+    }
+
+    #[test]
+    fn deep_layers_get_inter() {
+        let net = zoo::alexnet();
+        for name in ["conv2", "conv3", "conv4", "conv5"] {
+            let p = net.layer(name).unwrap().as_conv().unwrap();
+            assert_eq!(select_scheme(p, &cfg16(), false), Scheme::Inter, "{name}");
+            assert_eq!(
+                select_scheme(p, &cfg16(), true),
+                Scheme::InterImproved,
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn k_equals_s_selects_intra() {
+        // A hypothetical non-overlapping conv (k = s = 2).
+        let p = ConvParams::new(64, 64, 2, 2, 0);
+        assert_eq!(select_scheme(&p, &cfg16(), false), Scheme::Intra);
+    }
+
+    #[test]
+    fn one_by_one_layers_never_intra() {
+        // Algorithm 2 line 1 explicitly requires k != 1.
+        let p = ConvParams::new(192, 64, 1, 1, 0);
+        assert_eq!(select_scheme(&p, &cfg16(), false), Scheme::Inter);
+    }
+
+    #[test]
+    fn wider_array_partitions_more_layers() {
+        // GoogLeNet's 5x5-reduce outputs feed 5x5 convs with Din 16-48;
+        // at Tin=32 more of them fall below the threshold.
+        let p = ConvParams::new(24, 64, 5, 1, 2);
+        assert_eq!(select_scheme(&p, &cfg16(), false), Scheme::Inter);
+        assert_eq!(select_scheme(&p, &cfg32(), false), Scheme::Partition);
+    }
+
+    #[test]
+    fn grouped_din_uses_per_group_depth() {
+        // AlexNet c2: 96 maps in 2 groups -> Din = 48 >= 16 -> inter.
+        let net = zoo::alexnet();
+        let c2 = net.layer("conv2").unwrap().as_conv().unwrap();
+        assert_eq!(select_scheme(c2, &cfg16(), false), Scheme::Inter);
+        // At Tin=32, 48 >= 32 still inter; a 4-group variant would flip.
+        assert_eq!(select_scheme(c2, &cfg32(), false), Scheme::Inter);
+    }
+
+    #[test]
+    fn policy_labels_match_paper() {
+        let labels: Vec<_> = Policy::PAPER_ARMS.iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            ["inter", "intra", "partition", "adpa-1", "adpa-2"]
+        );
+    }
+
+    #[test]
+    fn fixed_policy_overrides_selection() {
+        let net = zoo::alexnet();
+        let c1 = net.conv1().as_conv().unwrap();
+        assert_eq!(
+            scheme_for(Policy::Fixed(Scheme::Inter), c1, &cfg16()),
+            Scheme::Inter
+        );
+        assert_eq!(
+            scheme_for(
+                Policy::Adaptive {
+                    improved_inter: true
+                },
+                c1,
+                &cfg16()
+            ),
+            Scheme::Partition
+        );
+    }
+}

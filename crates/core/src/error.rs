@@ -1,0 +1,78 @@
+//! Error type for network runs.
+
+use cbrain_compiler::CompileError;
+use cbrain_model::ModelError;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while running a network through the simulated
+/// accelerator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RunError {
+    /// A layer failed to compile.
+    Compile(CompileError),
+    /// The network description itself is invalid.
+    Model(ModelError),
+    /// The requested workload selected no layers (e.g. `Conv1Only` on a
+    /// network with no convolutions).
+    EmptyWorkload {
+        /// Network name.
+        network: String,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Compile(e) => write!(f, "compile failed: {e}"),
+            RunError::Model(e) => write!(f, "invalid network: {e}"),
+            RunError::EmptyWorkload { network } => {
+                write!(f, "workload selected no layers of network `{network}`")
+            }
+        }
+    }
+}
+
+impl Error for RunError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RunError::Compile(e) => Some(e),
+            RunError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CompileError> for RunError {
+    fn from(e: CompileError) -> Self {
+        RunError::Compile(e)
+    }
+}
+
+impl From<ModelError> for RunError {
+    fn from(e: ModelError) -> Self {
+        RunError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = RunError::from(ModelError::InvalidLayer {
+            layer: "c".into(),
+            reason: "r".into(),
+        });
+        assert!(e.to_string().contains("invalid network"));
+        assert!(e.source().is_some());
+
+        let e = RunError::EmptyWorkload {
+            network: "tiny".into(),
+        };
+        assert!(e.to_string().contains("tiny"));
+        assert!(e.source().is_none());
+    }
+}

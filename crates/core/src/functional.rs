@@ -1,0 +1,449 @@
+//! Data-accurate executions of each mapping scheme.
+//!
+//! The performance simulator never touches values; this module proves the
+//! *mathematical* claims: kernel partitioning (Algorithm 1), data
+//! unrolling, and the improved inter-kernel partial-sum ordering all
+//! compute exactly the same convolution as the reference sliding window.
+//! The PE-level variant additionally pushes values through the segmented
+//! adder-tree datapath the cycle model assumes.
+
+use crate::partition_math::partition;
+use cbrain_model::{reference, ConvParams, ConvWeights, ModelError, Tensor3};
+use cbrain_sim::pe::PeArray;
+use cbrain_sim::PeConfig;
+
+/// Kernel-partitioned convolution (Algorithm 1): the `k x k` kernel is
+/// split into `g x g` sub-kernels of side `ks = s`; each pass produces a
+/// partial output map (`r_{i/G}` in Fig. 5d) which is accumulated into the
+/// final result.
+///
+/// # Errors
+///
+/// Propagates shape/parameter errors.
+///
+/// # Examples
+///
+/// ```
+/// use cbrain::functional::partition_forward;
+/// use cbrain_model::{reference, ConvParams, ConvWeights, Tensor3, TensorShape};
+///
+/// let params = ConvParams::new(3, 4, 11, 4, 0);
+/// let input = Tensor3::random(TensorShape::new(3, 43, 43), 7);
+/// let weights = ConvWeights::random(&params, 8);
+/// let ours = partition_forward(&input, &weights, None, &params)?;
+/// let truth = reference::conv_forward(&input, &weights, None, &params)?;
+/// assert!(ours.max_abs_diff(&truth) < 1e-4);
+/// # Ok::<(), cbrain_model::ModelError>(())
+/// ```
+pub fn partition_forward(
+    input: &Tensor3,
+    weights: &ConvWeights,
+    bias: Option<&[f32]>,
+    params: &ConvParams,
+) -> Result<Tensor3, ModelError> {
+    params.validate("<partition>")?;
+    let out_shape = params.output_shape(input.shape())?;
+    let (g, ks) = partition(params.kernel, params.stride);
+    let mut out = Tensor3::zeros(out_shape);
+
+    let in_per_group = params.in_maps_per_group();
+    let out_per_group = params.out_maps_per_group();
+    let pad = params.pad as isize;
+
+    // Seed with the bias, then add the g*g partial maps.
+    if let Some(b) = bias {
+        for (o, &bv) in b.iter().enumerate().take(out_shape.maps) {
+            for oy in 0..out_shape.height {
+                for ox in 0..out_shape.width {
+                    *out.at_mut(o, oy, ox) = bv;
+                }
+            }
+        }
+    }
+
+    for gy in 0..g {
+        for gx in 0..g {
+            // One pass: slide the (gy, gx) sub-kernel at stride s. Its
+            // windows are non-overlapping because ks == s.
+            for o in 0..params.out_maps {
+                let group = o / out_per_group;
+                let in_base = group * in_per_group;
+                for oy in 0..out_shape.height {
+                    for ox in 0..out_shape.width {
+                        let mut acc = 0.0f32;
+                        for i in 0..in_per_group {
+                            for ky in 0..ks {
+                                for kx in 0..ks {
+                                    let wy = gy * ks + ky;
+                                    let wx = gx * ks + kx;
+                                    // Zero-padded weights beyond k (Fig. 5c).
+                                    if wy >= params.kernel || wx >= params.kernel {
+                                        continue;
+                                    }
+                                    let y = (oy * params.stride) as isize - pad + wy as isize;
+                                    let x = (ox * params.stride) as isize - pad + wx as isize;
+                                    acc += input.at_padded(in_base + i, y, x)
+                                        * weights.at(o, i, wy, wx);
+                                }
+                            }
+                        }
+                        // Algorithm 1 line 8: reload the partial pixel, add,
+                        // store.
+                        *out.at_mut(o, oy, ox) += acc;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Unrolled (im2col) convolution: the intra-kernel scheme's data layout.
+/// Windows are duplicated into contiguous runs (Eq. 1's footprint cost),
+/// then each output pixel is one dot product.
+///
+/// # Errors
+///
+/// Propagates shape/parameter errors. Grouped convolutions are supported.
+pub fn unrolled_forward(
+    input: &Tensor3,
+    weights: &ConvWeights,
+    bias: Option<&[f32]>,
+    params: &ConvParams,
+) -> Result<Tensor3, ModelError> {
+    params.validate("<unrolled>")?;
+    let out_shape = params.output_shape(input.shape())?;
+    let (buf, wy, wx) = reference::unroll_windows(
+        input,
+        params.kernel,
+        params.stride,
+        params.pad,
+    )?;
+    debug_assert_eq!((wy, wx), (out_shape.height, out_shape.width));
+
+    let k2 = params.kernel * params.kernel;
+    let in_per_group = params.in_maps_per_group();
+    let out_per_group = params.out_maps_per_group();
+    let windows_per_map = wy * wx;
+
+    let mut out = Tensor3::zeros(out_shape);
+    for o in 0..params.out_maps {
+        let group = o / out_per_group;
+        let in_base = group * in_per_group;
+        for w in 0..windows_per_map {
+            let mut acc = bias.map_or(0.0, |b| b[o]);
+            for i in 0..in_per_group {
+                let run = &buf[((in_base + i) * windows_per_map + w) * k2..][..k2];
+                for (j, v) in run.iter().enumerate() {
+                    acc += v * weights.at(o, i, j / params.kernel, j % params.kernel);
+                }
+            }
+            *out.at_mut(o, w / wx, w % wx) = acc;
+        }
+    }
+    Ok(out)
+}
+
+/// Improved inter-kernel convolution (Sec. 4.2.2): the kernel-position loop
+/// is outermost, so each output element is built from `k*k` partial sums
+/// accumulated in the output buffer ("add-and-store") instead of in the PE
+/// register.
+///
+/// # Errors
+///
+/// Propagates shape/parameter errors.
+pub fn improved_inter_forward(
+    input: &Tensor3,
+    weights: &ConvWeights,
+    bias: Option<&[f32]>,
+    params: &ConvParams,
+) -> Result<Tensor3, ModelError> {
+    params.validate("<improved-inter>")?;
+    let out_shape = params.output_shape(input.shape())?;
+    let in_per_group = params.in_maps_per_group();
+    let out_per_group = params.out_maps_per_group();
+    let pad = params.pad as isize;
+
+    // The "output buffer" of partial sums.
+    let mut out = Tensor3::zeros(out_shape);
+    if let Some(b) = bias {
+        for (o, &bv) in b.iter().enumerate().take(out_shape.maps) {
+            for oy in 0..out_shape.height {
+                for ox in 0..out_shape.width {
+                    *out.at_mut(o, oy, ox) = bv;
+                }
+            }
+        }
+    }
+
+    // Weights for one (ky, kx) are held while every pixel of every output
+    // map is visited — the traversal that slashes weight reloads.
+    for ky in 0..params.kernel {
+        for kx in 0..params.kernel {
+            for o in 0..params.out_maps {
+                let group = o / out_per_group;
+                let in_base = group * in_per_group;
+                for oy in 0..out_shape.height {
+                    for ox in 0..out_shape.width {
+                        let y = (oy * params.stride) as isize - pad + ky as isize;
+                        let x = (ox * params.stride) as isize - pad + kx as isize;
+                        let mut partial = 0.0f32;
+                        for i in 0..in_per_group {
+                            partial +=
+                                input.at_padded(in_base + i, y, x) * weights.at(o, i, ky, kx);
+                        }
+                        // add-and-store
+                        *out.at_mut(o, oy, ox) += partial;
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Kernel-partitioned convolution executed issue-by-issue on the
+/// functional PE array, including the adder-tree segmentation that packs
+/// several `ks x ks` sub-windows into one issue (Sec. 4.2.1's mapping).
+///
+/// Supports ungrouped layers whose sub-window size does not exceed `Tin`.
+///
+/// # Errors
+///
+/// Propagates shape/parameter errors.
+///
+/// # Panics
+///
+/// Panics if `params.groups != 1` or `s * s > pe.tin` (not a meaningful
+/// hardware mapping — use [`partition_forward`] for the general check).
+pub fn partition_forward_on_pe(
+    input: &Tensor3,
+    weights: &ConvWeights,
+    params: &ConvParams,
+    pe: PeConfig,
+) -> Result<Tensor3, ModelError> {
+    assert_eq!(params.groups, 1, "PE-level check supports ungrouped only");
+    let (g, ks) = partition(params.kernel, params.stride);
+    let window = ks * ks;
+    assert!(window <= pe.tin, "sub-window must fit the lane group");
+    params.validate("<partition-pe>")?;
+    let out_shape = params.output_shape(input.shape())?;
+    let array = PeArray::new(pe);
+    let pack = pe.tin / window;
+    let pad = params.pad as isize;
+
+    let mut out = Tensor3::zeros(out_shape);
+    let windows_total = out_shape.height * out_shape.width;
+
+    for gy in 0..g {
+        for gx in 0..g {
+            for i in 0..params.in_maps {
+                // Sweep output maps in Tout-wide blocks with weights held.
+                for o_base in (0..params.out_maps).step_by(pe.tout) {
+                    let o_count = pe.tout.min(params.out_maps - o_base);
+                    // Weight vector per output lane: the sub-kernel repeated
+                    // per packed window.
+                    let lane_weights: Vec<Vec<f64>> = (0..o_count)
+                        .map(|oo| {
+                            let mut w = Vec::with_capacity(pack * window);
+                            for _ in 0..pack {
+                                for ky in 0..ks {
+                                    for kx in 0..ks {
+                                        let (wy, wx) = (gy * ks + ky, gx * ks + kx);
+                                        let v = if wy < params.kernel && wx < params.kernel {
+                                            weights.at(o_base + oo, i, wy, wx) as f64
+                                        } else {
+                                            0.0
+                                        };
+                                        w.push(v);
+                                    }
+                                }
+                            }
+                            w
+                        })
+                        .collect();
+
+                    for w_base in (0..windows_total).step_by(pack) {
+                        let batch = pack.min(windows_total - w_base);
+                        // Gather the packed sub-windows (contiguous in the
+                        // real buffer; gathered here from the dense tensor).
+                        let mut data = Vec::with_capacity(batch * window);
+                        for b in 0..batch {
+                            let w_idx = w_base + b;
+                            let (oy, ox) = (w_idx / out_shape.width, w_idx % out_shape.width);
+                            for ky in 0..ks {
+                                for kx in 0..ks {
+                                    let y = (oy * params.stride) as isize - pad
+                                        + (gy * ks + ky) as isize;
+                                    let x = (ox * params.stride) as isize - pad
+                                        + (gx * ks + kx) as isize;
+                                    data.push(input.at_padded(i, y, x) as f64);
+                                }
+                            }
+                        }
+                        let lanes: Vec<&[f64]> =
+                            lane_weights[..o_count].iter().map(|w| &w[..data.len()]).collect();
+                        let psums = array
+                            .issue(&data, &lanes, window)
+                            .expect("issue shapes are consistent by construction");
+                        for (oo, lane) in psums.iter().enumerate() {
+                            for (b, p) in lane.iter().enumerate() {
+                                let w_idx = w_base + b;
+                                let (oy, ox) =
+                                    (w_idx / out_shape.width, w_idx % out_shape.width);
+                                // add-and-store into the output buffer.
+                                *out.at_mut(o_base + oo, oy, ox) += *p as f32;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbrain_model::TensorShape;
+
+    const TOL: f32 = 2e-3;
+
+    fn check_against_reference(
+        params: ConvParams,
+        input_shape: TensorShape,
+        f: impl Fn(&Tensor3, &ConvWeights, Option<&[f32]>, &ConvParams) -> Result<Tensor3, ModelError>,
+    ) {
+        let input = Tensor3::random(input_shape, 11);
+        let weights = ConvWeights::random(&params, 23);
+        let bias: Vec<f32> = (0..params.out_maps).map(|i| i as f32 * 0.1 - 1.0).collect();
+        let truth = reference::conv_forward(&input, &weights, Some(&bias), &params).unwrap();
+        let ours = f(&input, &weights, Some(&bias), &params).unwrap();
+        let diff = ours.max_abs_diff(&truth);
+        assert!(diff < TOL, "diff={diff}");
+    }
+
+    #[test]
+    fn partition_matches_reference_alexnet_c1_shape() {
+        // Scaled-down AlexNet conv1: k=11, s=4.
+        check_against_reference(
+            ConvParams::new(3, 8, 11, 4, 0),
+            TensorShape::new(3, 47, 47),
+            partition_forward,
+        );
+    }
+
+    #[test]
+    fn partition_matches_reference_with_padding() {
+        check_against_reference(
+            ConvParams::new(4, 6, 5, 2, 2),
+            TensorShape::new(4, 19, 19),
+            partition_forward,
+        );
+    }
+
+    #[test]
+    fn partition_matches_reference_stride_1() {
+        // VGG-style: g=3, ks=1 single-weight sub-kernels.
+        check_against_reference(
+            ConvParams::new(3, 4, 3, 1, 1),
+            TensorShape::new(3, 12, 12),
+            partition_forward,
+        );
+    }
+
+    #[test]
+    fn partition_matches_reference_grouped() {
+        check_against_reference(
+            ConvParams::grouped(6, 8, 5, 2, 1, 2),
+            TensorShape::new(6, 17, 17),
+            partition_forward,
+        );
+    }
+
+    #[test]
+    fn partition_matches_when_k_equals_s() {
+        // Degenerate g=1: plain sliding window.
+        check_against_reference(
+            ConvParams::new(2, 3, 4, 4, 0),
+            TensorShape::new(2, 16, 16),
+            partition_forward,
+        );
+    }
+
+    #[test]
+    fn unrolled_matches_reference() {
+        check_against_reference(
+            ConvParams::new(3, 5, 5, 2, 1),
+            TensorShape::new(3, 15, 15),
+            unrolled_forward,
+        );
+    }
+
+    #[test]
+    fn unrolled_matches_reference_grouped() {
+        check_against_reference(
+            ConvParams::grouped(4, 4, 3, 1, 1, 2),
+            TensorShape::new(4, 9, 9),
+            unrolled_forward,
+        );
+    }
+
+    #[test]
+    fn improved_inter_matches_reference() {
+        check_against_reference(
+            ConvParams::new(5, 7, 3, 1, 1),
+            TensorShape::new(5, 13, 13),
+            improved_inter_forward,
+        );
+    }
+
+    #[test]
+    fn improved_inter_matches_reference_strided() {
+        check_against_reference(
+            ConvParams::grouped(6, 4, 5, 2, 0, 2),
+            TensorShape::new(6, 21, 21),
+            improved_inter_forward,
+        );
+    }
+
+    #[test]
+    fn pe_level_partition_matches_reference() {
+        // k=11, s=4 -> ks=4, window 16 = Tin: exactly one window per issue.
+        let params = ConvParams::new(3, 8, 11, 4, 0);
+        let input = Tensor3::random(TensorShape::new(3, 43, 43), 3);
+        let weights = ConvWeights::random(&params, 5);
+        let truth = reference::conv_forward(&input, &weights, None, &params).unwrap();
+        let ours =
+            partition_forward_on_pe(&input, &weights, &params, PeConfig::new(16, 16)).unwrap();
+        let diff = ours.max_abs_diff(&truth);
+        assert!(diff < TOL, "diff={diff}");
+    }
+
+    #[test]
+    fn pe_level_partition_packs_multiple_windows() {
+        // k=3, s=1 -> ks=1, window 1: 16 windows pack per issue.
+        let params = ConvParams::new(2, 5, 3, 1, 1);
+        let input = Tensor3::random(TensorShape::new(2, 10, 10), 13);
+        let weights = ConvWeights::random(&params, 17);
+        let truth = reference::conv_forward(&input, &weights, None, &params).unwrap();
+        let ours =
+            partition_forward_on_pe(&input, &weights, &params, PeConfig::new(16, 4)).unwrap();
+        let diff = ours.max_abs_diff(&truth);
+        assert!(diff < TOL, "diff={diff}");
+    }
+
+    #[test]
+    fn pe_level_partition_handles_remainder_batch() {
+        // windows_total not a multiple of the pack width.
+        let params = ConvParams::new(1, 2, 2, 2, 0);
+        let input = Tensor3::random(TensorShape::new(1, 10, 10), 29);
+        let weights = ConvWeights::random(&params, 31);
+        let truth = reference::conv_forward(&input, &weights, None, &params).unwrap();
+        // window = 4, Tin = 12 -> pack 3; 25 windows = 8 batches + 1 rem.
+        let ours =
+            partition_forward_on_pe(&input, &weights, &params, PeConfig::new(12, 2)).unwrap();
+        assert!(ours.max_abs_diff(&truth) < TOL);
+    }
+}

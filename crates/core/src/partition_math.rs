@@ -1,0 +1,148 @@
+//! The paper's two equations, as standalone public API.
+
+/// Equation 2: kernel partitioning. Returns `(g, ks)` where the `k x k`
+/// kernel splits into `g x g` sub-kernels of side `ks`:
+/// `g = ceil(k / s)`, `ks = s`.
+///
+/// # Panics
+///
+/// Panics if `stride` is zero or larger than `kernel`.
+///
+/// # Examples
+///
+/// ```
+/// use cbrain::partition_math::partition;
+///
+/// // AlexNet conv1 (Fig. 5): 11x11 kernel at stride 4 -> 3x3 pieces of 4x4.
+/// assert_eq!(partition(11, 4), (3, 4));
+/// // VGG: 3x3 at stride 1 -> 3x3 pieces of single weights.
+/// assert_eq!(partition(3, 1), (3, 1));
+/// ```
+pub fn partition(kernel: usize, stride: usize) -> (usize, usize) {
+    assert!(stride > 0, "stride must be non-zero");
+    assert!(
+        stride <= kernel,
+        "stride {stride} larger than kernel {kernel}"
+    );
+    (kernel.div_ceil(stride), stride)
+}
+
+/// Equation 1: data duplication factor `T` of unrolling a map of `x * y`
+/// pixels with a `k x k` kernel at stride `s`:
+///
+/// `T = ((x - k)/s + 1) * ((y - k)/s + 1) * k^2 / (x * y)`
+///
+/// Returns 0.0 when the kernel does not fit.
+///
+/// # Examples
+///
+/// ```
+/// use cbrain::partition_math::unroll_duplication;
+///
+/// // The paper's Sec. 4.1.2 example: 28x28 map, k=5, s=1 unrolls to
+/// // 24x24x25 — about 18.4x the raw data.
+/// let t = unroll_duplication(28, 28, 5, 1);
+/// assert!((t - 18.367).abs() < 0.01);
+/// ```
+pub fn unroll_duplication(x: usize, y: usize, k: usize, s: usize) -> f64 {
+    if k > x || k > y || s == 0 {
+        return 0.0;
+    }
+    let wx = (x - k) / s + 1;
+    let wy = (y - k) / s + 1;
+    (wx * wy * k * k) as f64 / (x * y) as f64
+}
+
+/// Raw and unrolled sizes in bits for a `maps` x `y` x `x` input at 16-bit
+/// elements — the two bar series of the paper's Fig. 3.
+///
+/// # Examples
+///
+/// ```
+/// use cbrain::partition_math::unrolled_bits;
+///
+/// let (raw, unrolled) = unrolled_bits(3, 227, 227, 11, 4);
+/// assert!(unrolled as f64 / raw as f64 > 6.0);
+/// ```
+pub fn unrolled_bits(maps: usize, y: usize, x: usize, k: usize, s: usize) -> (u64, u64) {
+    let raw = (maps * y * x * 16) as u64;
+    let wx = if k <= x { (x - k) / s + 1 } else { 0 };
+    let wy = if k <= y { (y - k) / s + 1 } else { 0 };
+    let unrolled = (maps * wy * wx * k * k * 16) as u64;
+    (raw, unrolled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation_2_examples() {
+        assert_eq!(partition(11, 4), (3, 4));
+        assert_eq!(partition(7, 2), (4, 2));
+        assert_eq!(partition(5, 1), (5, 1));
+        assert_eq!(partition(3, 3), (1, 3)); // k == s degenerates
+        assert_eq!(partition(4, 2), (2, 2)); // exact divide, no padding
+    }
+
+    #[test]
+    fn partition_covers_kernel() {
+        // g * ks >= k always (the sub-grid covers the original kernel).
+        for k in 1..=13 {
+            for s in 1..=k {
+                let (g, ks) = partition(k, s);
+                assert!(g * ks >= k, "k={k} s={s}");
+                // ... and never by more than one sub-kernel of slack.
+                assert!(g * ks < k + ks, "k={k} s={s}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stride")]
+    fn partition_rejects_zero_stride() {
+        let _ = partition(3, 0);
+    }
+
+    #[test]
+    fn equation_1_is_one_when_k_equals_s_and_divides() {
+        // Non-overlapping windows that tile exactly: no duplication.
+        let t = unroll_duplication(28, 28, 4, 4);
+        assert!((t - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equation_1_grows_with_overlap() {
+        assert!(unroll_duplication(28, 28, 5, 1) > unroll_duplication(28, 28, 5, 2));
+        assert!(unroll_duplication(28, 28, 5, 2) > unroll_duplication(28, 28, 5, 5));
+    }
+
+    #[test]
+    fn equation_1_zero_when_kernel_too_big() {
+        assert_eq!(unroll_duplication(4, 4, 5, 1), 0.0);
+    }
+
+    #[test]
+    fn figure_3_alexnet_range() {
+        // Paper: the first conv layers of AlexNet/GoogLeNet unroll to
+        // 9x-18.9x the raw input.
+        let nets = [
+            (227usize, 11usize, 4usize), // alexnet c1
+            (224, 7, 2),                 // googlenet c1
+        ];
+        for (xy, k, s) in nets {
+            let t = unroll_duplication(xy, xy, k, s);
+            assert!(t > 6.0 && t < 19.0, "xy={xy} k={k} s={s} t={t}");
+        }
+        // The 5x5 stride-1 layers hit the top of the range.
+        let t = unroll_duplication(27, 27, 5, 1);
+        assert!(t > 18.0 && t < 19.0, "t={t}");
+    }
+
+    #[test]
+    fn unrolled_bits_consistent_with_duplication() {
+        let (raw, unrolled) = unrolled_bits(3, 227, 227, 11, 4);
+        let t = unroll_duplication(227, 227, 11, 4);
+        assert!(((unrolled as f64 / raw as f64) - t).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,187 @@
+//! Fixed-point forward pass on the 16-bit datapath.
+//!
+//! Table 3 fixes the PE data width at 16-bit fixed point, "validated to be
+//! good enough with reference of \[8\]" (DianNao). This module executes
+//! convolutions entirely in the accelerator's Q7.8 arithmetic —
+//! quantized operands, saturating multiplies, saturating adder-tree
+//! accumulation — so that claim can be checked against the f32 reference
+//! instead of assumed.
+
+use cbrain_model::{ConvParams, ConvWeights, Fx16, ModelError, Tensor3};
+
+/// Result of a quantized forward pass: the dequantized output plus error
+/// statistics against the f32 reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedRun {
+    /// Output computed on the Q7.8 datapath, dequantized to f32.
+    pub output: Tensor3,
+    /// Maximum absolute error vs the f32 reference.
+    pub max_abs_error: f32,
+    /// Root-mean-square error vs the f32 reference.
+    pub rms_error: f32,
+}
+
+/// Runs a convolution on the Q7.8 datapath: inputs, weights and bias are
+/// quantized; every multiply and every accumulation saturates at 16 bits
+/// exactly as the PE hardware would.
+///
+/// # Errors
+///
+/// Propagates shape/parameter errors from the model crate.
+///
+/// # Examples
+///
+/// ```
+/// use cbrain::quantized::conv_forward_q16;
+/// use cbrain_model::{ConvParams, ConvWeights, Tensor3, TensorShape};
+///
+/// let params = ConvParams::new(3, 8, 5, 1, 2);
+/// let input = Tensor3::random(TensorShape::new(3, 16, 16), 1);
+/// let weights = ConvWeights::random(&params, 2);
+/// let run = conv_forward_q16(&input, &weights, None, &params)?;
+/// // Unit-scale activations stay well within Q7.8 range: small error.
+/// assert!(run.max_abs_error < 0.1, "{}", run.max_abs_error);
+/// # Ok::<(), cbrain_model::ModelError>(())
+/// ```
+pub fn conv_forward_q16(
+    input: &Tensor3,
+    weights: &ConvWeights,
+    bias: Option<&[f32]>,
+    params: &ConvParams,
+) -> Result<QuantizedRun, ModelError> {
+    params.validate("<q16>")?;
+    let out_shape = params.output_shape(input.shape())?;
+    let reference = cbrain_model::reference::conv_forward(input, weights, bias, params)?;
+
+    let in_per_group = params.in_maps_per_group();
+    let out_per_group = params.out_maps_per_group();
+    let pad = params.pad as isize;
+
+    let mut output = Tensor3::zeros(out_shape);
+    for o in 0..params.out_maps {
+        let group = o / out_per_group;
+        let in_base = group * in_per_group;
+        let b = Fx16::from_f32(bias.map_or(0.0, |b| b[o]));
+        for oy in 0..out_shape.height {
+            for ox in 0..out_shape.width {
+                let mut acc = b;
+                let iy0 = (oy * params.stride) as isize - pad;
+                let ix0 = (ox * params.stride) as isize - pad;
+                for i in 0..in_per_group {
+                    for ky in 0..params.kernel {
+                        for kx in 0..params.kernel {
+                            let v = Fx16::from_f32(input.at_padded(
+                                in_base + i,
+                                iy0 + ky as isize,
+                                ix0 + kx as isize,
+                            ));
+                            let w = Fx16::from_f32(weights.at(o, i, ky, kx));
+                            // Saturating multiply, saturating accumulate —
+                            // the PE lane and adder-tree semantics.
+                            acc = acc.saturating_add(v.saturating_mul(w));
+                        }
+                    }
+                }
+                *output.at_mut(o, oy, ox) = acc.to_f32();
+            }
+        }
+    }
+
+    let max_abs_error = output.max_abs_diff(&reference);
+    let n = output.as_slice().len() as f32;
+    let rms_error = (output
+        .as_slice()
+        .iter()
+        .zip(reference.as_slice())
+        .map(|(a, b)| {
+            let d = a - b;
+            d * d
+        })
+        .sum::<f32>()
+        / n)
+        .sqrt();
+
+    Ok(QuantizedRun {
+        output,
+        max_abs_error,
+        rms_error,
+    })
+}
+
+/// Per-MAC quantization error bound for a convolution with unit-scale
+/// operands: each product contributes at most `2^-8` of rounding error
+/// plus the operand quantization noise (`2^-9` each, scaled by the other
+/// operand). The total worst case grows with the reduction length
+/// `k^2 * Din/groups`.
+pub fn worst_case_error_bound(params: &ConvParams, operand_scale: f32) -> f32 {
+    let reduction = (params.kernel * params.kernel * params.in_maps_per_group()) as f32;
+    let lsb = 1.0 / 256.0;
+    // operand rounding (each side) + product rounding, per MAC.
+    reduction * (operand_scale * lsb + lsb / 2.0) + lsb / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbrain_model::TensorShape;
+
+    fn run(params: ConvParams, shape: TensorShape, seed: u64) -> QuantizedRun {
+        let input = Tensor3::random(shape, seed);
+        let weights = ConvWeights::random(&params, seed + 1);
+        let bias: Vec<f32> = (0..params.out_maps).map(|i| i as f32 * 0.01).collect();
+        conv_forward_q16(&input, &weights, Some(&bias), &params).unwrap()
+    }
+
+    #[test]
+    fn error_is_small_for_unit_scale_data() {
+        let q = run(ConvParams::new(3, 8, 5, 1, 2), TensorShape::new(3, 16, 16), 7);
+        assert!(q.max_abs_error < 0.12, "{}", q.max_abs_error);
+        assert!(q.rms_error < 0.03, "{}", q.rms_error);
+    }
+
+    #[test]
+    fn error_within_analytic_bound() {
+        let params = ConvParams::new(3, 8, 5, 1, 2);
+        let q = run(params, TensorShape::new(3, 16, 16), 11);
+        assert!(q.max_abs_error <= worst_case_error_bound(&params, 1.0));
+    }
+
+    #[test]
+    fn deeper_reductions_accumulate_more_error() {
+        let shallow = run(ConvParams::new(2, 4, 3, 1, 1), TensorShape::new(2, 10, 10), 3);
+        let deep = run(ConvParams::new(32, 4, 3, 1, 1), TensorShape::new(32, 10, 10), 3);
+        assert!(deep.rms_error > shallow.rms_error);
+    }
+
+    #[test]
+    fn saturation_clamps_instead_of_wrapping() {
+        // All-ones 64-deep reduction with weight 1.0 would reach 64*k^2
+        // >> 127.99; the datapath must clamp at Fx16::MAX, not wrap.
+        let params = ConvParams::new(64, 1, 3, 1, 0);
+        let input = Tensor3::from_fn(TensorShape::new(64, 4, 4), |_, _, _| 1.0);
+        let weights = ConvWeights::from_fn(&params, |_, _, _, _| 1.0);
+        let q = conv_forward_q16(&input, &weights, None, &params).unwrap();
+        let max = q
+            .output
+            .as_slice()
+            .iter()
+            .fold(f32::MIN, |a, &b| a.max(b));
+        assert!((max - Fx16::MAX.to_f32()).abs() < 1e-3, "max={max}");
+    }
+
+    #[test]
+    fn grouped_convolutions_supported() {
+        let q = run(
+            ConvParams::grouped(4, 4, 3, 1, 1, 2),
+            TensorShape::new(4, 8, 8),
+            5,
+        );
+        assert!(q.max_abs_error < 0.1);
+    }
+
+    #[test]
+    fn output_matches_reference_shape() {
+        let q = run(ConvParams::new(3, 6, 3, 2, 0), TensorShape::new(3, 11, 11), 9);
+        assert_eq!(q.output.shape(), TensorShape::new(6, 5, 5));
+    }
+}

@@ -1,0 +1,199 @@
+//! Plain-text report formatting for experiment harnesses.
+
+use crate::runner::NetworkReport;
+use std::fmt::Write as _;
+
+/// Formats a cycle count with thousands separators (`1_234_567`).
+pub fn format_cycles(cycles: u64) -> String {
+    let digits = cycles.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push('_');
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Renders a fixed-width table: a header row plus data rows.
+///
+/// # Examples
+///
+/// ```
+/// use cbrain::report::render_table;
+///
+/// let t = render_table(
+///     &["net", "cycles"],
+///     &[vec!["alexnet".into(), "123".into()]],
+/// );
+/// assert!(t.contains("alexnet"));
+/// ```
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |cells: Vec<&str>, out: &mut String| {
+        for (i, cell) in cells.iter().enumerate().take(cols) {
+            let _ = write!(out, "{:<width$}  ", cell, width = widths[i]);
+        }
+        out.truncate(out.trim_end().len());
+        out.push('\n');
+    };
+    line(header.to_vec(), &mut out);
+    let rule: String = widths
+        .iter()
+        .map(|w| "-".repeat(*w) + "  ")
+        .collect::<String>();
+    out.push_str(rule.trim_end());
+    out.push('\n');
+    for row in rows {
+        line(row.iter().map(String::as_str).collect(), &mut out);
+    }
+    out
+}
+
+/// Renders a log-scale ASCII bar chart — the textual twin of the paper's
+/// Figs. 7/8/10. Each row is `label |#####  value`; bar lengths are
+/// proportional to `log10(value / min)`.
+///
+/// # Examples
+///
+/// ```
+/// use cbrain::report::log_bars;
+///
+/// let chart = log_bars(&[("inter", 5_101_705), ("adpa-2", 3_404_743)], 40);
+/// assert!(chart.contains("inter"));
+/// assert!(chart.contains('#'));
+/// ```
+pub fn log_bars(rows: &[(&str, u64)], width: usize) -> String {
+    let mut out = String::new();
+    let min = rows
+        .iter()
+        .map(|(_, v)| *v)
+        .filter(|v| *v > 0)
+        .min()
+        .unwrap_or(1) as f64;
+    let max = rows.iter().map(|(_, v)| *v).max().unwrap_or(1) as f64;
+    let span = (max / min).log10().max(1e-9);
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    for (label, value) in rows {
+        let bars = if *value == 0 {
+            0
+        } else {
+            // Every non-zero bar gets at least one mark; the rest scale
+            // with log distance above the minimum.
+            1 + ((*value as f64 / min).log10() / span * (width - 1) as f64).round() as usize
+        };
+        let _ = writeln!(
+            out,
+            "{label:<label_w$} |{} {value}",
+            "#".repeat(bars.min(width))
+        );
+    }
+    out
+}
+
+/// One-line summary of a network run.
+pub fn summarize(report: &NetworkReport) -> String {
+    format!(
+        "{:<10} {:<10} {:>14} cycles  {:>8.3} ms  util {:>5.1}%  buffer {:>6.2e} bits  dram {:>6.2e} B",
+        report.network,
+        report.policy.label(),
+        format_cycles(report.cycles()),
+        report.ms(),
+        report.totals.pe_utilization() * 100.0,
+        report.totals.buffer_access_bits() as f64,
+        report.totals.dram_bytes() as f64,
+    )
+}
+
+/// Per-layer breakdown of a run.
+pub fn layer_breakdown(report: &NetworkReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .layers
+        .iter()
+        .map(|l| {
+            vec![
+                l.name.clone(),
+                l.scheme.map_or("-".into(), |s| s.to_string()),
+                format_cycles(l.stats.cycles),
+                format_cycles(l.ideal_cycles),
+                format!("{:.1}%", l.stats.pe_utilization() * 100.0),
+            ]
+        })
+        .collect();
+    render_table(&["layer", "scheme", "cycles", "ideal", "util"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::Policy;
+    use crate::runner::Runner;
+    use cbrain_model::zoo;
+    use cbrain_sim::AcceleratorConfig;
+
+    #[test]
+    fn cycle_formatting() {
+        assert_eq!(format_cycles(0), "0");
+        assert_eq!(format_cycles(999), "999");
+        assert_eq!(format_cycles(1_000), "1_000");
+        assert_eq!(format_cycles(1_234_567), "1_234_567");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["a", "bbbb"],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].starts_with("------"));
+    }
+
+    #[test]
+    fn log_bars_scale_and_order() {
+        let chart = log_bars(&[("a", 100), ("b", 10_000), ("c", 0)], 20);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        let hashes = |l: &str| l.matches('#').count();
+        assert!(hashes(lines[1]) > hashes(lines[0]));
+        assert_eq!(hashes(lines[2]), 0);
+        // The longest bar never exceeds the width budget.
+        assert!(hashes(lines[1]) <= 20);
+    }
+
+    #[test]
+    fn log_bars_equal_values() {
+        let chart = log_bars(&[("x", 7), ("y", 7)], 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(
+            lines[0].matches('#').count(),
+            lines[1].matches('#').count()
+        );
+    }
+
+    #[test]
+    fn summary_and_breakdown_render() {
+        let runner = Runner::new(AcceleratorConfig::paper_16_16());
+        let report = runner
+            .run_network(&zoo::alexnet(), Policy::PAPER_ARMS[4])
+            .unwrap();
+        let s = summarize(&report);
+        assert!(s.contains("alexnet"));
+        assert!(s.contains("adpa-2"));
+        let b = layer_breakdown(&report);
+        assert!(b.contains("conv1"));
+        assert!(b.contains("partition"));
+    }
+}

@@ -1,0 +1,573 @@
+//! Whole-network execution under a parallelization policy.
+
+use crate::adaptive::{scheme_for, Policy};
+use crate::error::RunError;
+use cbrain_compiler::{
+    compile_layer_batched, ideal_cycles, layout_transform_program, CompiledLayer, DataLayout,
+    Scheme,
+};
+use cbrain_model::{Layer, LayerKind, Network};
+use cbrain_sim::{
+    AcceleratorConfig, EnergyBreakdown, EnergyModel, Machine, MachineOptions, Stats,
+};
+
+/// Which layers of the network a run covers.
+///
+/// The paper's evaluation follows its Sec. 3 scoping ("we primarily discuss
+/// convolution operation, which typically makes 90% of the computational
+/// workload"); [`Workload::ConvAndPool`] is the default "whole phase of
+/// network forward-propagation" used for Figs. 8/10 — FC layers are pure
+/// DRAM-bound weight streams identical under every scheme and would only
+/// dilute the comparison. [`Workload::FullNetwork`] includes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Workload {
+    /// Only the first convolution layer (Fig. 7 / Fig. 9 "conv1").
+    Conv1Only,
+    /// All convolution layers.
+    ConvLayers,
+    /// Convolution and pooling layers (default).
+    #[default]
+    ConvAndPool,
+    /// Every layer, including fully-connected classifiers.
+    FullNetwork,
+}
+
+impl Workload {
+    fn selects(&self, layer: &Layer) -> bool {
+        match (self, &layer.kind) {
+            (Workload::Conv1Only, _) => unreachable!("handled by caller"),
+            (Workload::ConvLayers, LayerKind::Conv(_)) => true,
+            (Workload::ConvLayers, _) => false,
+            (Workload::ConvAndPool, LayerKind::FullyConnected(_)) => false,
+            (Workload::ConvAndPool, _) => true,
+            (Workload::FullNetwork, _) => true,
+        }
+    }
+}
+
+/// Options for a network run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Layer subset to execute.
+    pub workload: Workload,
+    /// Algorithm 2 lines 4-5: store each output in the layout the next
+    /// layer's scheme wants. Disabling this (ablation) charges an explicit
+    /// DRAM round-trip transform whenever producer and consumer layouts
+    /// disagree.
+    pub layout_planning: bool,
+    /// Machine execution knobs (DMA overlap, add-store ablation).
+    pub machine: MachineOptions,
+    /// Energy constants.
+    pub energy: EnergyModel,
+    /// Images processed per run. Activations and compute scale with the
+    /// batch; weights resident on chip (and FC weight streams, via the
+    /// weight-chunk-outer ordering) are amortized across it.
+    pub batch: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            workload: Workload::default(),
+            layout_planning: true,
+            machine: MachineOptions::default(),
+            energy: EnergyModel::default(),
+            batch: 1,
+        }
+    }
+}
+
+/// Per-layer result of a run.
+#[derive(Debug, Clone)]
+pub struct LayerReport {
+    /// Layer name.
+    pub name: String,
+    /// Scheme used (None for pooling).
+    pub scheme: Option<Scheme>,
+    /// Simulation statistics (transform cost included in `cycles`).
+    pub stats: Stats,
+    /// The 100%-utilization lower bound the paper plots as "ideal".
+    pub ideal_cycles: u64,
+    /// Cycles spent on an explicit layout transform before this layer
+    /// (only non-zero with `layout_planning = false`).
+    pub layout_transform_cycles: u64,
+}
+
+/// Whole-run result.
+#[derive(Debug, Clone)]
+pub struct NetworkReport {
+    /// Network name.
+    pub network: String,
+    /// Images processed in this run.
+    pub batch: usize,
+    /// Policy used.
+    pub policy: Policy,
+    /// Hardware configuration.
+    pub config: AcceleratorConfig,
+    /// Per-layer reports in execution order.
+    pub layers: Vec<LayerReport>,
+    /// Summed statistics.
+    pub totals: Stats,
+    /// Energy under the run's model.
+    pub energy: EnergyBreakdown,
+}
+
+impl NetworkReport {
+    /// Total cycles.
+    pub fn cycles(&self) -> u64 {
+        self.totals.cycles
+    }
+
+    /// Wall-clock milliseconds at the configuration's clock.
+    pub fn ms(&self) -> f64 {
+        self.config.cycles_to_ms(self.totals.cycles)
+    }
+
+    /// Sum of the per-layer ideal cycle bounds.
+    pub fn ideal_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.ideal_cycles).sum()
+    }
+
+    /// Speedup of this run over another (same network/workload assumed).
+    pub fn speedup_over(&self, other: &NetworkReport) -> f64 {
+        other.cycles() as f64 / self.cycles() as f64
+    }
+
+    /// Cycles per image (total cycles / batch).
+    pub fn cycles_per_image(&self) -> f64 {
+        self.totals.cycles as f64 / self.batch as f64
+    }
+
+    /// DRAM bytes per image.
+    pub fn dram_bytes_per_image(&self) -> f64 {
+        self.totals.dram_bytes() as f64 / self.batch as f64
+    }
+}
+
+/// The network runner: compiles each selected layer under the policy and
+/// executes it on the simulated machine.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    cfg: AcceleratorConfig,
+    opts: RunOptions,
+}
+
+impl Runner {
+    /// Creates a runner with default options.
+    pub fn new(cfg: AcceleratorConfig) -> Self {
+        Self {
+            cfg,
+            opts: RunOptions::default(),
+        }
+    }
+
+    /// Creates a runner with explicit options.
+    pub fn with_options(cfg: AcceleratorConfig, opts: RunOptions) -> Self {
+        Self { cfg, opts }
+    }
+
+    /// The hardware configuration.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.cfg
+    }
+
+    /// The run options.
+    pub fn options(&self) -> &RunOptions {
+        &self.opts
+    }
+
+    fn compile(&self, layer: &Layer, policy: Policy) -> Result<CompiledLayer, RunError> {
+        let Some(conv) = layer.as_conv() else {
+            // Pools and FC layers have a fixed mapping; the scheme argument
+            // is ignored by their compilers.
+            return Ok(compile_layer_batched(
+                layer,
+                Scheme::Inter,
+                &self.cfg,
+                self.opts.batch,
+            )?);
+        };
+        if policy == Policy::Oracle {
+            // Exhaustive search: simulate every scheme, keep the cheapest.
+            let machine = Machine::with_options(self.cfg, self.opts.machine);
+            let mut best: Option<(u64, CompiledLayer)> = None;
+            for scheme in Scheme::ALL {
+                let compiled = compile_layer_batched(layer, scheme, &self.cfg, self.opts.batch)?;
+                let cycles = machine.run(&compiled.program).cycles;
+                if best.as_ref().is_none_or(|(b, _)| cycles < *b) {
+                    best = Some((cycles, compiled));
+                }
+            }
+            return Ok(best.expect("Scheme::ALL is non-empty").1);
+        }
+        let scheme = scheme_for(policy, conv, &self.cfg);
+        Ok(compile_layer_batched(
+            layer,
+            scheme,
+            &self.cfg,
+            self.opts.batch,
+        )?)
+    }
+
+    /// Runs one layer in isolation (no layout-transform accounting).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] if the layer fails to compile.
+    pub fn run_layer(&self, layer: &Layer, policy: Policy) -> Result<LayerReport, RunError> {
+        let machine = Machine::with_options(self.cfg, self.opts.machine);
+        let compiled = self.compile(layer, policy)?;
+        let stats = machine.run(&compiled.program);
+        Ok(LayerReport {
+            name: layer.name.clone(),
+            scheme: compiled.scheme,
+            stats,
+            ideal_cycles: ideal_cycles(layer, &self.cfg)?,
+            layout_transform_cycles: 0,
+        })
+    }
+
+    /// Runs the selected workload of a network under a policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] on compile failure or an empty selection.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use cbrain::{Policy, Runner};
+    /// use cbrain_model::zoo;
+    /// use cbrain_sim::AcceleratorConfig;
+    ///
+    /// let runner = Runner::new(AcceleratorConfig::paper_16_16());
+    /// let net = zoo::alexnet();
+    /// let inter = runner.run_network(&net, Policy::PAPER_ARMS[0])?;
+    /// let adaptive = runner.run_network(&net, Policy::PAPER_ARMS[4])?;
+    /// assert!(adaptive.speedup_over(&inter) > 1.2);
+    /// # Ok::<(), cbrain::RunError>(())
+    /// ```
+    pub fn run_network(&self, net: &Network, policy: Policy) -> Result<NetworkReport, RunError> {
+        let machine = Machine::with_options(self.cfg, self.opts.machine);
+        let selected: Vec<&Layer> = match self.opts.workload {
+            Workload::Conv1Only => net.conv_layers().take(1).collect(),
+            w => net.layers().iter().filter(|l| w.selects(l)).collect(),
+        };
+        if selected.is_empty() {
+            return Err(RunError::EmptyWorkload {
+                network: net.name().to_owned(),
+            });
+        }
+
+        let mut layers = Vec::with_capacity(selected.len());
+        let mut totals = Stats::new();
+        // Layout of the tensor currently in memory: the raw image arrives in
+        // whatever order the first layer wants (free choice at load time).
+        let mut current_layout: Option<DataLayout> = None;
+
+        for layer in selected {
+            let compiled = self.compile(layer, policy)?;
+            let mut transform_cycles = 0;
+            if let Some(prev) = current_layout {
+                let needs_transform = !self.opts.layout_planning
+                    && prev != compiled.wants_input_layout
+                    && matches!(layer.kind, LayerKind::Conv(_));
+                if needs_transform {
+                    let t = machine.run(&layout_transform_program(layer.input, &layer.name));
+                    transform_cycles = t.cycles;
+                    totals += t;
+                }
+            }
+            let stats = machine.run(&compiled.program);
+            totals += stats;
+            current_layout = Some(if self.opts.layout_planning {
+                // Algorithm 2 lines 4-5: the output is stored in whatever
+                // order the consumer will want, so it always matches.
+                compiled.wants_input_layout
+            } else {
+                compiled.output_layout
+            });
+            layers.push(LayerReport {
+                name: layer.name.clone(),
+                scheme: compiled.scheme,
+                stats,
+                ideal_cycles: ideal_cycles(layer, &self.cfg)? * self.opts.batch as u64,
+                layout_transform_cycles: transform_cycles,
+            });
+        }
+
+        let energy = self.opts.energy.evaluate(&totals);
+        Ok(NetworkReport {
+            network: net.name().to_owned(),
+            batch: self.opts.batch,
+            policy,
+            config: self.cfg,
+            layers,
+            totals,
+            energy,
+        })
+    }
+
+    /// Runs all five paper arms on a network, in Fig. 8 order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing arm's [`RunError`].
+    pub fn run_paper_arms(&self, net: &Network) -> Result<Vec<NetworkReport>, RunError> {
+        Policy::PAPER_ARMS
+            .iter()
+            .map(|&p| self.run_network(net, p))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbrain_model::zoo;
+
+    fn runner() -> Runner {
+        Runner::new(AcceleratorConfig::paper_16_16())
+    }
+
+    fn conv1_runner() -> Runner {
+        Runner::with_options(
+            AcceleratorConfig::paper_16_16(),
+            RunOptions {
+                workload: Workload::Conv1Only,
+                ..RunOptions::default()
+            },
+        )
+    }
+
+    #[test]
+    fn conv1_partition_beats_inter_and_intra() {
+        // Fig. 7's ordering: partition <= intra < inter on conv1.
+        let net = zoo::alexnet();
+        let r = conv1_runner();
+        let inter = r.run_network(&net, Policy::Fixed(Scheme::Inter)).unwrap();
+        let intra = r.run_network(&net, Policy::Fixed(Scheme::Intra)).unwrap();
+        let part = r
+            .run_network(&net, Policy::Fixed(Scheme::Partition))
+            .unwrap();
+        assert!(part.cycles() < intra.cycles());
+        assert!(intra.cycles() < inter.cycles());
+        // Partition approaches the ideal bound.
+        let ratio = part.cycles() as f64 / part.ideal_cycles() as f64;
+        assert!(ratio < 1.5, "ratio={ratio}");
+    }
+
+    #[test]
+    fn adaptive_beats_every_fixed_scheme_on_alexnet() {
+        let net = zoo::alexnet();
+        let r = runner();
+        let reports = r.run_paper_arms(&net).unwrap();
+        let adpa2 = reports[4].cycles();
+        for fixed in &reports[..3] {
+            assert!(
+                adpa2 <= fixed.cycles(),
+                "adpa-2 {} vs {} {}",
+                adpa2,
+                fixed.policy,
+                fixed.cycles()
+            );
+        }
+    }
+
+    #[test]
+    fn adpa_arms_match_in_cycles_but_not_traffic() {
+        // Paper: "adpa-1 and adpa-2 are the same on performance, and their
+        // difference are in energy".
+        let net = zoo::alexnet();
+        let reports = runner().run_paper_arms(&net).unwrap();
+        let (a1, a2) = (&reports[3], &reports[4]);
+        let cycle_ratio = a2.cycles() as f64 / a1.cycles() as f64;
+        assert!(
+            (0.99..1.01).contains(&cycle_ratio),
+            "cycle_ratio={cycle_ratio}"
+        );
+        assert!(a2.totals.buffer_access_bits() < a1.totals.buffer_access_bits() / 4);
+    }
+
+    #[test]
+    fn alexnet_adaptive_speedup_in_paper_ballpark() {
+        // Paper: adpa outperforms inter by 1.83x on AlexNet; our simulator
+        // should land in the same regime (>1.3x).
+        let net = zoo::alexnet();
+        let reports = runner().run_paper_arms(&net).unwrap();
+        let speedup = reports[4].speedup_over(&reports[0]);
+        assert!(speedup > 1.3, "speedup={speedup}");
+        assert!(speedup < 3.0, "speedup={speedup}");
+    }
+
+    #[test]
+    fn vgg_speedup_is_marginal() {
+        // Paper Sec. 5.2: VGG's uniform 3x3/s1 layers leave little room.
+        let net = zoo::vgg16();
+        let r = runner();
+        let inter = r.run_network(&net, Policy::PAPER_ARMS[0]).unwrap();
+        let adpa = r.run_network(&net, Policy::PAPER_ARMS[4]).unwrap();
+        let speedup = adpa.speedup_over(&inter);
+        assert!(speedup < 1.3, "speedup={speedup}");
+        assert!(speedup >= 0.99, "speedup={speedup}");
+    }
+
+    #[test]
+    fn workload_filters() {
+        let net = zoo::alexnet();
+        let conv_only = Runner::with_options(
+            AcceleratorConfig::paper_16_16(),
+            RunOptions {
+                workload: Workload::ConvLayers,
+                ..RunOptions::default()
+            },
+        );
+        let full = Runner::with_options(
+            AcceleratorConfig::paper_16_16(),
+            RunOptions {
+                workload: Workload::FullNetwork,
+                ..RunOptions::default()
+            },
+        );
+        let a = conv_only.run_network(&net, Policy::PAPER_ARMS[0]).unwrap();
+        let b = full.run_network(&net, Policy::PAPER_ARMS[0]).unwrap();
+        assert_eq!(a.layers.len(), 5);
+        assert_eq!(b.layers.len(), net.layers().len());
+        assert!(b.cycles() > a.cycles());
+    }
+
+    #[test]
+    fn layout_planning_ablation_adds_transforms() {
+        // Alternate schemes (adaptive on AlexNet: partition then inter)
+        // force transforms when planning is off.
+        let net = zoo::alexnet();
+        let planned = runner()
+            .run_network(&net, Policy::PAPER_ARMS[3])
+            .unwrap();
+        let unplanned = Runner::with_options(
+            AcceleratorConfig::paper_16_16(),
+            RunOptions {
+                layout_planning: false,
+                ..RunOptions::default()
+            },
+        )
+        .run_network(&net, Policy::PAPER_ARMS[3])
+        .unwrap();
+        assert!(unplanned.cycles() > planned.cycles());
+        let transforms: u64 = unplanned
+            .layers
+            .iter()
+            .map(|l| l.layout_transform_cycles)
+            .sum();
+        assert!(transforms > 0);
+        let planned_transforms: u64 = planned
+            .layers
+            .iter()
+            .map(|l| l.layout_transform_cycles)
+            .sum();
+        assert_eq!(planned_transforms, 0);
+    }
+
+    #[test]
+    fn report_totals_are_layer_sums() {
+        let net = zoo::alexnet();
+        let report = runner().run_network(&net, Policy::PAPER_ARMS[0]).unwrap();
+        let sum: u64 = report.layers.iter().map(|l| l.stats.cycles).sum();
+        assert_eq!(report.cycles(), sum);
+        assert!(report.ms() > 0.0);
+    }
+
+    #[test]
+    fn oracle_never_loses_to_any_fixed_scheme() {
+        let r = runner();
+        for net in zoo::all() {
+            let oracle = r.run_network(&net, Policy::Oracle).unwrap();
+            for scheme in Scheme::ALL {
+                let fixed = r.run_network(&net, Policy::Fixed(scheme)).unwrap();
+                assert!(
+                    oracle.cycles() <= fixed.cycles(),
+                    "{}: oracle {} vs {scheme} {}",
+                    net.name(),
+                    oracle.cycles(),
+                    fixed.cycles()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn algorithm_2_is_near_oracle() {
+        // The paper's heuristic should capture nearly all of the win an
+        // exhaustive per-layer search can find.
+        let r = runner();
+        for net in zoo::all() {
+            let oracle = r.run_network(&net, Policy::Oracle).unwrap();
+            let adpa2 = r
+                .run_network(
+                    &net,
+                    Policy::Adaptive {
+                        improved_inter: true,
+                    },
+                )
+                .unwrap();
+            let gap = adpa2.cycles() as f64 / oracle.cycles() as f64;
+            assert!(gap < 1.10, "{}: gap {gap}", net.name());
+        }
+    }
+
+    #[test]
+    fn batching_amortizes_fc_weight_streams() {
+        use cbrain_model::zoo;
+        let net = zoo::alexnet();
+        let mk = |batch| {
+            Runner::with_options(
+                AcceleratorConfig::paper_16_16(),
+                RunOptions {
+                    workload: Workload::FullNetwork,
+                    batch,
+                    ..RunOptions::default()
+                },
+            )
+        };
+        let one = mk(1).run_network(&net, Policy::PAPER_ARMS[4]).unwrap();
+        let eight = mk(8).run_network(&net, Policy::PAPER_ARMS[4]).unwrap();
+        // FC layers dominate AlexNet's DRAM traffic at batch 1; batching
+        // divides that stream, so per-image traffic and cycles both drop.
+        assert!(eight.dram_bytes_per_image() < 0.4 * one.dram_bytes_per_image());
+        assert!(eight.cycles_per_image() < one.cycles_per_image());
+        // Compute (MACs) still scales exactly with the batch.
+        assert_eq!(eight.totals.mac_ops, 8 * one.totals.mac_ops);
+    }
+
+    #[test]
+    fn conv_only_batching_is_nearly_linear() {
+        use cbrain_model::zoo;
+        let net = zoo::vgg16();
+        let mk = |batch| {
+            Runner::with_options(
+                AcceleratorConfig::paper_16_16(),
+                RunOptions {
+                    batch,
+                    ..RunOptions::default()
+                },
+            )
+        };
+        let one = mk(1).run_network(&net, Policy::PAPER_ARMS[0]).unwrap();
+        let four = mk(4).run_network(&net, Policy::PAPER_ARMS[0]).unwrap();
+        let ratio = four.cycles() as f64 / one.cycles() as f64;
+        assert!((3.8..=4.05).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn all_networks_run_all_arms() {
+        let r = runner();
+        for net in zoo::all() {
+            let reports = r.run_paper_arms(&net).unwrap();
+            assert_eq!(reports.len(), 5, "{}", net.name());
+            for rep in &reports {
+                assert!(rep.cycles() > 0, "{} {}", net.name(), rep.policy);
+                assert!(rep.energy.total_pj() > 0.0);
+            }
+        }
+    }
+}

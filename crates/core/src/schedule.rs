@@ -1,0 +1,250 @@
+//! Network schedule planning: the per-layer decisions (scheme, layout,
+//! transform) as an inspectable data structure, independent of execution.
+//!
+//! [`crate::Runner`] executes networks directly; this module exposes what
+//! the paper's host compiler would hand to the accelerator — the ordered
+//! list of layer mappings with the Algorithm 2 lines 4-5 layout plan — so
+//! tools can inspect, print or serialize a schedule without simulating it.
+
+use crate::adaptive::{scheme_for, Policy};
+use crate::error::RunError;
+use cbrain_compiler::{DataLayout, Scheme};
+use cbrain_model::{Layer, LayerKind, Network};
+use cbrain_sim::AcceleratorConfig;
+
+/// One scheduled layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduledLayer {
+    /// Layer name.
+    pub name: String,
+    /// Scheme the policy assigns (None for pooling layers, which have no
+    /// scheme choice).
+    pub scheme: Option<Scheme>,
+    /// Layout the layer's input must be stored in.
+    pub input_layout: DataLayout,
+    /// Layout the layer's output will be stored in. With planning enabled
+    /// this is the *next* consumer's preference (Algorithm 2 lines 4-5).
+    pub output_layout: DataLayout,
+    /// Whether an explicit layout transform must run before this layer
+    /// (never true when planning is enabled).
+    pub needs_transform: bool,
+}
+
+/// A planned schedule for a network under one policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Network name.
+    pub network: String,
+    /// Policy that produced the schedule.
+    pub policy: Policy,
+    /// Per-layer decisions, in execution order (conv and pool layers; FC
+    /// layers always map inter-kernel and are included for completeness).
+    pub layers: Vec<ScheduledLayer>,
+}
+
+impl Schedule {
+    /// Number of scheme switches between consecutive convolution layers —
+    /// the "adaptivity" the paper exploits.
+    pub fn scheme_switches(&self) -> usize {
+        let schemes: Vec<Scheme> = self.layers.iter().filter_map(|l| l.scheme).collect();
+        schemes.windows(2).filter(|w| w[0] != w[1]).count()
+    }
+
+    /// Number of explicit layout transforms the schedule requires.
+    pub fn transform_count(&self) -> usize {
+        self.layers.iter().filter(|l| l.needs_transform).count()
+    }
+
+    /// The distinct schemes the schedule uses.
+    pub fn schemes_used(&self) -> Vec<Scheme> {
+        let mut v: Vec<Scheme> = self.layers.iter().filter_map(|l| l.scheme).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+fn static_scheme(layer: &Layer, policy: Policy, cfg: &AcceleratorConfig) -> Option<Scheme> {
+    match &layer.kind {
+        LayerKind::Conv(p) => Some(scheme_for(policy, p, cfg)),
+        LayerKind::Pool(_) => None,
+        LayerKind::FullyConnected(_) => Some(Scheme::Inter),
+    }
+}
+
+/// Plans a network's schedule without simulating it.
+///
+/// With `layout_planning`, each layer's output layout is set to the next
+/// scheme-bearing layer's input preference, so no transforms are needed.
+/// Without it, every layer stores its natural order and a transform is
+/// flagged wherever producer and consumer disagree.
+///
+/// [`Policy::Oracle`] cannot be planned statically (it requires
+/// simulation); it is resolved as adpa-2 here, matching
+/// [`crate::adaptive::scheme_for`].
+///
+/// # Errors
+///
+/// Returns [`RunError::EmptyWorkload`] for a network with no layers.
+///
+/// # Examples
+///
+/// ```
+/// use cbrain::schedule::plan_network;
+/// use cbrain::Policy;
+/// use cbrain_model::zoo;
+/// use cbrain_sim::AcceleratorConfig;
+///
+/// let plan = plan_network(
+///     &zoo::alexnet(),
+///     Policy::Adaptive { improved_inter: true },
+///     &AcceleratorConfig::paper_16_16(),
+///     true,
+/// )?;
+/// // conv1 partitions, the deep layers run improved inter-kernel.
+/// assert!(plan.scheme_switches() >= 1);
+/// assert_eq!(plan.transform_count(), 0);
+/// # Ok::<(), cbrain::RunError>(())
+/// ```
+pub fn plan_network(
+    net: &Network,
+    policy: Policy,
+    cfg: &AcceleratorConfig,
+    layout_planning: bool,
+) -> Result<Schedule, RunError> {
+    if net.layers().is_empty() {
+        return Err(RunError::EmptyWorkload {
+            network: net.name().to_owned(),
+        });
+    }
+
+    let schemes: Vec<Option<Scheme>> = net
+        .layers()
+        .iter()
+        .map(|l| static_scheme(l, policy, cfg))
+        .collect();
+
+    let mut layers = Vec::with_capacity(net.layers().len());
+    let mut prev_output: Option<DataLayout> = None;
+    for (i, layer) in net.layers().iter().enumerate() {
+        let scheme = schemes[i];
+        let input_layout = scheme
+            .map(DataLayout::preferred_by)
+            .or(prev_output)
+            .unwrap_or_default();
+        let output_layout = if layout_planning {
+            // Algorithm 2 lines 4-5: look ahead to the next layer that has
+            // a scheme and store in its preferred order.
+            schemes[i + 1..]
+                .iter()
+                .flatten()
+                .next()
+                .map(|s| DataLayout::preferred_by(*s))
+                .unwrap_or(input_layout)
+        } else {
+            input_layout
+        };
+        let needs_transform = !layout_planning
+            && matches!(layer.kind, LayerKind::Conv(_))
+            && prev_output.is_some_and(|p| p != input_layout);
+        layers.push(ScheduledLayer {
+            name: layer.name.clone(),
+            scheme,
+            input_layout,
+            output_layout,
+            needs_transform,
+        });
+        prev_output = Some(if layout_planning {
+            output_layout
+        } else {
+            input_layout
+        });
+    }
+
+    Ok(Schedule {
+        network: net.name().to_owned(),
+        policy,
+        layers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbrain_model::zoo;
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::paper_16_16()
+    }
+
+    fn adpa2() -> Policy {
+        Policy::Adaptive {
+            improved_inter: true,
+        }
+    }
+
+    #[test]
+    fn alexnet_schedule_partitions_conv1_only() {
+        let plan = plan_network(&zoo::alexnet(), adpa2(), &cfg(), true).unwrap();
+        let conv_schemes: Vec<_> = plan.layers.iter().filter_map(|l| l.scheme.as_ref()).collect();
+        assert_eq!(*conv_schemes[0], Scheme::Partition);
+        assert!(conv_schemes[1..4]
+            .iter()
+            .all(|s| **s == Scheme::InterImproved || **s == Scheme::Inter));
+    }
+
+    #[test]
+    fn planning_eliminates_transforms() {
+        for net in zoo::all() {
+            let planned = plan_network(&net, adpa2(), &cfg(), true).unwrap();
+            assert_eq!(planned.transform_count(), 0, "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn unplanned_adaptive_alexnet_needs_transforms() {
+        let plan = plan_network(&zoo::alexnet(), adpa2(), &cfg(), false).unwrap();
+        // partition (intra-order) -> inter-improved (inter-order) switch.
+        assert!(plan.transform_count() >= 1);
+    }
+
+    #[test]
+    fn fixed_policies_never_transform() {
+        for scheme in Scheme::ALL {
+            let plan =
+                plan_network(&zoo::alexnet(), Policy::Fixed(scheme), &cfg(), false).unwrap();
+            assert_eq!(plan.transform_count(), 0, "{scheme}");
+        }
+    }
+
+    #[test]
+    fn vgg_has_minimal_adaptivity() {
+        // Paper Sec. 5.2: "the space for adaptiveness is rather marginal".
+        let vgg = plan_network(&zoo::vgg16(), adpa2(), &cfg(), true).unwrap();
+        let alexnet = plan_network(&zoo::alexnet(), adpa2(), &cfg(), true).unwrap();
+        assert!(vgg.scheme_switches() <= alexnet.scheme_switches() + 1);
+        // Only conv1_1 has Din < 16; every other conv runs one scheme
+        // (plus the fixed inter-kernel mapping of the FC classifiers).
+        assert_eq!(vgg.schemes_used().len(), 3);
+    }
+
+    #[test]
+    fn output_layout_matches_next_consumer() {
+        let plan = plan_network(&zoo::alexnet(), adpa2(), &cfg(), true).unwrap();
+        // conv1 (partition, intra-order in) must store inter-order for the
+        // inter-improved conv2 downstream... with pool1 in between, the
+        // lookahead still lands on conv2's preference.
+        let conv1 = &plan.layers[0];
+        assert_eq!(conv1.input_layout, DataLayout::IntraOrder);
+        assert_eq!(conv1.output_layout, DataLayout::InterOrder);
+    }
+
+    #[test]
+    fn switch_counting() {
+        let plan = plan_network(&zoo::nin(), adpa2(), &cfg(), true).unwrap();
+        // Partition stem -> improved-inter everything else: one switch.
+        assert!(plan.scheme_switches() >= 1);
+        assert!(plan.schemes_used().contains(&Scheme::Partition));
+        assert!(plan.schemes_used().contains(&Scheme::InterImproved));
+    }
+}

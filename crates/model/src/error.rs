@@ -1,0 +1,107 @@
+//! Error types for model construction and the reference forward pass.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building or validating a network or while running
+/// the reference forward pass.
+///
+/// # Examples
+///
+/// ```
+/// use cbrain_model::ModelError;
+///
+/// let err = ModelError::InvalidLayer {
+///     layer: "conv1".to_owned(),
+///     reason: "stride must be non-zero".to_owned(),
+/// };
+/// assert!(err.to_string().contains("conv1"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A layer's parameters are internally inconsistent.
+    InvalidLayer {
+        /// Name of the offending layer.
+        layer: String,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// Two tensors (or a tensor and a layer) disagree on shape.
+    ShapeMismatch {
+        /// What was being attempted.
+        context: String,
+        /// The shape that was expected, as `maps x height x width`.
+        expected: String,
+        /// The shape that was found.
+        found: String,
+    },
+    /// A layer's kernel does not fit in its (padded) input.
+    KernelExceedsInput {
+        /// Name of the offending layer.
+        layer: String,
+        /// Kernel size.
+        kernel: usize,
+        /// Padded input extent.
+        padded_extent: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidLayer { layer, reason } => {
+                write!(f, "invalid layer `{layer}`: {reason}")
+            }
+            ModelError::ShapeMismatch {
+                context,
+                expected,
+                found,
+            } => write!(
+                f,
+                "shape mismatch in {context}: expected {expected}, found {found}"
+            ),
+            ModelError::KernelExceedsInput {
+                layer,
+                kernel,
+                padded_extent,
+            } => write!(
+                f,
+                "kernel of layer `{layer}` ({kernel}) exceeds padded input extent ({padded_extent})"
+            ),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_layer() {
+        let err = ModelError::InvalidLayer {
+            layer: "c1".into(),
+            reason: "zero stride".into(),
+        };
+        assert_eq!(err.to_string(), "invalid layer `c1`: zero stride");
+    }
+
+    #[test]
+    fn display_shape_mismatch() {
+        let err = ModelError::ShapeMismatch {
+            context: "conv weights".into(),
+            expected: "3x11x11".into(),
+            found: "3x5x5".into(),
+        };
+        assert!(err.to_string().contains("conv weights"));
+        assert!(err.to_string().contains("3x11x11"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,211 @@
+//! 16-bit fixed-point arithmetic (Q7.8) matching the accelerator datapath.
+//!
+//! The paper's Table 3 fixes the PE data width at 16-bit fixed point,
+//! "validated to be good enough with reference of \[8\]" (DianNao). We use a
+//! Q7.8 format (1 sign bit, 7 integer bits, 8 fraction bits) with saturating
+//! arithmetic, which is the conventional choice for 16-bit CNN inference.
+
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Number of fractional bits in the Q7.8 format.
+pub const FRAC_BITS: u32 = 8;
+const ONE_RAW: i32 = 1 << FRAC_BITS;
+
+/// A 16-bit Q7.8 fixed-point number with saturating arithmetic.
+///
+/// # Examples
+///
+/// ```
+/// use cbrain_model::Fx16;
+///
+/// let a = Fx16::from_f32(1.5);
+/// let b = Fx16::from_f32(-0.25);
+/// assert_eq!((a * b).to_f32(), -0.375);
+/// assert_eq!((a + b).to_f32(), 1.25);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fx16(i16);
+
+impl Fx16 {
+    /// The value zero.
+    pub const ZERO: Fx16 = Fx16(0);
+    /// The value one.
+    pub const ONE: Fx16 = Fx16(ONE_RAW as i16);
+    /// Largest representable value (just under 128).
+    pub const MAX: Fx16 = Fx16(i16::MAX);
+    /// Smallest representable value (-128).
+    pub const MIN: Fx16 = Fx16(i16::MIN);
+
+    /// Converts from `f32`, rounding to nearest and saturating at the
+    /// representable range.
+    pub fn from_f32(v: f32) -> Self {
+        let scaled = (v * ONE_RAW as f32).round();
+        if scaled >= i16::MAX as f32 {
+            Fx16::MAX
+        } else if scaled <= i16::MIN as f32 {
+            Fx16::MIN
+        } else {
+            Fx16(scaled as i16)
+        }
+    }
+
+    /// Converts to `f32` exactly (every Q7.8 value is an `f32`).
+    pub fn to_f32(self) -> f32 {
+        self.0 as f32 / ONE_RAW as f32
+    }
+
+    /// Constructs from the raw 16-bit representation.
+    pub const fn from_raw(raw: i16) -> Self {
+        Fx16(raw)
+    }
+
+    /// The raw 16-bit representation.
+    pub const fn raw(self) -> i16 {
+        self.0
+    }
+
+    /// Saturating addition (the accelerator's adder-tree semantics).
+    pub fn saturating_add(self, rhs: Fx16) -> Fx16 {
+        Fx16(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating Q7.8 multiplication: 32-bit product, round-to-nearest
+    /// shift by 8, saturate to 16 bits (the PE multiplier semantics).
+    pub fn saturating_mul(self, rhs: Fx16) -> Fx16 {
+        let wide = self.0 as i32 * rhs.0 as i32;
+        // Round to nearest: add half an LSB (with sign) before shifting.
+        let rounded = (wide + (1 << (FRAC_BITS - 1))) >> FRAC_BITS;
+        if rounded > i16::MAX as i32 {
+            Fx16::MAX
+        } else if rounded < i16::MIN as i32 {
+            Fx16::MIN
+        } else {
+            Fx16(rounded as i16)
+        }
+    }
+
+    /// ReLU.
+    pub fn relu(self) -> Fx16 {
+        if self.0 < 0 {
+            Fx16::ZERO
+        } else {
+            self
+        }
+    }
+}
+
+impl Add for Fx16 {
+    type Output = Fx16;
+    fn add(self, rhs: Fx16) -> Fx16 {
+        self.saturating_add(rhs)
+    }
+}
+
+impl Sub for Fx16 {
+    type Output = Fx16;
+    fn sub(self, rhs: Fx16) -> Fx16 {
+        Fx16(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul for Fx16 {
+    type Output = Fx16;
+    fn mul(self, rhs: Fx16) -> Fx16 {
+        self.saturating_mul(rhs)
+    }
+}
+
+impl Neg for Fx16 {
+    type Output = Fx16;
+    fn neg(self) -> Fx16 {
+        Fx16(self.0.saturating_neg())
+    }
+}
+
+impl From<Fx16> for f32 {
+    fn from(v: Fx16) -> f32 {
+        v.to_f32()
+    }
+}
+
+impl fmt::Display for Fx16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// Quantizes an `f32` slice to Q7.8 and back, returning the dequantized
+/// values — useful for checking that a computation survives the 16-bit
+/// datapath.
+pub fn quantize_dequantize(values: &[f32]) -> Vec<f32> {
+    values.iter().map(|&v| Fx16::from_f32(v).to_f32()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_exact_values() {
+        for v in [-2.0f32, -0.5, 0.0, 0.25, 1.0, 3.75] {
+            assert_eq!(Fx16::from_f32(v).to_f32(), v);
+        }
+    }
+
+    #[test]
+    fn saturation() {
+        assert_eq!(Fx16::from_f32(1000.0), Fx16::MAX);
+        assert_eq!(Fx16::from_f32(-1000.0), Fx16::MIN);
+        assert_eq!(Fx16::MAX + Fx16::ONE, Fx16::MAX);
+        assert_eq!(Fx16::MIN - Fx16::ONE, Fx16::MIN);
+    }
+
+    #[test]
+    fn multiply() {
+        let a = Fx16::from_f32(1.5);
+        let b = Fx16::from_f32(2.0);
+        assert_eq!((a * b).to_f32(), 3.0);
+        assert_eq!((a * -b).to_f32(), -3.0);
+    }
+
+    #[test]
+    fn multiply_saturates() {
+        let big = Fx16::from_f32(100.0);
+        assert_eq!(big * big, Fx16::MAX);
+        assert_eq!(big * -big, Fx16::MIN);
+    }
+
+    #[test]
+    fn quantization_error_bounded() {
+        // Q7.8 resolution is 2^-8; round-to-nearest error is at most half.
+        for i in 0..1000 {
+            let v = (i as f32) * 0.003_7 - 1.8;
+            let q = Fx16::from_f32(v).to_f32();
+            assert!((q - v).abs() <= 0.5 / 256.0 + f32::EPSILON);
+        }
+    }
+
+    #[test]
+    fn relu() {
+        assert_eq!(Fx16::from_f32(-1.0).relu(), Fx16::ZERO);
+        assert_eq!(Fx16::from_f32(1.0).relu(), Fx16::ONE);
+    }
+
+    #[test]
+    fn neg_min_saturates() {
+        assert_eq!(-Fx16::MIN, Fx16::MAX);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Fx16::from_f32(0.5).to_string(), "0.5");
+    }
+
+    #[test]
+    fn quantize_dequantize_slice() {
+        let out = quantize_dequantize(&[0.1, -0.1]);
+        assert_eq!(out.len(), 2);
+        assert!((out[0] - 0.1).abs() < 0.002);
+    }
+}

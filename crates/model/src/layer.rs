@@ -1,0 +1,549 @@
+//! Layer parameter types: convolution, pooling and fully-connected layers.
+//!
+//! Each [`Layer`] carries its *own* input shape. This makes branchy
+//! topologies such as GoogLeNet's inception modules representable as a flat
+//! list of compute jobs, which is exactly how the accelerator's control unit
+//! consumes a network (one macro-instruction stream per layer).
+
+use crate::error::ModelError;
+use crate::shape::TensorShape;
+use std::fmt;
+
+/// Parameters of a 2-D convolution over a cube of input maps (Fig. 1).
+///
+/// An input of `in_maps` maps is convolved with `out_maps` groups of
+/// `in_maps/groups x kernel x kernel` kernels at stride `stride`, after
+/// zero-padding every map border by `pad` pixels.
+///
+/// # Examples
+///
+/// ```
+/// use cbrain_model::{ConvParams, TensorShape};
+///
+/// // AlexNet conv1: 3 input maps, 11x11 kernel, stride 4, 96 output maps.
+/// let c1 = ConvParams::new(3, 96, 11, 4, 0);
+/// let out = c1.output_shape(TensorShape::new(3, 227, 227))?;
+/// assert_eq!(out, TensorShape::new(96, 55, 55));
+/// # Ok::<(), cbrain_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ConvParams {
+    /// Number of input feature maps (`Din`).
+    pub in_maps: usize,
+    /// Number of output feature maps (`Dout`).
+    pub out_maps: usize,
+    /// Square kernel size (`k`).
+    pub kernel: usize,
+    /// Sliding-window stride (`s`).
+    pub stride: usize,
+    /// Zero padding on each border.
+    pub pad: usize,
+    /// Group count; AlexNet's historical two-tower convolutions use 2.
+    pub groups: usize,
+}
+
+impl ConvParams {
+    /// Creates an ungrouped convolution.
+    pub const fn new(
+        in_maps: usize,
+        out_maps: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Self {
+        Self {
+            in_maps,
+            out_maps,
+            kernel,
+            stride,
+            pad,
+            groups: 1,
+        }
+    }
+
+    /// Creates a grouped convolution (each group sees `in_maps / groups`
+    /// input maps and produces `out_maps / groups` output maps).
+    pub const fn grouped(
+        in_maps: usize,
+        out_maps: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        groups: usize,
+    ) -> Self {
+        Self {
+            in_maps,
+            out_maps,
+            kernel,
+            stride,
+            pad,
+            groups,
+        }
+    }
+
+    /// Input maps seen by one group — the effective `Din` for scheme
+    /// selection (the paper's Table 2 lists AlexNet c2 as `Din = 48` for
+    /// exactly this reason).
+    pub const fn in_maps_per_group(&self) -> usize {
+        self.in_maps / self.groups
+    }
+
+    /// Output maps produced by one group.
+    pub const fn out_maps_per_group(&self) -> usize {
+        self.out_maps / self.groups
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidLayer`] if any dimension is zero, the
+    /// group count does not divide both map counts, or the stride exceeds
+    /// the kernel (which would skip input pixels).
+    pub fn validate(&self, name: &str) -> Result<(), ModelError> {
+        let fail = |reason: &str| {
+            Err(ModelError::InvalidLayer {
+                layer: name.to_owned(),
+                reason: reason.to_owned(),
+            })
+        };
+        if self.in_maps == 0 || self.out_maps == 0 {
+            return fail("map counts must be non-zero");
+        }
+        if self.kernel == 0 || self.stride == 0 {
+            return fail("kernel and stride must be non-zero");
+        }
+        if self.groups == 0 {
+            return fail("group count must be non-zero");
+        }
+        if !self.in_maps.is_multiple_of(self.groups) || !self.out_maps.is_multiple_of(self.groups) {
+            return fail("groups must divide both in_maps and out_maps");
+        }
+        if self.stride > self.kernel {
+            return fail("stride larger than kernel skips input pixels");
+        }
+        Ok(())
+    }
+
+    /// Output shape for the given input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::ShapeMismatch`] when the input's map count
+    /// differs from `in_maps`, and [`ModelError::KernelExceedsInput`] when
+    /// the kernel does not fit in the padded input.
+    pub fn output_shape(&self, input: TensorShape) -> Result<TensorShape, ModelError> {
+        if input.maps != self.in_maps {
+            return Err(ModelError::ShapeMismatch {
+                context: "convolution input".to_owned(),
+                expected: format!("{} maps", self.in_maps),
+                found: format!("{} maps", input.maps),
+            });
+        }
+        let padded_h = input.height + 2 * self.pad;
+        let padded_w = input.width + 2 * self.pad;
+        if self.kernel > padded_h || self.kernel > padded_w {
+            return Err(ModelError::KernelExceedsInput {
+                layer: "<conv>".to_owned(),
+                kernel: self.kernel,
+                padded_extent: padded_h.min(padded_w),
+            });
+        }
+        Ok(TensorShape::new(
+            self.out_maps,
+            (padded_h - self.kernel) / self.stride + 1,
+            (padded_w - self.kernel) / self.stride + 1,
+        ))
+    }
+
+    /// Number of multiply-accumulate operations for the given input shape.
+    ///
+    /// Grouping divides the per-output-pixel depth: each output map only
+    /// sees `in_maps / groups` input maps.
+    pub fn macs(&self, input: TensorShape) -> Result<u64, ModelError> {
+        let out = self.output_shape(input)?;
+        Ok(out.map_elems() as u64
+            * out.maps as u64
+            * self.in_maps_per_group() as u64
+            * (self.kernel * self.kernel) as u64)
+    }
+
+    /// Number of weight values (including per-output-map bias is *not*
+    /// counted here; biases live in the bias buffer).
+    pub const fn weight_count(&self) -> usize {
+        self.out_maps * self.in_maps_per_group() * self.kernel * self.kernel
+    }
+}
+
+/// Pooling flavour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PoolKind {
+    /// Max pooling (the common case in the benchmark networks).
+    #[default]
+    Max,
+    /// Average pooling (GoogLeNet's final pool).
+    Average,
+}
+
+/// Parameters of a pooling layer (`p`, `sp` in the paper's Fig. 1).
+///
+/// `ceil_mode` selects Caffe-style round-up output sizing, which the
+/// benchmark networks rely on (e.g. GoogLeNet's 112 -> 56 pools).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PoolParams {
+    /// Square pooling window size.
+    pub kernel: usize,
+    /// Pooling stride.
+    pub stride: usize,
+    /// Max or average.
+    pub kind: PoolKind,
+    /// Round output extents up (Caffe semantics) instead of down.
+    pub ceil_mode: bool,
+}
+
+impl PoolParams {
+    /// Creates a max pool with floor output sizing.
+    pub const fn max(kernel: usize, stride: usize) -> Self {
+        Self {
+            kernel,
+            stride,
+            kind: PoolKind::Max,
+            ceil_mode: false,
+        }
+    }
+
+    /// Creates a max pool with Caffe-style ceil output sizing.
+    pub const fn max_ceil(kernel: usize, stride: usize) -> Self {
+        Self {
+            kernel,
+            stride,
+            kind: PoolKind::Max,
+            ceil_mode: true,
+        }
+    }
+
+    /// Creates an average pool with floor output sizing.
+    pub const fn average(kernel: usize, stride: usize) -> Self {
+        Self {
+            kernel,
+            stride,
+            kind: PoolKind::Average,
+            ceil_mode: false,
+        }
+    }
+
+    fn out_extent(&self, extent: usize) -> usize {
+        if extent < self.kernel {
+            return 0;
+        }
+        let span = extent - self.kernel;
+        if self.ceil_mode {
+            span.div_ceil(self.stride) + 1
+        } else {
+            span / self.stride + 1
+        }
+    }
+
+    /// Output shape for the given input (map count is preserved).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::KernelExceedsInput`] if the pooling window does
+    /// not fit.
+    pub fn output_shape(&self, input: TensorShape) -> Result<TensorShape, ModelError> {
+        let h = self.out_extent(input.height);
+        let w = self.out_extent(input.width);
+        if h == 0 || w == 0 {
+            return Err(ModelError::KernelExceedsInput {
+                layer: "<pool>".to_owned(),
+                kernel: self.kernel,
+                padded_extent: input.height.min(input.width),
+            });
+        }
+        Ok(TensorShape::new(input.maps, h, w))
+    }
+
+    /// Comparison/accumulate operations performed (one per window element per
+    /// output pixel).
+    pub fn ops(&self, input: TensorShape) -> Result<u64, ModelError> {
+        let out = self.output_shape(input)?;
+        Ok(out.elems() as u64 * (self.kernel * self.kernel) as u64)
+    }
+}
+
+/// Parameters of a fully-connected layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FcParams {
+    /// Flattened input feature count.
+    pub in_features: usize,
+    /// Output feature count.
+    pub out_features: usize,
+}
+
+impl FcParams {
+    /// Creates a fully-connected layer.
+    pub const fn new(in_features: usize, out_features: usize) -> Self {
+        Self {
+            in_features,
+            out_features,
+        }
+    }
+
+    /// Multiply-accumulate count.
+    pub const fn macs(&self) -> u64 {
+        (self.in_features * self.out_features) as u64
+    }
+
+    /// Output shape (a flat vector).
+    pub const fn output_shape(&self) -> TensorShape {
+        TensorShape::flat(self.out_features)
+    }
+}
+
+/// The kind of compute a layer performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Convolution (~90% of CNN compute per the paper's Sec. 3).
+    Conv(ConvParams),
+    /// Subsampling.
+    Pool(PoolParams),
+    /// Fully connected (executed inter-kernel; it has no sliding window).
+    FullyConnected(FcParams),
+}
+
+/// One compute job: a named layer with its input shape.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Layer {
+    /// Layer name, e.g. `"conv1"` or `"inception_3a/5x5"`.
+    pub name: String,
+    /// Shape of this layer's input cube.
+    pub input: TensorShape,
+    /// What the layer computes.
+    pub kind: LayerKind,
+}
+
+impl Layer {
+    /// Creates a convolution layer.
+    pub fn conv(name: impl Into<String>, input: TensorShape, params: ConvParams) -> Self {
+        Self {
+            name: name.into(),
+            input,
+            kind: LayerKind::Conv(params),
+        }
+    }
+
+    /// Creates a pooling layer.
+    pub fn pool(name: impl Into<String>, input: TensorShape, params: PoolParams) -> Self {
+        Self {
+            name: name.into(),
+            input,
+            kind: LayerKind::Pool(params),
+        }
+    }
+
+    /// Creates a fully-connected layer.
+    pub fn fully_connected(name: impl Into<String>, input: TensorShape, params: FcParams) -> Self {
+        Self {
+            name: name.into(),
+            input,
+            kind: LayerKind::FullyConnected(params),
+        }
+    }
+
+    /// The convolution parameters if this is a conv layer.
+    pub fn as_conv(&self) -> Option<&ConvParams> {
+        match &self.kind {
+            LayerKind::Conv(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Output shape of the layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the parameter types.
+    pub fn output_shape(&self) -> Result<TensorShape, ModelError> {
+        match &self.kind {
+            LayerKind::Conv(p) => p.output_shape(self.input),
+            LayerKind::Pool(p) => p.output_shape(self.input),
+            LayerKind::FullyConnected(p) => Ok(p.output_shape()),
+        }
+    }
+
+    /// MAC count (pooling counts one op per window element).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the parameter types.
+    pub fn macs(&self) -> Result<u64, ModelError> {
+        match &self.kind {
+            LayerKind::Conv(p) => p.macs(self.input),
+            LayerKind::Pool(p) => p.ops(self.input),
+            LayerKind::FullyConnected(p) => Ok(p.macs()),
+        }
+    }
+
+    /// Validates the layer's parameters and shape compatibility.
+    ///
+    /// # Errors
+    ///
+    /// See [`ConvParams::validate`] and the `output_shape` methods.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if !self.input.is_valid() {
+            return Err(ModelError::InvalidLayer {
+                layer: self.name.clone(),
+                reason: format!("input shape {} has a zero dimension", self.input),
+            });
+        }
+        if let LayerKind::Conv(p) = &self.kind {
+            p.validate(&self.name)?;
+        }
+        self.output_shape().map(|_| ())
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            LayerKind::Conv(p) => write!(
+                f,
+                "{}: conv {} -> {} maps, k={} s={} pad={} g={} (in {})",
+                self.name, p.in_maps, p.out_maps, p.kernel, p.stride, p.pad, p.groups, self.input
+            ),
+            LayerKind::Pool(p) => write!(
+                f,
+                "{}: pool {:?} k={} s={} (in {})",
+                self.name, p.kind, p.kernel, p.stride, self.input
+            ),
+            LayerKind::FullyConnected(p) => write!(
+                f,
+                "{}: fc {} -> {}",
+                self.name, p.in_features, p.out_features
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_conv1_shape() {
+        let c1 = ConvParams::new(3, 96, 11, 4, 0);
+        let out = c1.output_shape(TensorShape::new(3, 227, 227)).unwrap();
+        assert_eq!(out, TensorShape::new(96, 55, 55));
+    }
+
+    #[test]
+    fn padded_conv_shape() {
+        // AlexNet c2 with pad 2 preserves 27x27.
+        let c2 = ConvParams::grouped(96, 256, 5, 1, 2, 2);
+        let out = c2.output_shape(TensorShape::new(96, 27, 27)).unwrap();
+        assert_eq!(out, TensorShape::new(256, 27, 27));
+    }
+
+    #[test]
+    fn grouped_macs_halved() {
+        let whole = ConvParams::new(96, 256, 5, 1, 2);
+        let grouped = ConvParams::grouped(96, 256, 5, 1, 2, 2);
+        let input = TensorShape::new(96, 27, 27);
+        assert_eq!(
+            grouped.macs(input).unwrap() * 2,
+            whole.macs(input).unwrap()
+        );
+    }
+
+    #[test]
+    fn conv_rejects_wrong_depth() {
+        let c1 = ConvParams::new(3, 96, 11, 4, 0);
+        assert!(matches!(
+            c1.output_shape(TensorShape::new(4, 227, 227)),
+            Err(ModelError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn conv_rejects_oversized_kernel() {
+        let p = ConvParams::new(1, 1, 9, 1, 0);
+        assert!(matches!(
+            p.output_shape(TensorShape::new(1, 5, 5)),
+            Err(ModelError::KernelExceedsInput { .. })
+        ));
+    }
+
+    #[test]
+    fn conv_validation_catches_bad_groups() {
+        let p = ConvParams::grouped(7, 8, 3, 1, 1, 2);
+        assert!(p.validate("c").is_err());
+    }
+
+    #[test]
+    fn conv_validation_catches_stride_over_kernel() {
+        let p = ConvParams::new(3, 8, 2, 3, 0);
+        assert!(p.validate("c").is_err());
+    }
+
+    #[test]
+    fn pool_floor_vs_ceil() {
+        let input = TensorShape::new(64, 112, 112);
+        let floor = PoolParams::max(3, 2).output_shape(input).unwrap();
+        let ceil = PoolParams::max_ceil(3, 2).output_shape(input).unwrap();
+        assert_eq!(floor.height, 55);
+        assert_eq!(ceil.height, 56); // GoogLeNet relies on ceil mode.
+    }
+
+    #[test]
+    fn pool_preserves_depth() {
+        let out = PoolParams::max(3, 2)
+            .output_shape(TensorShape::new(96, 55, 55))
+            .unwrap();
+        assert_eq!(out, TensorShape::new(96, 27, 27));
+    }
+
+    #[test]
+    fn pool_rejects_small_input() {
+        assert!(PoolParams::max(3, 2)
+            .output_shape(TensorShape::new(1, 2, 2))
+            .is_err());
+    }
+
+    #[test]
+    fn fc_macs() {
+        let fc = FcParams::new(9216, 4096);
+        assert_eq!(fc.macs(), 9216 * 4096);
+        assert_eq!(fc.output_shape(), TensorShape::flat(4096));
+    }
+
+    #[test]
+    fn layer_macs_alexnet_c1() {
+        let layer = Layer::conv(
+            "conv1",
+            TensorShape::new(3, 227, 227),
+            ConvParams::new(3, 96, 11, 4, 0),
+        );
+        // 55*55*96 output pixels * 3*11*11 MACs each.
+        assert_eq!(layer.macs().unwrap(), 55 * 55 * 96 * 3 * 11 * 11);
+    }
+
+    #[test]
+    fn layer_validate_rejects_zero_input() {
+        let layer = Layer::conv(
+            "bad",
+            TensorShape::new(0, 10, 10),
+            ConvParams::new(3, 8, 3, 1, 1),
+        );
+        assert!(layer.validate().is_err());
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        let layer = Layer::conv(
+            "conv1",
+            TensorShape::new(3, 227, 227),
+            ConvParams::new(3, 96, 11, 4, 0),
+        );
+        assert!(layer.to_string().starts_with("conv1:"));
+    }
+}

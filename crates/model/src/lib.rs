@@ -1,0 +1,48 @@
+//! # cbrain-model
+//!
+//! CNN network descriptions, ground-truth forward pass and fixed-point
+//! arithmetic for the C-Brain (DAC 2016) reproduction.
+//!
+//! This crate is the *workload substrate*: it knows what the benchmark
+//! networks look like (the paper's Table 2) and what a convolution is
+//! mathematically, but nothing about the accelerator. The compiler and
+//! core crates consume [`Layer`]s from here and validate their mapping
+//! schemes against [`mod@reference`].
+//!
+//! # Examples
+//!
+//! ```
+//! use cbrain_model::{zoo, LayerKind};
+//!
+//! let net = zoo::alexnet();
+//! let c1 = net.conv1();
+//! let conv = c1.as_conv().expect("conv1 is a convolution");
+//! assert_eq!(conv.kernel, 11);
+//! assert_eq!(conv.stride, 4);
+//!
+//! // ~90% of the network's MACs are in the convolution layers (Sec. 3).
+//! let ratio = net.conv_macs()? as f64 / net.total_macs()? as f64;
+//! assert!(ratio > 0.85);
+//! # Ok::<(), cbrain_model::ModelError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+pub mod fixed;
+mod layer;
+mod network;
+pub mod reference;
+mod shape;
+pub mod spec;
+pub mod stats;
+mod tensor;
+pub mod zoo;
+
+pub use error::ModelError;
+pub use fixed::Fx16;
+pub use layer::{ConvParams, FcParams, Layer, LayerKind, PoolKind, PoolParams};
+pub use network::{Network, NetworkBuilder};
+pub use shape::{TensorShape, ELEM_BYTES};
+pub use tensor::{ConvWeights, Tensor3};

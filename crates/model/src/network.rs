@@ -1,0 +1,329 @@
+//! Networks as ordered lists of compute jobs, plus a builder for the common
+//! sequential case.
+
+use crate::error::ModelError;
+use crate::layer::{ConvParams, FcParams, Layer, LayerKind, PoolParams};
+use crate::shape::TensorShape;
+
+/// A named network: an ordered list of [`Layer`] jobs.
+///
+/// Branchy topologies (GoogLeNet) are flattened: each layer records its own
+/// input shape, so the list order is a valid schedule but adjacent layers
+/// need not chain shape-wise.
+///
+/// # Examples
+///
+/// ```
+/// use cbrain_model::zoo;
+///
+/// let net = zoo::alexnet();
+/// assert_eq!(net.conv_layers().count(), 5);
+/// assert!(net.total_macs()? > 500_000_000);
+/// # Ok::<(), cbrain_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    name: String,
+    input: TensorShape,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Creates a network from pre-built layers.
+    pub fn new(name: impl Into<String>, input: TensorShape, layers: Vec<Layer>) -> Self {
+        Self {
+            name: name.into(),
+            input,
+            layers,
+        }
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Shape of the network's external input.
+    pub fn input(&self) -> TensorShape {
+        self.input
+    }
+
+    /// All layers in schedule order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Only the convolution layers, in schedule order.
+    pub fn conv_layers(&self) -> impl Iterator<Item = &Layer> {
+        self.layers
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Conv(_)))
+    }
+
+    /// The first convolution layer (the paper's `conv1`, used in Fig. 7/9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no convolution layer; all zoo networks do.
+    pub fn conv1(&self) -> &Layer {
+        self.conv_layers()
+            .next()
+            .expect("network has no convolution layer")
+    }
+
+    /// Finds a layer by name.
+    pub fn layer(&self, name: &str) -> Option<&Layer> {
+        self.layers.iter().find(|l| l.name == name)
+    }
+
+    /// Sum of MAC operations over all layers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from invalid layers.
+    pub fn total_macs(&self) -> Result<u64, ModelError> {
+        self.layers.iter().map(|l| l.macs()).sum()
+    }
+
+    /// Sum of MAC operations over convolution layers only.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from invalid layers.
+    pub fn conv_macs(&self) -> Result<u64, ModelError> {
+        self.conv_layers().map(|l| l.macs()).sum()
+    }
+
+    /// Validates every layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first layer validation failure.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        for layer in &self.layers {
+            layer.validate()?;
+        }
+        Ok(())
+    }
+
+    /// The set of distinct convolution kernel sizes (the paper's Table 2
+    /// "kernel types" row), sorted descending.
+    pub fn kernel_types(&self) -> Vec<usize> {
+        let mut ks: Vec<usize> = self
+            .conv_layers()
+            .filter_map(|l| l.as_conv().map(|p| p.kernel))
+            .collect();
+        ks.sort_unstable_by(|a, b| b.cmp(a));
+        ks.dedup();
+        ks
+    }
+}
+
+/// Builder for sequential networks, chaining output shapes automatically.
+///
+/// # Examples
+///
+/// ```
+/// use cbrain_model::{NetworkBuilder, TensorShape};
+///
+/// let net = NetworkBuilder::new("tiny", TensorShape::new(3, 32, 32))
+///     .conv("c1", 16, 5, 1, 2)
+///     .pool_max("p1", 2, 2)
+///     .conv("c2", 32, 3, 1, 1)
+///     .build()?;
+/// assert_eq!(net.layers().len(), 3);
+/// # Ok::<(), cbrain_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    name: String,
+    input: TensorShape,
+    cursor: TensorShape,
+    layers: Vec<Layer>,
+    error: Option<ModelError>,
+}
+
+impl NetworkBuilder {
+    /// Starts a network with the given external input shape.
+    pub fn new(name: impl Into<String>, input: TensorShape) -> Self {
+        Self {
+            name: name.into(),
+            input,
+            cursor: input,
+            layers: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Current running shape (the input the next pushed layer will see).
+    pub fn cursor(&self) -> TensorShape {
+        self.cursor
+    }
+
+    fn push(mut self, layer: Layer) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        match layer.output_shape() {
+            Ok(out) => {
+                self.cursor = out;
+                self.layers.push(layer);
+            }
+            Err(e) => self.error = Some(e),
+        }
+        self
+    }
+
+    /// Appends an ungrouped convolution fed by the running shape.
+    pub fn conv(self, name: &str, out_maps: usize, k: usize, s: usize, pad: usize) -> Self {
+        let params = ConvParams::new(self.cursor.maps, out_maps, k, s, pad);
+        let layer = Layer::conv(name, self.cursor, params);
+        self.push(layer)
+    }
+
+    /// Appends a grouped convolution fed by the running shape.
+    pub fn conv_grouped(
+        self,
+        name: &str,
+        out_maps: usize,
+        k: usize,
+        s: usize,
+        pad: usize,
+        groups: usize,
+    ) -> Self {
+        let params = ConvParams::grouped(self.cursor.maps, out_maps, k, s, pad, groups);
+        let layer = Layer::conv(name, self.cursor, params);
+        self.push(layer)
+    }
+
+    /// Appends a floor-mode max pool.
+    pub fn pool_max(self, name: &str, k: usize, s: usize) -> Self {
+        let layer = Layer::pool(name, self.cursor, PoolParams::max(k, s));
+        self.push(layer)
+    }
+
+    /// Appends a Caffe-style ceil-mode max pool.
+    pub fn pool_max_ceil(self, name: &str, k: usize, s: usize) -> Self {
+        let layer = Layer::pool(name, self.cursor, PoolParams::max_ceil(k, s));
+        self.push(layer)
+    }
+
+    /// Appends an average pool.
+    pub fn pool_average(self, name: &str, k: usize, s: usize) -> Self {
+        let layer = Layer::pool(name, self.cursor, PoolParams::average(k, s));
+        self.push(layer)
+    }
+
+    /// Appends a fully-connected layer; the running shape is flattened.
+    pub fn fully_connected(self, name: &str, out_features: usize) -> Self {
+        let in_features = self.cursor.elems();
+        let layer = Layer::fully_connected(
+            name,
+            self.cursor,
+            FcParams::new(in_features, out_features),
+        );
+        self.push(layer)
+    }
+
+    /// Appends an arbitrary pre-built layer *without* chaining the cursor to
+    /// it (used by branchy builders); the cursor is set to the given shape.
+    pub fn raw_layer(mut self, layer: Layer, next_cursor: TensorShape) -> Self {
+        if self.error.is_some() {
+            return self;
+        }
+        if let Err(e) = layer.validate() {
+            self.error = Some(e);
+            return self;
+        }
+        self.layers.push(layer);
+        self.cursor = next_cursor;
+        self
+    }
+
+    /// Finishes the network.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first shape/validation error encountered while pushing
+    /// layers.
+    pub fn build(self) -> Result<Network, ModelError> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let net = Network::new(self.name, self.input, self.layers);
+        net.validate()?;
+        Ok(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Network {
+        NetworkBuilder::new("tiny", TensorShape::new(3, 32, 32))
+            .conv("c1", 16, 5, 1, 2)
+            .pool_max("p1", 2, 2)
+            .conv("c2", 32, 3, 1, 1)
+            .fully_connected("fc", 10)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_chains_shapes() {
+        let net = tiny();
+        assert_eq!(net.layer("c1").unwrap().input, TensorShape::new(3, 32, 32));
+        assert_eq!(
+            net.layer("c2").unwrap().input,
+            TensorShape::new(16, 16, 16)
+        );
+        assert_eq!(
+            net.layer("fc").unwrap().input,
+            TensorShape::new(32, 16, 16)
+        );
+    }
+
+    #[test]
+    fn conv1_is_first_conv() {
+        assert_eq!(tiny().conv1().name, "c1");
+    }
+
+    #[test]
+    fn kernel_types_sorted_distinct() {
+        assert_eq!(tiny().kernel_types(), vec![5, 3]);
+    }
+
+    #[test]
+    fn macs_sum() {
+        let net = tiny();
+        let by_hand: u64 = net.layers().iter().map(|l| l.macs().unwrap()).sum();
+        assert_eq!(net.total_macs().unwrap(), by_hand);
+        assert!(net.conv_macs().unwrap() < by_hand);
+    }
+
+    #[test]
+    fn builder_reports_shape_error() {
+        let res = NetworkBuilder::new("bad", TensorShape::new(3, 4, 4))
+            .conv("huge", 8, 9, 1, 0)
+            .build();
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn builder_error_sticks() {
+        // Layers after an error are ignored, and the original error surfaces.
+        let res = NetworkBuilder::new("bad", TensorShape::new(3, 4, 4))
+            .conv("huge", 8, 9, 1, 0)
+            .conv("later", 8, 1, 1, 0)
+            .build();
+        assert!(matches!(res, Err(ModelError::KernelExceedsInput { .. })));
+    }
+
+    #[test]
+    fn layer_lookup() {
+        let net = tiny();
+        assert!(net.layer("p1").is_some());
+        assert!(net.layer("nope").is_none());
+    }
+}

@@ -1,0 +1,114 @@
+//! Tensor shapes as used by the accelerator: a stack of 2-D feature maps.
+
+use std::fmt;
+
+/// Number of bytes per element on the accelerator datapath (16-bit fixed point,
+/// validated as sufficient by the DianNao line of work and adopted by the
+/// paper's Table 3).
+pub const ELEM_BYTES: usize = 2;
+
+/// The shape of a feature-map cube: `maps` two-dimensional maps of
+/// `height x width` elements (the paper's `Din x Y x X`).
+///
+/// # Examples
+///
+/// ```
+/// use cbrain_model::TensorShape;
+///
+/// let input = TensorShape::new(3, 227, 227);
+/// assert_eq!(input.elems(), 3 * 227 * 227);
+/// assert_eq!(input.bytes(), input.elems() * 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TensorShape {
+    /// Number of feature maps (the depth direction, `Din`/`Dout` in Fig. 1).
+    pub maps: usize,
+    /// Map height (`Y`).
+    pub height: usize,
+    /// Map width (`X`).
+    pub width: usize,
+}
+
+impl TensorShape {
+    /// Creates a shape of `maps` feature maps, each `height x width`.
+    pub const fn new(maps: usize, height: usize, width: usize) -> Self {
+        Self {
+            maps,
+            height,
+            width,
+        }
+    }
+
+    /// A flat vector shape (used for fully-connected activations).
+    pub const fn flat(len: usize) -> Self {
+        Self {
+            maps: len,
+            height: 1,
+            width: 1,
+        }
+    }
+
+    /// Total number of elements.
+    pub const fn elems(&self) -> usize {
+        self.maps * self.height * self.width
+    }
+
+    /// Total footprint in bytes at the accelerator's 16-bit data width.
+    pub const fn bytes(&self) -> usize {
+        self.elems() * ELEM_BYTES
+    }
+
+    /// Number of elements in one feature map.
+    pub const fn map_elems(&self) -> usize {
+        self.height * self.width
+    }
+
+    /// Returns `true` when every dimension is non-zero.
+    pub const fn is_valid(&self) -> bool {
+        self.maps != 0 && self.height != 0 && self.width != 0
+    }
+}
+
+impl fmt::Display for TensorShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.maps, self.height, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elems_and_bytes() {
+        let s = TensorShape::new(3, 227, 227);
+        assert_eq!(s.elems(), 154_587);
+        assert_eq!(s.bytes(), 309_174);
+        assert_eq!(s.map_elems(), 51_529);
+    }
+
+    #[test]
+    fn flat_shape() {
+        let s = TensorShape::flat(4096);
+        assert_eq!(s.elems(), 4096);
+        assert_eq!((s.height, s.width), (1, 1));
+    }
+
+    #[test]
+    fn validity() {
+        assert!(TensorShape::new(1, 1, 1).is_valid());
+        assert!(!TensorShape::new(0, 5, 5).is_valid());
+        assert!(!TensorShape::new(5, 0, 5).is_valid());
+        assert!(!TensorShape::new(5, 5, 0).is_valid());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(TensorShape::new(96, 55, 55).to_string(), "96x55x55");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(TensorShape::new(1, 2, 3) < TensorShape::new(2, 0, 0));
+    }
+}

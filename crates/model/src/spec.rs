@@ -1,0 +1,407 @@
+//! Text network-specification format.
+//!
+//! The paper's toolchain starts from a "network specification (numbers of
+//! layers, kernel size etc.) written by domain experts" that the host
+//! compiler translates for the accelerator (Sec. 3). This module provides
+//! that front end: a line-oriented format with a parser, precise error
+//! positions and a serializer that round-trips every zoo network.
+//!
+//! # Format
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! network alexnet input 3x227x227
+//! conv conv1 out=96 k=11 s=4 pad=0
+//! pool pool1 max k=3 s=2
+//! conv conv2 out=256 k=5 s=1 pad=2 groups=2
+//! fc   fc6   out=4096
+//! ```
+//!
+//! `pool` takes `max`, `max_ceil` or `avg`; `conv` keys `pad` and
+//! `groups` default to 0 and 1. Shapes chain sequentially (branchy
+//! networks like GoogLeNet serialize with explicit `@DinxHxW` input
+//! overrides on each layer).
+//!
+//! # Examples
+//!
+//! ```
+//! use cbrain_model::spec;
+//!
+//! let text = "network tiny input 3x32x32\nconv c1 out=16 k=5 s=1 pad=2\nfc head out=10\n";
+//! let net = spec::parse(text)?;
+//! assert_eq!(net.name(), "tiny");
+//! assert_eq!(net.layers().len(), 2);
+//!
+//! // Round trip.
+//! let again = spec::parse(&spec::to_text(&net))?;
+//! assert_eq!(net, again);
+//! # Ok::<(), cbrain_model::spec::ParseSpecError>(())
+//! ```
+
+use crate::layer::{ConvParams, FcParams, Layer, LayerKind, PoolKind, PoolParams};
+use crate::network::Network;
+use crate::shape::TensorShape;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Error from parsing a network specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseSpecError {
+    /// 1-based line number of the offending line (0 for file-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "spec error: {}", self.message)
+        } else {
+            write!(f, "spec error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl Error for ParseSpecError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseSpecError {
+    ParseSpecError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_shape(s: &str, line: usize) -> Result<TensorShape, ParseSpecError> {
+    let dims: Vec<&str> = s.split('x').collect();
+    if dims.len() != 3 {
+        return Err(err(line, format!("shape `{s}` is not DinxHxW")));
+    }
+    let parse = |d: &str| {
+        d.parse::<usize>()
+            .map_err(|_| err(line, format!("bad dimension `{d}` in shape `{s}`")))
+    };
+    let shape = TensorShape::new(parse(dims[0])?, parse(dims[1])?, parse(dims[2])?);
+    if !shape.is_valid() {
+        return Err(err(line, format!("shape `{s}` has a zero dimension")));
+    }
+    Ok(shape)
+}
+
+/// Key-value arguments of one layer line (`out=96 k=11 ...`).
+struct Args<'a> {
+    line: usize,
+    values: HashMap<&'a str, &'a str>,
+}
+
+impl<'a> Args<'a> {
+    fn parse(tokens: &[&'a str], line: usize) -> Result<Self, ParseSpecError> {
+        let mut values = HashMap::new();
+        for t in tokens {
+            let Some((k, v)) = t.split_once('=') else {
+                return Err(err(line, format!("expected key=value, found `{t}`")));
+            };
+            if values.insert(k, v).is_some() {
+                return Err(err(line, format!("duplicate key `{k}`")));
+            }
+        }
+        Ok(Self { line, values })
+    }
+
+    fn required(&self, key: &str) -> Result<usize, ParseSpecError> {
+        let v = self
+            .values
+            .get(key)
+            .ok_or_else(|| err(self.line, format!("missing `{key}=`")))?;
+        v.parse::<usize>()
+            .map_err(|_| err(self.line, format!("bad value `{v}` for `{key}`")))
+    }
+
+    fn optional(&self, key: &str, default: usize) -> Result<usize, ParseSpecError> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| err(self.line, format!("bad value `{v}` for `{key}`"))),
+        }
+    }
+
+    fn finish(self, known: &[&str]) -> Result<(), ParseSpecError> {
+        for k in self.values.keys() {
+            if !known.contains(k) {
+                return Err(err(self.line, format!("unknown key `{k}`")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Parses a network specification.
+///
+/// # Errors
+///
+/// Returns a [`ParseSpecError`] with line position on any malformed or
+/// inconsistent input (unknown directives, bad shapes, layers that do not
+/// fit their input, ...).
+pub fn parse(text: &str) -> Result<Network, ParseSpecError> {
+    let mut name: Option<String> = None;
+    let mut input: Option<TensorShape> = None;
+    let mut cursor: Option<TensorShape> = None;
+    let mut layers: Vec<Layer> = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        match tokens[0] {
+            "network" => {
+                if name.is_some() {
+                    return Err(err(lineno, "duplicate `network` directive"));
+                }
+                if tokens.len() != 4 || tokens[2] != "input" {
+                    return Err(err(
+                        lineno,
+                        "expected `network <name> input <DinxHxW>`",
+                    ));
+                }
+                name = Some(tokens[1].to_owned());
+                let shape = parse_shape(tokens[3], lineno)?;
+                input = Some(shape);
+                cursor = Some(shape);
+            }
+            kind @ ("conv" | "pool" | "fc") => {
+                let cur = cursor.ok_or_else(|| {
+                    err(lineno, "layer before the `network` directive")
+                })?;
+                if tokens.len() < 2 {
+                    return Err(err(lineno, format!("`{kind}` needs a layer name")));
+                }
+                let lname = tokens[1];
+                // Optional explicit input override: `@DinxHxW` token.
+                let mut rest: Vec<&str> = tokens[2..].to_vec();
+                let mut layer_input = cur;
+                if let Some(first) = rest.first() {
+                    if let Some(shape) = first.strip_prefix('@') {
+                        layer_input = parse_shape(shape, lineno)?;
+                        rest.remove(0);
+                    }
+                }
+                let layer = match kind {
+                    "conv" => {
+                        let args = Args::parse(&rest, lineno)?;
+                        let params = ConvParams::grouped(
+                            layer_input.maps,
+                            args.required("out")?,
+                            args.required("k")?,
+                            args.required("s")?,
+                            args.optional("pad", 0)?,
+                            args.optional("groups", 1)?,
+                        );
+                        args.finish(&["out", "k", "s", "pad", "groups"])?;
+                        Layer::conv(lname, layer_input, params)
+                    }
+                    "pool" => {
+                        if rest.is_empty() {
+                            return Err(err(lineno, "`pool` needs max|max_ceil|avg"));
+                        }
+                        let mode = rest.remove(0);
+                        let args = Args::parse(&rest, lineno)?;
+                        let k = args.required("k")?;
+                        let s = args.required("s")?;
+                        args.finish(&["k", "s"])?;
+                        let params = match mode {
+                            "max" => PoolParams::max(k, s),
+                            "max_ceil" => PoolParams::max_ceil(k, s),
+                            "avg" => PoolParams::average(k, s),
+                            other => {
+                                return Err(err(
+                                    lineno,
+                                    format!("unknown pool mode `{other}`"),
+                                ))
+                            }
+                        };
+                        Layer::pool(lname, layer_input, params)
+                    }
+                    "fc" => {
+                        let args = Args::parse(&rest, lineno)?;
+                        let out = args.required("out")?;
+                        args.finish(&["out"])?;
+                        Layer::fully_connected(
+                            lname,
+                            layer_input,
+                            FcParams::new(layer_input.elems(), out),
+                        )
+                    }
+                    _ => unreachable!(),
+                };
+                layer
+                    .validate()
+                    .map_err(|e| err(lineno, e.to_string()))?;
+                cursor = Some(layer.output_shape().map_err(|e| err(lineno, e.to_string()))?);
+                layers.push(layer);
+            }
+            other => return Err(err(lineno, format!("unknown directive `{other}`"))),
+        }
+    }
+
+    let name = name.ok_or_else(|| err(0, "missing `network` directive"))?;
+    let input = input.expect("input set together with name");
+    if layers.is_empty() {
+        return Err(err(0, "network has no layers"));
+    }
+    Ok(Network::new(name, input, layers))
+}
+
+/// Serializes a network back to specification text. Every layer carries an
+/// explicit `@` input so branchy (non-chaining) networks round-trip.
+pub fn to_text(net: &Network) -> String {
+    let mut out = String::new();
+    let input = net.input();
+    out.push_str(&format!(
+        "network {} input {}x{}x{}\n",
+        net.name(),
+        input.maps,
+        input.height,
+        input.width
+    ));
+    for layer in net.layers() {
+        let at = format!(
+            "@{}x{}x{}",
+            layer.input.maps, layer.input.height, layer.input.width
+        );
+        match &layer.kind {
+            LayerKind::Conv(p) => {
+                out.push_str(&format!(
+                    "conv {} {at} out={} k={} s={} pad={} groups={}\n",
+                    layer.name, p.out_maps, p.kernel, p.stride, p.pad, p.groups
+                ));
+            }
+            LayerKind::Pool(p) => {
+                let mode = match (p.kind, p.ceil_mode) {
+                    (PoolKind::Max, false) => "max",
+                    (PoolKind::Max, true) => "max_ceil",
+                    (PoolKind::Average, _) => "avg",
+                };
+                out.push_str(&format!(
+                    "pool {} {at} {mode} k={} s={}\n",
+                    layer.name, p.kernel, p.stride
+                ));
+            }
+            LayerKind::FullyConnected(p) => {
+                out.push_str(&format!("fc {} {at} out={}\n", layer.name, p.out_features));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn parse_minimal() {
+        let net = parse("network t input 1x8x8\nconv c out=4 k=3 s=1 pad=1\n").unwrap();
+        assert_eq!(net.name(), "t");
+        assert_eq!(net.layers().len(), 1);
+        assert_eq!(
+            net.conv1().output_shape().unwrap(),
+            TensorShape::new(4, 8, 8)
+        );
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# header\nnetwork t input 1x8x8  # trailing\n\nconv c out=4 k=1 s=1\n";
+        assert!(parse(text).is_ok());
+    }
+
+    #[test]
+    fn shapes_chain_sequentially() {
+        let net = parse(
+            "network t input 3x32x32\nconv c1 out=8 k=3 s=1 pad=1\npool p1 max k=2 s=2\nfc f out=10\n",
+        )
+        .unwrap();
+        assert_eq!(net.layer("p1").unwrap().input, TensorShape::new(8, 32, 32));
+        let LayerKind::FullyConnected(fc) = net.layer("f").unwrap().kind else {
+            panic!("fc expected");
+        };
+        assert_eq!(fc.in_features, 8 * 16 * 16);
+    }
+
+    #[test]
+    fn explicit_input_override() {
+        let net = parse(
+            "network t input 3x32x32\nconv c1 @16x7x7 out=8 k=3 s=1 pad=1\n",
+        )
+        .unwrap();
+        assert_eq!(net.conv1().input, TensorShape::new(16, 7, 7));
+    }
+
+    #[test]
+    fn error_positions_are_precise() {
+        let e = parse("network t input 3x32x32\nconv c1 out=8 k=0 s=1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        let e = parse("network t input 3x32\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.to_string().contains("line 1"));
+    }
+
+    #[test]
+    fn rejects_unknown_directive_and_keys() {
+        assert!(parse("layerz c out=1\n").is_err());
+        let e = parse("network t input 1x4x4\nconv c out=1 k=1 s=1 frob=2\n").unwrap_err();
+        assert!(e.message.contains("frob"));
+    }
+
+    #[test]
+    fn rejects_duplicates_and_missing() {
+        assert!(parse("network a input 1x4x4\nnetwork b input 1x4x4\n").is_err());
+        assert!(parse("conv c out=1 k=1 s=1\n").is_err());
+        assert!(parse("network t input 1x4x4\n").is_err()); // no layers
+        let e = parse("network t input 1x4x4\nconv c k=1 s=1\n").unwrap_err();
+        assert!(e.message.contains("out"));
+        let e = parse("network t input 1x4x4\nconv c out=1 k=1 s=1 k=2\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn pool_modes() {
+        let net = parse(
+            "network t input 1x9x9\npool a max k=3 s=2\npool b @1x9x9 max_ceil k=3 s=2\npool c @1x9x9 avg k=3 s=3\n",
+        )
+        .unwrap();
+        let get = |n: &str| match net.layer(n).unwrap().kind {
+            LayerKind::Pool(p) => p,
+            _ => panic!("pool expected"),
+        };
+        assert!(!get("a").ceil_mode);
+        assert!(get("b").ceil_mode);
+        assert_eq!(get("c").kind, PoolKind::Average);
+        assert!(parse("network t input 1x9x9\npool p soft k=3 s=2\n").is_err());
+    }
+
+    #[test]
+    fn every_zoo_network_round_trips() {
+        for net in zoo::all() {
+            let text = to_text(&net);
+            let parsed = parse(&text)
+                .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+            assert_eq!(net, parsed, "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn grouped_conv_round_trips() {
+        let text = "network t input 4x8x8\nconv c out=8 k=3 s=1 pad=1 groups=2\n";
+        let net = parse(text).unwrap();
+        let p = net.conv1().as_conv().unwrap();
+        assert_eq!(p.groups, 2);
+        assert_eq!(parse(&to_text(&net)).unwrap(), net);
+    }
+}

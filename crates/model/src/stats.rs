@@ -1,0 +1,201 @@
+//! Per-layer and whole-network statistics: MACs, parameter counts and
+//! activation footprints — the quantities tiling and batching decisions
+//! hinge on.
+
+use crate::layer::{Layer, LayerKind};
+use crate::network::Network;
+use crate::shape::{TensorShape, ELEM_BYTES};
+use crate::ModelError;
+
+/// Statistics of one layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerStats {
+    /// Layer name.
+    pub name: String,
+    /// `"conv"`, `"pool"` or `"fc"`.
+    pub kind: &'static str,
+    /// Input shape.
+    pub input: TensorShape,
+    /// Output shape.
+    pub output: TensorShape,
+    /// Multiply-accumulate operations (window ops for pooling).
+    pub macs: u64,
+    /// Trainable parameters (weights + biases; 0 for pooling).
+    pub params: u64,
+    /// Weight footprint in bytes at the 16-bit datapath width.
+    pub weight_bytes: u64,
+}
+
+impl LayerStats {
+    /// Computes statistics for one layer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from invalid layers.
+    pub fn of(layer: &Layer) -> Result<Self, ModelError> {
+        let output = layer.output_shape()?;
+        let (kind, params) = match &layer.kind {
+            LayerKind::Conv(p) => ("conv", (p.weight_count() + p.out_maps) as u64),
+            LayerKind::Pool(_) => ("pool", 0),
+            LayerKind::FullyConnected(p) => (
+                "fc",
+                (p.in_features * p.out_features + p.out_features) as u64,
+            ),
+        };
+        Ok(Self {
+            name: layer.name.clone(),
+            kind,
+            input: layer.input,
+            output,
+            macs: layer.macs()?,
+            params,
+            weight_bytes: params * ELEM_BYTES as u64,
+        })
+    }
+
+    /// Activation working set (input + output) in bytes.
+    pub const fn activation_bytes(&self) -> u64 {
+        (self.input.bytes() + self.output.bytes()) as u64
+    }
+}
+
+/// Statistics of a whole network.
+///
+/// # Examples
+///
+/// ```
+/// use cbrain_model::{stats::NetworkStats, zoo};
+///
+/// let s = NetworkStats::of(&zoo::alexnet())?;
+/// // AlexNet's famous ~61M parameters (58M of them in the classifier).
+/// assert!(s.total_params > 55_000_000 && s.total_params < 65_000_000);
+/// # Ok::<(), cbrain_model::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Network name.
+    pub network: String,
+    /// Per-layer statistics, in schedule order.
+    pub layers: Vec<LayerStats>,
+    /// Total MACs.
+    pub total_macs: u64,
+    /// Total trainable parameters.
+    pub total_params: u64,
+    /// Largest single-layer activation working set in bytes — the number
+    /// that decides whether a layer fits the 2 MB buffer.
+    pub peak_activation_bytes: u64,
+}
+
+impl NetworkStats {
+    /// Computes statistics for a network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from invalid layers.
+    pub fn of(net: &Network) -> Result<Self, ModelError> {
+        let layers: Vec<LayerStats> = net
+            .layers()
+            .iter()
+            .map(LayerStats::of)
+            .collect::<Result<_, _>>()?;
+        Ok(Self {
+            network: net.name().to_owned(),
+            total_macs: layers.iter().map(|l| l.macs).sum(),
+            total_params: layers.iter().map(|l| l.params).sum(),
+            peak_activation_bytes: layers
+                .iter()
+                .map(LayerStats::activation_bytes)
+                .max()
+                .unwrap_or(0),
+            layers,
+        })
+    }
+
+    /// Fraction of parameters held by fully-connected layers — why
+    /// batching pays on classifier-heavy networks.
+    pub fn fc_param_fraction(&self) -> f64 {
+        if self.total_params == 0 {
+            return 0.0;
+        }
+        let fc: u64 = self
+            .layers
+            .iter()
+            .filter(|l| l.kind == "fc")
+            .map(|l| l.params)
+            .sum();
+        fc as f64 / self.total_params as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo;
+
+    #[test]
+    fn alexnet_parameter_count() {
+        let s = NetworkStats::of(&zoo::alexnet()).unwrap();
+        // Grouped AlexNet: ~2.5M conv + ~58.6M fc ≈ 61M.
+        assert!(
+            s.total_params > 58_000_000 && s.total_params < 63_000_000,
+            "{}",
+            s.total_params
+        );
+        assert!(s.fc_param_fraction() > 0.9);
+    }
+
+    #[test]
+    fn vgg16_parameter_count() {
+        let s = NetworkStats::of(&zoo::vgg16()).unwrap();
+        // The canonical 138M.
+        assert!(
+            s.total_params > 132_000_000 && s.total_params < 142_000_000,
+            "{}",
+            s.total_params
+        );
+    }
+
+    #[test]
+    fn googlenet_is_parameter_lean() {
+        let s = NetworkStats::of(&zoo::googlenet()).unwrap();
+        // Main tower: ~6-7M parameters, mostly convolutional.
+        assert!(
+            s.total_params > 5_000_000 && s.total_params < 8_000_000,
+            "{}",
+            s.total_params
+        );
+        assert!(s.fc_param_fraction() < 0.25);
+    }
+
+    #[test]
+    fn peak_activation_identifies_vgg_bottom() {
+        let s = NetworkStats::of(&zoo::vgg16()).unwrap();
+        // conv1_2: 64x224x224 in + out at 2 B ≈ 12.8 MB.
+        assert!(s.peak_activation_bytes > 12_000_000);
+        let peak = s
+            .layers
+            .iter()
+            .max_by_key(|l| l.activation_bytes())
+            .unwrap();
+        assert_eq!(peak.name, "conv1_2");
+    }
+
+    #[test]
+    fn pool_layers_have_no_params() {
+        let s = NetworkStats::of(&zoo::alexnet()).unwrap();
+        for l in s.layers.iter().filter(|l| l.kind == "pool") {
+            assert_eq!(l.params, 0);
+            assert_eq!(l.weight_bytes, 0);
+        }
+    }
+
+    #[test]
+    fn totals_are_layer_sums() {
+        let s = NetworkStats::of(&zoo::nin()).unwrap();
+        assert_eq!(s.total_macs, s.layers.iter().map(|l| l.macs).sum::<u64>());
+        assert_eq!(
+            s.total_params,
+            s.layers.iter().map(|l| l.params).sum::<u64>()
+        );
+    }
+}

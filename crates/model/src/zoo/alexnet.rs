@@ -1,0 +1,97 @@
+//! AlexNet (Krizhevsky et al., NIPS 2012) with the historical two-tower
+//! grouped convolutions, matching the paper's Table 2 row
+//! (conv1 detail `3,11,4,96`; kernel types 11, 5, 3; 5 conv layers).
+
+use crate::network::{Network, NetworkBuilder};
+use crate::shape::TensorShape;
+
+/// Builds AlexNet for a 3x227x227 input.
+///
+/// # Panics
+///
+/// Never panics; the layer table is statically consistent (checked by
+/// tests).
+pub fn alexnet() -> Network {
+    NetworkBuilder::new("alexnet", TensorShape::new(3, 227, 227))
+        .conv("conv1", 96, 11, 4, 0)
+        .pool_max("pool1", 3, 2)
+        .conv_grouped("conv2", 256, 5, 1, 2, 2)
+        .pool_max("pool2", 3, 2)
+        .conv("conv3", 384, 3, 1, 1)
+        .conv_grouped("conv4", 384, 3, 1, 1, 2)
+        .conv_grouped("conv5", 256, 3, 1, 1, 2)
+        .pool_max("pool5", 3, 2)
+        .fully_connected("fc6", 4096)
+        .fully_connected("fc7", 4096)
+        .fully_connected("fc8", 1000)
+        .build()
+        .expect("alexnet layer table is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn five_conv_layers() {
+        assert_eq!(alexnet().conv_layers().count(), 5);
+    }
+
+    #[test]
+    fn conv1_matches_table_2() {
+        let net = alexnet();
+        let c1 = net.conv1().as_conv().unwrap();
+        assert_eq!(
+            (c1.in_maps, c1.kernel, c1.stride, c1.out_maps),
+            (3, 11, 4, 96)
+        );
+    }
+
+    #[test]
+    fn conv1_output_is_55x55() {
+        let net = alexnet();
+        let out = net.conv1().output_shape().unwrap();
+        assert_eq!(out, TensorShape::new(96, 55, 55));
+    }
+
+    #[test]
+    fn grouped_layers_have_din_48_and_192() {
+        // Table 2 quotes c2 Din=48 (per group) and c3 Din=256.
+        let net = alexnet();
+        let c2 = net.layer("conv2").unwrap().as_conv().unwrap();
+        assert_eq!(c2.in_maps_per_group(), 48);
+        let c3 = net.layer("conv3").unwrap().as_conv().unwrap();
+        assert_eq!(c3.in_maps_per_group(), 256);
+        let c4 = net.layer("conv4").unwrap().as_conv().unwrap();
+        assert_eq!(c4.in_maps_per_group(), 192);
+    }
+
+    #[test]
+    fn kernel_types_match_table_2() {
+        assert_eq!(alexnet().kernel_types(), vec![11, 5, 3]);
+    }
+
+    #[test]
+    fn fc6_sees_flattened_pool5() {
+        let net = alexnet();
+        if let LayerKind::FullyConnected(fc) = net.layer("fc6").unwrap().kind {
+            assert_eq!(fc.in_features, 256 * 6 * 6);
+            assert_eq!(fc.out_features, 4096);
+        } else {
+            panic!("fc6 is not fully connected");
+        }
+    }
+
+    #[test]
+    fn total_macs_in_expected_range() {
+        // AlexNet forward pass is ~0.7-1.2 GMAC depending on grouping.
+        let macs = alexnet().total_macs().unwrap();
+        assert!(macs > 600_000_000 && macs < 1_500_000_000, "macs={macs}");
+    }
+
+    #[test]
+    fn validates() {
+        alexnet().validate().unwrap();
+    }
+}

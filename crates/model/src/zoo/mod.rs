@@ -1,0 +1,80 @@
+//! The paper's benchmark networks (Table 2): AlexNet, GoogLeNet, VGG-16 and
+//! Network-in-Network, built layer by layer from their published
+//! architectures.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbrain_model::zoo;
+//!
+//! for net in zoo::all() {
+//!     assert!(net.validate().is_ok());
+//! }
+//! ```
+
+mod alexnet;
+mod googlenet;
+mod nin;
+mod vgg;
+
+pub use alexnet::alexnet;
+pub use googlenet::googlenet;
+pub use nin::nin;
+pub use vgg::vgg16;
+
+use crate::network::Network;
+
+/// All four benchmark networks, in the paper's order
+/// (AlexNet, GoogLeNet, VGG, NiN).
+pub fn all() -> Vec<Network> {
+    vec![alexnet(), googlenet(), vgg16(), nin()]
+}
+
+/// Looks a benchmark network up by its paper name (case-insensitive;
+/// accepts the paper's abbreviations `Anet`, `Gnet`).
+pub fn by_name(name: &str) -> Option<Network> {
+    match name.to_ascii_lowercase().as_str() {
+        "alexnet" | "anet" => Some(alexnet()),
+        "googlenet" | "gnet" | "google net" => Some(googlenet()),
+        "vgg" | "vgg16" => Some(vgg16()),
+        "nin" => Some(nin()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_four_networks() {
+        let nets = all();
+        assert_eq!(nets.len(), 4);
+        let names: Vec<_> = nets.iter().map(|n| n.name().to_owned()).collect();
+        assert_eq!(names, ["alexnet", "googlenet", "vgg16", "nin"]);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("Anet").unwrap().name(), "alexnet");
+        assert_eq!(by_name("GNET").unwrap().name(), "googlenet");
+        assert_eq!(by_name("vgg").unwrap().name(), "vgg16");
+        assert!(by_name("lenet").is_none());
+    }
+
+    #[test]
+    fn conv_layer_counts_match_table_2() {
+        // Table 2 row "#conv layers": 5, 57, 16 (weight layers; 13 convs), 12.
+        assert_eq!(alexnet().conv_layers().count(), 5);
+        assert_eq!(googlenet().conv_layers().count(), 57);
+        assert_eq!(vgg16().conv_layers().count(), 13);
+        assert_eq!(nin().conv_layers().count(), 12);
+    }
+
+    #[test]
+    fn every_conv1_has_din_3() {
+        for net in all() {
+            assert_eq!(net.conv1().as_conv().unwrap().in_maps, 3, "{}", net.name());
+        }
+    }
+}

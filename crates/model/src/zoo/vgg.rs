@@ -1,0 +1,89 @@
+//! VGG-16 (Simonyan & Zisserman, 2014). Conv1 detail `3,3,1,64` and the
+//! all-3x3 kernel row match the paper's Table 2. The paper's "16" counts
+//! weight layers (13 conv + 3 FC); we model all of them.
+
+use crate::network::{Network, NetworkBuilder};
+use crate::shape::TensorShape;
+
+/// Builds VGG-16 for a 3x224x224 input.
+pub fn vgg16() -> Network {
+    NetworkBuilder::new("vgg16", TensorShape::new(3, 224, 224))
+        .conv("conv1_1", 64, 3, 1, 1)
+        .conv("conv1_2", 64, 3, 1, 1)
+        .pool_max("pool1", 2, 2)
+        .conv("conv2_1", 128, 3, 1, 1)
+        .conv("conv2_2", 128, 3, 1, 1)
+        .pool_max("pool2", 2, 2)
+        .conv("conv3_1", 256, 3, 1, 1)
+        .conv("conv3_2", 256, 3, 1, 1)
+        .conv("conv3_3", 256, 3, 1, 1)
+        .pool_max("pool3", 2, 2)
+        .conv("conv4_1", 512, 3, 1, 1)
+        .conv("conv4_2", 512, 3, 1, 1)
+        .conv("conv4_3", 512, 3, 1, 1)
+        .pool_max("pool4", 2, 2)
+        .conv("conv5_1", 512, 3, 1, 1)
+        .conv("conv5_2", 512, 3, 1, 1)
+        .conv("conv5_3", 512, 3, 1, 1)
+        .pool_max("pool5", 2, 2)
+        .fully_connected("fc6", 4096)
+        .fully_connected("fc7", 4096)
+        .fully_connected("fc8", 1000)
+        .build()
+        .expect("vgg16 layer table is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thirteen_conv_layers() {
+        assert_eq!(vgg16().conv_layers().count(), 13);
+    }
+
+    #[test]
+    fn conv1_matches_table_2() {
+        let net = vgg16();
+        let c1 = net.conv1().as_conv().unwrap();
+        assert_eq!(
+            (c1.in_maps, c1.kernel, c1.stride, c1.out_maps),
+            (3, 3, 1, 64)
+        );
+    }
+
+    #[test]
+    fn only_3x3_kernels() {
+        assert_eq!(vgg16().kernel_types(), vec![3]);
+    }
+
+    #[test]
+    fn biggest_layer_exceeds_on_chip_buffer() {
+        // Paper Sec. 5.2: "the biggest layer need 8M buffer". conv1_2's
+        // input+output activations at 16-bit: 2 * 64*224*224*2B ≈ 12.8 MB.
+        let net = vgg16();
+        let l = net.layer("conv1_2").unwrap();
+        let footprint = l.input.bytes() + l.output_shape().unwrap().bytes();
+        assert!(footprint > 8 * 1024 * 1024, "footprint={footprint}");
+    }
+
+    #[test]
+    fn total_macs_around_15g() {
+        let macs = vgg16().total_macs().unwrap();
+        assert!(
+            macs > 14_000_000_000 && macs < 17_000_000_000,
+            "macs={macs}"
+        );
+    }
+
+    #[test]
+    fn fc6_input_is_25088() {
+        let net = vgg16();
+        assert_eq!(net.layer("fc6").unwrap().input.elems(), 25_088);
+    }
+
+    #[test]
+    fn validates() {
+        vgg16().validate().unwrap();
+    }
+}

@@ -1,0 +1,193 @@
+//! Accelerator hardware parameters (the paper's Table 3 plus the DMA
+//! bandwidth the paper implies but does not tabulate).
+
+use std::fmt;
+
+/// Shape of the neural processing element array: `tin` multipliers per
+/// output lane and `tout` output lanes, i.e. `tin * tout` multipliers and
+/// `tout` adder trees of `tin` inputs each (the paper's "16-16" / "32-32").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PeConfig {
+    /// Inputs consumed per cycle from the input-data side (`Tin`).
+    pub tin: usize,
+    /// Output lanes / parallel output maps (`Tout`).
+    pub tout: usize,
+}
+
+impl PeConfig {
+    /// Creates a PE array configuration.
+    pub const fn new(tin: usize, tout: usize) -> Self {
+        Self { tin, tout }
+    }
+
+    /// Total multiplier count (`Tin * Tout`; 256 for 16-16, 1024 for 32-32).
+    pub const fn multipliers(&self) -> usize {
+        self.tin * self.tout
+    }
+}
+
+impl fmt::Display for PeConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.tin, self.tout)
+    }
+}
+
+/// Full accelerator configuration.
+///
+/// Port widths follow Table 3: the in/out buffer delivers `tin` 16-bit
+/// elements per cycle, the weight buffer `tin * tout` elements per cycle,
+/// the bias buffer `tout`. All single-cycle operations (mul, add, load,
+/// store) are implicit in the machine model.
+///
+/// # Examples
+///
+/// ```
+/// use cbrain_sim::AcceleratorConfig;
+///
+/// let cfg = AcceleratorConfig::paper_16_16();
+/// assert_eq!(cfg.pe.multipliers(), 256);
+/// assert_eq!(cfg.inout_buf_bytes, 2 * 1024 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AcceleratorConfig {
+    /// PE array shape.
+    pub pe: PeConfig,
+    /// Capacity of the shared input/output data buffer (2 MB in Table 3).
+    pub inout_buf_bytes: usize,
+    /// Capacity of the weight buffer (1 MB in Table 3).
+    pub weight_buf_bytes: usize,
+    /// Capacity of the bias buffer (4 KB in Table 3).
+    pub bias_buf_bytes: usize,
+    /// External-memory bandwidth in bytes per accelerator cycle. The paper
+    /// does not tabulate this; we default to 8 B/cycle (a 64-bit DDR3
+    /// interface at core clock, the DianNao-class assumption).
+    pub dram_bytes_per_cycle: usize,
+    /// Core clock in MHz (1000 in the paper's Table 4 comparison; scaled to
+    /// 100 for the Fig. 9 comparison with Zhang et al.).
+    pub freq_mhz: u64,
+}
+
+impl AcceleratorConfig {
+    /// The paper's 16-16 configuration at 1 GHz.
+    pub const fn paper_16_16() -> Self {
+        Self::with_pe(PeConfig::new(16, 16))
+    }
+
+    /// The paper's 32-32 configuration at 1 GHz.
+    pub const fn paper_32_32() -> Self {
+        Self::with_pe(PeConfig::new(32, 32))
+    }
+
+    /// Table 3 buffers with an arbitrary PE array.
+    pub const fn with_pe(pe: PeConfig) -> Self {
+        Self {
+            pe,
+            inout_buf_bytes: 2 * 1024 * 1024,
+            weight_buf_bytes: 1024 * 1024,
+            bias_buf_bytes: 4 * 1024,
+            dram_bytes_per_cycle: 8,
+            freq_mhz: 1000,
+        }
+    }
+
+    /// Returns a copy clocked at the given frequency (Fig. 9 uses 100 MHz).
+    ///
+    /// Note that `dram_bytes_per_cycle` is per *cycle*: down-clocking the
+    /// core without touching it would down-clock the DRAM too. Use
+    /// [`AcceleratorConfig::with_dram_bytes_per_cycle`] to pin an absolute
+    /// memory bandwidth.
+    pub const fn at_mhz(mut self, freq_mhz: u64) -> Self {
+        self.freq_mhz = freq_mhz;
+        self
+    }
+
+    /// Returns a copy with the given DRAM bandwidth in bytes per core
+    /// cycle (e.g. a 100 MHz core on the same 8 GB/s DDR sees 80 B/cycle).
+    pub const fn with_dram_bytes_per_cycle(mut self, bytes: usize) -> Self {
+        self.dram_bytes_per_cycle = bytes;
+        self
+    }
+
+    /// Input-data port width in elements per cycle (`Tin`).
+    pub const fn in_port_elems(&self) -> usize {
+        self.pe.tin
+    }
+
+    /// Output-data port width in elements per cycle (`Tout`).
+    pub const fn out_port_elems(&self) -> usize {
+        self.pe.tout
+    }
+
+    /// Weight port width in elements per cycle (`Tin * Tout`).
+    pub const fn weight_port_elems(&self) -> usize {
+        self.pe.multipliers()
+    }
+
+    /// Converts a cycle count to milliseconds at this configuration's clock.
+    pub fn cycles_to_ms(&self, cycles: u64) -> f64 {
+        cycles as f64 / (self.freq_mhz as f64 * 1e3)
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self::paper_16_16()
+    }
+}
+
+impl fmt::Display for AcceleratorConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PE {} | in/out {} KB | weight {} KB | bias {} KB | {} B/cyc DRAM | {} MHz",
+            self.pe,
+            self.inout_buf_bytes / 1024,
+            self.weight_buf_bytes / 1024,
+            self.bias_buf_bytes / 1024,
+            self.dram_bytes_per_cycle,
+            self.freq_mhz
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_match_table_3() {
+        let c16 = AcceleratorConfig::paper_16_16();
+        assert_eq!(c16.pe.multipliers(), 256);
+        assert_eq!(c16.weight_port_elems(), 256);
+        assert_eq!(c16.inout_buf_bytes, 2 << 20);
+        assert_eq!(c16.weight_buf_bytes, 1 << 20);
+        assert_eq!(c16.bias_buf_bytes, 4 << 10);
+
+        let c32 = AcceleratorConfig::paper_32_32();
+        assert_eq!(c32.pe.multipliers(), 1024);
+        assert_eq!(c32.weight_port_elems(), 1024);
+    }
+
+    #[test]
+    fn cycles_to_ms() {
+        let cfg = AcceleratorConfig::paper_16_16();
+        assert_eq!(cfg.cycles_to_ms(1_000_000), 1.0);
+        let slow = cfg.at_mhz(100);
+        assert_eq!(slow.cycles_to_ms(1_000_000), 10.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = AcceleratorConfig::paper_16_16().to_string();
+        assert!(s.contains("16-16"));
+        assert!(s.contains("2048 KB"));
+    }
+
+    #[test]
+    fn default_is_16_16() {
+        assert_eq!(
+            AcceleratorConfig::default(),
+            AcceleratorConfig::paper_16_16()
+        );
+    }
+}

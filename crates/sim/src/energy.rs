@@ -1,0 +1,166 @@
+//! Energy model.
+//!
+//! The paper evaluates power from Design Compiler synthesis under TSMC
+//! 45 nm; we substitute per-event energy constants in the 45 nm ballpark
+//! established by the DianNao line of work (see DESIGN.md §5). Two
+//! observations from the paper anchor the model:
+//!
+//! * Table 5's "PEs energy" tracks how long the array is busy, not just
+//!   useful MACs — idle lanes in an under-utilized burst still burn most of
+//!   their power (clock tree, operand latches). We charge every issued lane
+//!   slot a baseline cost and every useful MAC an additional switching cost.
+//! * "Buffer traffic is the largest part of energy consumption" (Sec. 4.1.2,
+//!   citing DianNao) — SRAM access energy per bit dwarfs a 16-bit MAC once
+//!   the buffers are MB-scale, and DRAM is ~2 orders of magnitude above
+//!   SRAM.
+
+use crate::stats::Stats;
+
+/// Per-event energy constants in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Switching energy of one useful 16-bit multiply-accumulate.
+    pub mac_pj: f64,
+    /// Baseline energy of one lane slot (clocked lane for one issue cycle,
+    /// useful or idle).
+    pub lane_slot_pj: f64,
+    /// One add-and-store accumulate in the output stage.
+    pub add_store_pj: f64,
+    /// Per-bit access energy of the 2 MB in/out data buffer.
+    pub inout_buf_pj_per_bit: f64,
+    /// Per-bit access energy of the 1 MB weight buffer.
+    pub weight_buf_pj_per_bit: f64,
+    /// Per-bit access energy of the 4 KB bias buffer.
+    pub bias_buf_pj_per_bit: f64,
+    /// Per-bit external-memory energy.
+    pub dram_pj_per_bit: f64,
+}
+
+impl EnergyModel {
+    /// 45 nm-class defaults (see module docs and DESIGN.md §5).
+    pub const fn tsmc45_defaults() -> Self {
+        Self {
+            mac_pj: 0.5,
+            lane_slot_pj: 1.0,
+            add_store_pj: 0.1,
+            inout_buf_pj_per_bit: 0.8,
+            weight_buf_pj_per_bit: 0.6,
+            bias_buf_pj_per_bit: 0.05,
+            dram_pj_per_bit: 20.0,
+        }
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::tsmc45_defaults()
+    }
+}
+
+/// Energy of one run, split by component (picojoules).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// PE array: useful MACs plus idle-lane baseline.
+    pub pe_pj: f64,
+    /// On-chip buffers (in/out + weight + bias).
+    pub buffer_pj: f64,
+    /// External memory.
+    pub dram_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.pe_pj + self.buffer_pj + self.dram_pj
+    }
+
+    /// Total energy in millijoules (convenient for whole networks).
+    pub fn total_mj(&self) -> f64 {
+        self.total_pj() * 1e-9
+    }
+}
+
+impl EnergyModel {
+    /// Evaluates the model on a run's statistics.
+    pub fn evaluate(&self, stats: &Stats) -> EnergyBreakdown {
+        let pe_pj = stats.mac_ops as f64 * self.mac_pj
+            + stats.lane_slots as f64 * self.lane_slot_pj
+            + stats.add_store_ops as f64 * self.add_store_pj;
+        let buffer_pj = (stats.input_buf.access_bits() + stats.output_buf.access_bits()) as f64
+            * self.inout_buf_pj_per_bit
+            + stats.weight_buf.access_bits() as f64 * self.weight_buf_pj_per_bit
+            + stats.bias_buf.access_bits() as f64 * self.bias_buf_pj_per_bit;
+        let dram_pj = (stats.dram_bytes() * 8) as f64 * self.dram_pj_per_bit;
+        EnergyBreakdown {
+            pe_pj,
+            buffer_pj,
+            dram_pj,
+        }
+    }
+
+    /// PE energy reduction of `scheme` relative to `base`, in percent —
+    /// the paper's Table 5 metric. Negative means `scheme` costs more.
+    pub fn pe_reduction_percent(&self, base: &Stats, scheme: &Stats) -> f64 {
+        let e_base = self.evaluate(base).pe_pj;
+        let e_scheme = self.evaluate(scheme).pe_pj;
+        (1.0 - e_scheme / e_base) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(mac_ops: u64, lane_slots: u64) -> Stats {
+        Stats {
+            mac_ops,
+            lane_slots,
+            ..Stats::default()
+        }
+    }
+
+    #[test]
+    fn pe_energy_penalizes_idle_lanes() {
+        let m = EnergyModel::default();
+        // Same useful work, but one run held the array 4x longer.
+        let tight = stats(1000, 1024);
+        let wasteful = stats(1000, 4096);
+        assert!(m.evaluate(&wasteful).pe_pj > m.evaluate(&tight).pe_pj);
+    }
+
+    #[test]
+    fn reduction_percent_sign() {
+        let m = EnergyModel::default();
+        let base = stats(1000, 4096);
+        let better = stats(1000, 1024);
+        assert!(m.pe_reduction_percent(&base, &better) > 0.0);
+        assert!(m.pe_reduction_percent(&better, &base) < 0.0);
+        assert_eq!(m.pe_reduction_percent(&base, &base), 0.0);
+    }
+
+    #[test]
+    fn buffer_energy_dominates_for_heavy_traffic() {
+        let m = EnergyModel::default();
+        let mut s = stats(1000, 1024);
+        s.weight_buf.loads = 1_000_000;
+        let e = m.evaluate(&s);
+        assert!(e.buffer_pj > e.pe_pj);
+    }
+
+    #[test]
+    fn dram_far_costlier_than_sram_per_bit() {
+        let m = EnergyModel::default();
+        assert!(m.dram_pj_per_bit > 10.0 * m.inout_buf_pj_per_bit);
+    }
+
+    #[test]
+    fn breakdown_total() {
+        let e = EnergyBreakdown {
+            pe_pj: 1.0,
+            buffer_pj: 2.0,
+            dram_pj: 3.0,
+        };
+        assert_eq!(e.total_pj(), 6.0);
+        assert!((e.total_mj() - 6.0e-9).abs() < 1e-18);
+    }
+}

@@ -1,0 +1,187 @@
+//! Bit-faithful functional model of one PE issue slot.
+//!
+//! The performance model in [`crate::Machine`] never touches data; this
+//! module exists so the *functional* executor (in the `cbrain` core crate)
+//! can push real 16-bit values through exactly the datapath the cycle model
+//! assumes: `Tin` multipliers per output lane feeding a segmentable adder
+//! tree. Segmentation is what lets kernel-partitioning pack several small
+//! `ks x ks` windows into one issue (paper Sec. 4.2.1: "when Tin is bigger
+//! than the size of small kernel window, we map multiple small windows to
+//! PE in one operation").
+
+use crate::config::PeConfig;
+use std::fmt;
+
+/// Error from an ill-formed PE issue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssueError {
+    what: String,
+}
+
+impl fmt::Display for IssueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid PE issue: {}", self.what)
+    }
+}
+
+impl std::error::Error for IssueError {}
+
+/// The result of one issue: for every output lane, one partial sum per
+/// adder-tree segment.
+pub type IssueOutput = Vec<Vec<f64>>;
+
+/// A functional `Tin x Tout` PE array with segmentable adder trees.
+///
+/// Arithmetic is done in `f64` here; quantization to the 16-bit datapath is
+/// applied by the caller (see `cbrain_model::fixed`), keeping this model
+/// usable for both exact-rational checks and fixed-point checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeArray {
+    cfg: PeConfig,
+}
+
+impl PeArray {
+    /// Creates the array.
+    pub const fn new(cfg: PeConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The array's shape.
+    pub const fn config(&self) -> PeConfig {
+        self.cfg
+    }
+
+    /// Executes one issue slot.
+    ///
+    /// * `data` — up to `Tin` input elements, broadcast to every output lane.
+    /// * `weights` — one weight vector per output lane, each as long as
+    ///   `data`.
+    /// * `segment_len` — adder-tree segment size; `data.len()` must be a
+    ///   multiple of it. With `segment_len == data.len()` the tree produces
+    ///   one partial sum per lane (classic inter-kernel reduce over `Din`);
+    ///   smaller segments produce one partial sum per packed window.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IssueError`] if operand shapes disagree with the array.
+    pub fn issue(
+        &self,
+        data: &[f64],
+        weights: &[&[f64]],
+        segment_len: usize,
+    ) -> Result<IssueOutput, IssueError> {
+        if data.is_empty() || data.len() > self.cfg.tin {
+            return Err(IssueError {
+                what: format!(
+                    "data lane count {} out of range 1..={}",
+                    data.len(),
+                    self.cfg.tin
+                ),
+            });
+        }
+        if weights.is_empty() || weights.len() > self.cfg.tout {
+            return Err(IssueError {
+                what: format!(
+                    "output lane count {} out of range 1..={}",
+                    weights.len(),
+                    self.cfg.tout
+                ),
+            });
+        }
+        if segment_len == 0 || !data.len().is_multiple_of(segment_len) {
+            return Err(IssueError {
+                what: format!(
+                    "segment length {segment_len} does not divide data length {}",
+                    data.len()
+                ),
+            });
+        }
+        for (lane, w) in weights.iter().enumerate() {
+            if w.len() != data.len() {
+                return Err(IssueError {
+                    what: format!(
+                        "weight vector of output lane {lane} has length {}, expected {}",
+                        w.len(),
+                        data.len()
+                    ),
+                });
+            }
+        }
+
+        let out = weights
+            .iter()
+            .map(|w| {
+                data.chunks(segment_len)
+                    .zip(w.chunks(segment_len))
+                    .map(|(d, ws)| d.iter().zip(ws).map(|(a, b)| a * b).sum())
+                    .collect()
+            })
+            .collect();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn array() -> PeArray {
+        PeArray::new(PeConfig::new(16, 16))
+    }
+
+    #[test]
+    fn full_reduce_is_dot_product() {
+        let data: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let ones = vec![1.0; 16];
+        let out = array().issue(&data, &[&ones], 16).unwrap();
+        assert_eq!(out, vec![vec![120.0]]);
+    }
+
+    #[test]
+    fn segmented_reduce_packs_windows() {
+        // Four 4-element windows packed in 16 lanes -> 4 partial sums.
+        let data: Vec<f64> = (0..16).map(|i| i as f64).collect();
+        let ones = vec![1.0; 16];
+        let out = array().issue(&data, &[&ones], 4).unwrap();
+        assert_eq!(out, vec![vec![6.0, 22.0, 38.0, 54.0]]);
+    }
+
+    #[test]
+    fn multiple_output_lanes_share_data() {
+        let data = [1.0, 2.0];
+        let w0 = [1.0, 1.0];
+        let w1 = [10.0, -1.0];
+        let out = array().issue(&data, &[&w0, &w1], 2).unwrap();
+        assert_eq!(out, vec![vec![3.0], vec![8.0]]);
+    }
+
+    #[test]
+    fn rejects_oversized_data() {
+        let data = vec![0.0; 17];
+        let w = vec![0.0; 17];
+        assert!(array().issue(&data, &[&w], 17).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_segment() {
+        let data = [1.0, 2.0, 3.0];
+        let w = [1.0, 1.0, 1.0];
+        assert!(array().issue(&data, &[&w], 2).is_err());
+        assert!(array().issue(&data, &[&w], 0).is_err());
+    }
+
+    #[test]
+    fn rejects_mismatched_weights() {
+        let data = [1.0, 2.0];
+        let w = [1.0];
+        assert!(array().issue(&data, &[&w], 2).is_err());
+    }
+
+    #[test]
+    fn rejects_too_many_output_lanes() {
+        let data = [1.0];
+        let w = [1.0];
+        let lanes: Vec<&[f64]> = vec![&w; 17];
+        assert!(array().issue(&data, &lanes, 1).is_err());
+    }
+}

@@ -1,0 +1,191 @@
+//! Execution statistics: cycle counts, operation counts and buffer/DRAM
+//! traffic. Every quantity the paper plots (Figs. 7-10, Tables 4-5) is
+//! derived from these counters.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign};
+
+/// Per-buffer access counters, in *elements* (16-bit each).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferTraffic {
+    /// Elements read out of the buffer toward the PE array.
+    pub loads: u64,
+    /// Elements written into the buffer (from the PE array or DMA).
+    pub stores: u64,
+}
+
+impl BufferTraffic {
+    /// Total accesses (loads + stores), in elements.
+    pub const fn accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Total accesses in bits (Fig. 10's unit, 16-bit elements).
+    pub const fn access_bits(&self) -> u64 {
+        self.accesses() * 16
+    }
+}
+
+impl Add for BufferTraffic {
+    type Output = BufferTraffic;
+    fn add(self, rhs: BufferTraffic) -> BufferTraffic {
+        BufferTraffic {
+            loads: self.loads + rhs.loads,
+            stores: self.stores + rhs.stores,
+        }
+    }
+}
+
+impl AddAssign for BufferTraffic {
+    fn add_assign(&mut self, rhs: BufferTraffic) {
+        *self = *self + rhs;
+    }
+}
+
+/// Statistics of one simulation (a layer, a tile, or a whole network —
+/// they compose with `+`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Stats {
+    /// Total elapsed cycles (compute and DMA overlapped per the double
+    /// buffering model).
+    pub cycles: u64,
+    /// Cycles the PE array was issuing work.
+    pub compute_cycles: u64,
+    /// Cycles stalled waiting on DRAM (the non-overlapped remainder).
+    pub dram_stall_cycles: u64,
+    /// Useful multiply-accumulate operations executed.
+    pub mac_ops: u64,
+    /// Lane slots issued (busy cycles x Tin x Tout); `mac_ops /
+    /// lane_slots` is the PE utilization.
+    pub lane_slots: u64,
+    /// Add-and-store partial-sum accumulations in the output buffer.
+    pub add_store_ops: u64,
+    /// Input-data buffer traffic.
+    pub input_buf: BufferTraffic,
+    /// Output-data buffer traffic.
+    pub output_buf: BufferTraffic,
+    /// Weight buffer traffic.
+    pub weight_buf: BufferTraffic,
+    /// Bias buffer traffic.
+    pub bias_buf: BufferTraffic,
+    /// Bytes read from external memory.
+    pub dram_read_bytes: u64,
+    /// Bytes written to external memory.
+    pub dram_write_bytes: u64,
+}
+
+impl Stats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// PE array utilization in `[0, 1]`: useful MACs over issued lane
+    /// slots. Returns 1.0 for an empty run.
+    pub fn pe_utilization(&self) -> f64 {
+        if self.lane_slots == 0 {
+            1.0
+        } else {
+            self.mac_ops as f64 / self.lane_slots as f64
+        }
+    }
+
+    /// Total on-chip buffer accesses in bits (Fig. 10's y-axis).
+    pub fn buffer_access_bits(&self) -> u64 {
+        self.input_buf.access_bits()
+            + self.output_buf.access_bits()
+            + self.weight_buf.access_bits()
+            + self.bias_buf.access_bits()
+    }
+
+    /// Total DRAM traffic in bytes.
+    pub const fn dram_bytes(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+}
+
+impl Add for Stats {
+    type Output = Stats;
+    fn add(self, rhs: Stats) -> Stats {
+        Stats {
+            cycles: self.cycles + rhs.cycles,
+            compute_cycles: self.compute_cycles + rhs.compute_cycles,
+            dram_stall_cycles: self.dram_stall_cycles + rhs.dram_stall_cycles,
+            mac_ops: self.mac_ops + rhs.mac_ops,
+            lane_slots: self.lane_slots + rhs.lane_slots,
+            add_store_ops: self.add_store_ops + rhs.add_store_ops,
+            input_buf: self.input_buf + rhs.input_buf,
+            output_buf: self.output_buf + rhs.output_buf,
+            weight_buf: self.weight_buf + rhs.weight_buf,
+            bias_buf: self.bias_buf + rhs.bias_buf,
+            dram_read_bytes: self.dram_read_bytes + rhs.dram_read_bytes,
+            dram_write_bytes: self.dram_write_bytes + rhs.dram_write_bytes,
+        }
+    }
+}
+
+impl AddAssign for Stats {
+    fn add_assign(&mut self, rhs: Stats) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sum for Stats {
+    fn sum<I: Iterator<Item = Stats>>(iter: I) -> Stats {
+        iter.fold(Stats::default(), Add::add)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traffic_accumulates() {
+        let a = BufferTraffic {
+            loads: 10,
+            stores: 2,
+        };
+        let b = BufferTraffic {
+            loads: 5,
+            stores: 1,
+        };
+        let c = a + b;
+        assert_eq!(c.loads, 15);
+        assert_eq!(c.accesses(), 18);
+        assert_eq!(c.access_bits(), 18 * 16);
+    }
+
+    #[test]
+    fn utilization() {
+        let mut s = Stats::new();
+        assert_eq!(s.pe_utilization(), 1.0);
+        s.mac_ops = 3;
+        s.lane_slots = 16;
+        assert!((s.pe_utilization() - 3.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_sum() {
+        let mut a = Stats::new();
+        a.cycles = 100;
+        a.input_buf.loads = 7;
+        let mut b = Stats::new();
+        b.cycles = 50;
+        b.dram_read_bytes = 64;
+        let total: Stats = [a, b].into_iter().sum();
+        assert_eq!(total.cycles, 150);
+        assert_eq!(total.input_buf.loads, 7);
+        assert_eq!(total.dram_bytes(), 64);
+    }
+
+    #[test]
+    fn buffer_access_bits_counts_all_buffers() {
+        let mut s = Stats::new();
+        s.input_buf.loads = 1;
+        s.output_buf.stores = 1;
+        s.weight_buf.loads = 1;
+        s.bias_buf.loads = 1;
+        assert_eq!(s.buffer_access_bits(), 4 * 16);
+    }
+}

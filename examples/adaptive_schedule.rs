@@ -1,0 +1,79 @@
+//! Adaptive schedule viewer: show Algorithm 2's per-layer decisions —
+//! scheme, Eq. 2 partitioning, and the data-layout plan — and how they
+//! change between the 16-16 and 32-32 configurations.
+//!
+//! ```text
+//! cargo run --release --example adaptive_schedule
+//! ```
+
+use cbrain::partition_math::partition;
+use cbrain::report::render_table;
+use cbrain::select_scheme;
+use cbrain_compiler::{DataLayout, Scheme};
+use cbrain_model::zoo;
+use cbrain_sim::AcceleratorConfig;
+
+fn main() {
+    for net in zoo::all() {
+        println!("== {} ==", net.name());
+        let c16 = AcceleratorConfig::paper_16_16();
+        let c32 = AcceleratorConfig::paper_32_32();
+        let mut rows = Vec::new();
+        let mut switches = 0;
+        for layer in net.conv_layers() {
+            let conv = layer.as_conv().expect("conv layer");
+            let s16 = select_scheme(conv, &c16, true);
+            let s32 = select_scheme(conv, &c32, true);
+            if s16 != s32 {
+                switches += 1;
+            }
+            let eq2 = if s16 == Scheme::Partition {
+                let (g, ks) = partition(conv.kernel, conv.stride);
+                format!("{g}x{g} pieces of {ks}x{ks}")
+            } else {
+                "-".into()
+            };
+            rows.push(vec![
+                layer.name.clone(),
+                format!(
+                    "Din={} k={} s={}",
+                    conv.in_maps_per_group(),
+                    conv.kernel,
+                    conv.stride
+                ),
+                s16.to_string(),
+                s32.to_string(),
+                eq2,
+                DataLayout::preferred_by(s16).to_string(),
+            ]);
+        }
+        // GoogLeNet has 57 conv layers; summarize the repetitive middle.
+        let display: Vec<Vec<String>> = if rows.len() > 14 {
+            let mut d: Vec<Vec<String>> = rows[..8].to_vec();
+            d.push(vec![
+                format!("... {} more layers ...", rows.len() - 12),
+                "".into(),
+                "".into(),
+                "".into(),
+                "".into(),
+                "".into(),
+            ]);
+            d.extend(rows[rows.len() - 4..].to_vec());
+            d
+        } else {
+            rows.clone()
+        };
+        println!(
+            "{}",
+            render_table(
+                &["layer", "params", "16-16", "32-32", "Eq.2 split", "input layout"],
+                &display
+            )
+        );
+        println!(
+            "{} of {} conv layers change scheme when Tin doubles.\n",
+            switches,
+            rows.len()
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Full functional inference: carry a real image-sized tensor through
+//! NiN (the smallest all-sequential benchmark network) with every conv
+//! layer executed by the scheme Algorithm 2 picks, and verify the logits
+//! against a plain reference forward pass.
+//!
+//! ```text
+//! cargo run --release --example full_inference
+//! ```
+
+use cbrain::forward::{forward, NetworkWeights};
+use cbrain::{Policy, Scheme};
+use cbrain_model::{zoo, Tensor3};
+use cbrain_sim::AcceleratorConfig;
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let net = zoo::nin();
+    let cfg = AcceleratorConfig::paper_16_16();
+    let weights = NetworkWeights::random(&net, 2024);
+    let input = Tensor3::random(net.input(), 7);
+
+    println!("running NiN ({} layers) functionally...", net.layers().len());
+    let t0 = Instant::now();
+    let adaptive = forward(
+        &net,
+        &input,
+        &weights,
+        Policy::Adaptive {
+            improved_inter: true,
+        },
+        &cfg,
+    )?;
+    let t_adaptive = t0.elapsed();
+
+    let t0 = Instant::now();
+    let reference = forward(&net, &input, &weights, Policy::Fixed(Scheme::Inter), &cfg)?;
+    let t_reference = t0.elapsed();
+
+    let max_diff = adaptive
+        .output
+        .iter()
+        .zip(&reference.output)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!(
+        "adaptive ({:.2?}) vs reference ({:.2?}): max |diff| = {max_diff:.2e} over {} logits",
+        t_adaptive,
+        t_reference,
+        adaptive.output.len()
+    );
+    assert!(max_diff < 1e-2, "schemes disagree");
+
+    println!("\nper-layer schemes chosen by Algorithm 2:");
+    for (name, scheme) in &adaptive.schemes {
+        if let Some(s) = scheme {
+            println!("  {name:<8} -> {s}");
+        }
+    }
+
+    let top = adaptive
+        .output
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .expect("non-empty logits");
+    println!("\nargmax logit: class {} ({:.4})", top.0, top.1);
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Layer explorer: for one network, show what every scheme costs on every
+//! convolution layer and which scheme Algorithm 2 picks.
+//!
+//! ```text
+//! cargo run --release --example layer_explorer -- googlenet
+//! ```
+
+use cbrain::report::{format_cycles, render_table};
+use cbrain::{select_scheme, Policy, Runner, Scheme};
+use cbrain_model::zoo;
+use cbrain_sim::AcceleratorConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "alexnet".into());
+    let net = zoo::by_name(&name)
+        .ok_or_else(|| format!("unknown network `{name}` (alexnet|googlenet|vgg|nin)"))?;
+    let cfg = AcceleratorConfig::paper_16_16();
+    let runner = Runner::new(cfg);
+
+    println!("Per-layer scheme costs for {} on {cfg}\n", net.name());
+    let mut rows = Vec::new();
+    for layer in net.conv_layers() {
+        let conv = layer.as_conv().expect("conv layer");
+        let mut cells = vec![layer.name.clone()];
+        let mut best = (u64::MAX, Scheme::Inter);
+        for scheme in Scheme::ALL {
+            let report = runner.run_layer(layer, Policy::Fixed(scheme))?;
+            if report.stats.cycles < best.0 {
+                best = (report.stats.cycles, scheme);
+            }
+            cells.push(format_cycles(report.stats.cycles));
+        }
+        let chosen = select_scheme(conv, &cfg, true);
+        cells.push(chosen.to_string());
+        cells.push(if chosen == best.1 || best.0 == runner
+            .run_layer(layer, Policy::Fixed(chosen))?
+            .stats
+            .cycles
+        {
+            "=best".into()
+        } else {
+            format!("best: {}", best.1)
+        });
+        rows.push(cells);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "layer",
+                "inter",
+                "intra",
+                "partition",
+                "inter-improved",
+                "algorithm 2",
+                "vs oracle"
+            ],
+            &rows
+        )
+    );
+    Ok(())
+}

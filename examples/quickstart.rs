@@ -1,0 +1,44 @@
+//! Quickstart: run the paper's five experiment arms on every benchmark
+//! network at both PE configurations and print the headline comparison.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use cbrain::report::{render_table, summarize};
+use cbrain::Runner;
+use cbrain_model::zoo;
+use cbrain_sim::{AcceleratorConfig, PeConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for pe in [PeConfig::new(16, 16), PeConfig::new(32, 32)] {
+        let cfg = AcceleratorConfig::with_pe(pe);
+        let runner = Runner::new(cfg);
+        println!("== {cfg} ==");
+        let mut rows = Vec::new();
+        for net in zoo::all() {
+            let reports = runner.run_paper_arms(&net)?;
+            for r in &reports {
+                println!("{}", summarize(r));
+            }
+            let inter = &reports[0];
+            let adpa2 = &reports[4];
+            rows.push(vec![
+                net.name().to_owned(),
+                format!("{:.2}x", adpa2.speedup_over(inter)),
+                format!(
+                    "{:.1}%",
+                    (1.0 - adpa2.totals.buffer_access_bits() as f64
+                        / inter.totals.buffer_access_bits() as f64)
+                        * 100.0
+                ),
+            ]);
+        }
+        println!();
+        println!(
+            "{}",
+            render_table(&["network", "adpa-2 speedup vs inter", "buffer traffic cut"], &rows)
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Workspace-level shared helpers for examples and tests.

@@ -1,0 +1,107 @@
+//! Property-based tests: every mapping scheme computes the same
+//! convolution as the reference sliding window, for arbitrary layer
+//! parameters.
+
+use cbrain::functional::{improved_inter_forward, partition_forward, unrolled_forward};
+use cbrain_model::{reference, ConvParams, ConvWeights, Tensor3, TensorShape};
+use proptest::prelude::*;
+
+/// Arbitrary small-but-interesting conv configurations. Strides never
+/// exceed kernels (model invariant), inputs always fit the kernel.
+fn conv_strategy() -> impl Strategy<Value = (ConvParams, TensorShape, u64)> {
+    (
+        1usize..=4,  // in maps per group
+        1usize..=6,  // out maps per group
+        1usize..=7,  // kernel
+        1usize..=3,  // pad
+        1usize..=2,  // groups
+        0usize..=10, // extra input extent beyond the kernel
+        any::<u64>(),
+    )
+        .prop_flat_map(|(ing, outg, k, pad, groups, extra, seed)| {
+            (1usize..=k, Just((ing, outg, k, pad, groups, extra, seed)))
+        })
+        .prop_map(|(s, (ing, outg, k, pad, groups, extra, seed))| {
+            let params = ConvParams::grouped(ing * groups, outg * groups, k, s, pad, groups);
+            let extent = k + extra;
+            (params, TensorShape::new(ing * groups, extent, extent), seed)
+        })
+}
+
+fn max_diff(
+    params: &ConvParams,
+    shape: TensorShape,
+    seed: u64,
+    f: impl Fn(&Tensor3, &ConvWeights, Option<&[f32]>, &ConvParams) -> Result<Tensor3, cbrain_model::ModelError>,
+) -> f32 {
+    let input = Tensor3::random(shape, seed);
+    let weights = ConvWeights::random(params, seed ^ 0xDEAD);
+    let bias: Vec<f32> = (0..params.out_maps).map(|i| (i as f32) * 0.25 - 1.0).collect();
+    let truth = reference::conv_forward(&input, &weights, Some(&bias), params)
+        .expect("reference computes");
+    let ours = f(&input, &weights, Some(&bias), params).expect("scheme computes");
+    ours.max_abs_diff(&truth)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn partition_equals_reference((params, shape, seed) in conv_strategy()) {
+        let diff = max_diff(&params, shape, seed, partition_forward);
+        prop_assert!(diff < 1e-3, "diff={diff} params={params:?}");
+    }
+
+    #[test]
+    fn unrolled_equals_reference((params, shape, seed) in conv_strategy()) {
+        let diff = max_diff(&params, shape, seed, unrolled_forward);
+        prop_assert!(diff < 1e-3, "diff={diff} params={params:?}");
+    }
+
+    #[test]
+    fn improved_inter_equals_reference((params, shape, seed) in conv_strategy()) {
+        let diff = max_diff(&params, shape, seed, improved_inter_forward);
+        prop_assert!(diff < 1e-3, "diff={diff} params={params:?}");
+    }
+
+    #[test]
+    fn schemes_agree_with_each_other((params, shape, seed) in conv_strategy()) {
+        let input = Tensor3::random(shape, seed);
+        let weights = ConvWeights::random(&params, seed ^ 0xBEEF);
+        let a = partition_forward(&input, &weights, None, &params).expect("computes");
+        let b = unrolled_forward(&input, &weights, None, &params).expect("computes");
+        let c = improved_inter_forward(&input, &weights, None, &params).expect("computes");
+        prop_assert!(a.max_abs_diff(&b) < 1e-3);
+        prop_assert!(b.max_abs_diff(&c) < 1e-3);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The PE-level partitioned execution (segmented adder trees, packed
+    /// windows, add-and-store accumulation) matches the reference too.
+    #[test]
+    fn pe_level_partition_equals_reference(
+        inm in 1usize..=3,
+        outm in 1usize..=5,
+        k in 2usize..=6,
+        extra in 0usize..=6,
+        seed in any::<u64>(),
+    ) {
+        use cbrain::functional::partition_forward_on_pe;
+        use cbrain_sim::PeConfig;
+        // Pick a stride whose sub-window (s*s) fits 16 lanes.
+        let s = if k >= 4 { 2 } else { 1 };
+        let params = ConvParams::new(inm, outm, k, s, 0);
+        let extent = k + extra;
+        let input = Tensor3::random(TensorShape::new(inm, extent, extent), seed);
+        let weights = ConvWeights::random(&params, seed ^ 0xF00D);
+        let truth = reference::conv_forward(&input, &weights, None, &params)
+            .expect("reference computes");
+        let ours = partition_forward_on_pe(&input, &weights, &params, PeConfig::new(16, 4))
+            .expect("PE execution computes");
+        let diff = ours.max_abs_diff(&truth);
+        prop_assert!(diff < 1e-3, "diff={diff} k={k} s={s}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Property test: the network-spec text format round-trips arbitrary
+//! generated networks exactly.
+
+use cbrain_model::{spec, ConvParams, FcParams, Layer, Network, PoolParams, TensorShape};
+use proptest::prelude::*;
+
+/// Strategy for one random-but-valid sequential network.
+fn network_strategy() -> impl Strategy<Value = Network> {
+    let layer_kind = 0usize..3;
+    (
+        2usize..=8,                       // input maps
+        12usize..=40,                     // input extent
+        proptest::collection::vec(layer_kind, 1..6),
+        any::<u64>(),
+    )
+        .prop_map(|(maps, extent, kinds, seed)| {
+            let input = TensorShape::new(maps, extent, extent);
+            let mut cursor = input;
+            let mut layers = Vec::new();
+            let mut rng = seed;
+            let mut next = |m: u64| {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((rng >> 33) % m) as usize
+            };
+            for (i, kind) in kinds.into_iter().enumerate() {
+                let name = format!("l{i}");
+                let layer = match kind {
+                    0 => {
+                        let k = 1 + next(3); // 1..=3
+                        let s = 1 + next(k as u64);
+                        let out = 1 + next(12);
+                        // groups must divide both sides
+                        let groups = if cursor.maps.is_multiple_of(2) && out.is_multiple_of(2) && next(2) == 1 {
+                            2
+                        } else {
+                            1
+                        };
+                        let p = ConvParams::grouped(cursor.maps, out.max(groups), k, s, next(2), groups);
+                        // Re-fix out divisibility.
+                        let out_maps = if p.out_maps.is_multiple_of(groups) {
+                            p.out_maps
+                        } else {
+                            p.out_maps + 1
+                        };
+                        let p = ConvParams::grouped(cursor.maps, out_maps, k, s, p.pad, groups);
+                        Layer::conv(name, cursor, p)
+                    }
+                    1 => {
+                        let k = 2 + next(2);
+                        let layer = Layer::pool(name, cursor, PoolParams::max(k, 2));
+                        if layer.output_shape().is_err() {
+                            return None; // window too big; skip this net
+                        }
+                        layer
+                    }
+                    _ => Layer::fully_connected(
+                        name,
+                        cursor,
+                        FcParams::new(cursor.elems(), 1 + next(20)),
+                    ),
+                };
+                match layer.output_shape() {
+                    Ok(out) => {
+                        cursor = out;
+                        let is_fc = matches!(layer.kind, cbrain_model::LayerKind::FullyConnected(_));
+                        layers.push(layer);
+                        if is_fc {
+                            break; // keep networks sequentializable
+                        }
+                    }
+                    Err(_) => return None,
+                }
+            }
+            if layers.is_empty() {
+                None
+            } else {
+                Some(Network::new("prop_net", input, layers))
+            }
+        })
+        .prop_filter_map("generated network must be valid", |maybe| {
+            maybe.filter(|n| n.validate().is_ok())
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn spec_round_trips_random_networks(net in network_strategy()) {
+        let text = spec::to_text(&net);
+        let parsed = spec::parse(&text).expect("serialized spec parses");
+        prop_assert_eq!(parsed, net);
+    }
+
+    #[test]
+    fn serialization_is_stable(net in network_strategy()) {
+        // Serialize -> parse -> serialize must be a fixed point.
+        let once = spec::to_text(&net);
+        let twice = spec::to_text(&spec::parse(&once).expect("parses"));
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,56 @@
+//! The shipped `specs/*.spec` files must stay in sync with the zoo: each
+//! parses to exactly the zoo network, and `gen_specs` regenerates them
+//! byte-for-byte.
+
+use cbrain_model::{spec, zoo};
+use std::path::PathBuf;
+
+fn spec_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("specs")
+        .join(format!("{name}.spec"))
+}
+
+#[test]
+fn shipped_specs_parse_to_zoo_networks() {
+    for net in zoo::all() {
+        let path = spec_path(net.name());
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let parsed = spec::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(parsed, net, "{}", net.name());
+    }
+}
+
+#[test]
+fn shipped_specs_are_canonical_serialization() {
+    for net in zoo::all() {
+        let path = spec_path(net.name());
+        let text = std::fs::read_to_string(&path).expect("spec readable");
+        assert_eq!(
+            text,
+            spec::to_text(&net),
+            "{} is stale; rerun `cargo run -p cbrain-bench --bin gen_specs`",
+            net.name()
+        );
+    }
+}
+
+#[test]
+fn spec_driven_run_matches_zoo_run() {
+    use cbrain::{Policy, Runner};
+    use cbrain_sim::AcceleratorConfig;
+    let runner = Runner::new(AcceleratorConfig::paper_16_16());
+    let from_zoo = runner
+        .run_network(&zoo::alexnet(), Policy::PAPER_ARMS[4])
+        .expect("runs");
+    let text = std::fs::read_to_string(spec_path("alexnet")).expect("spec readable");
+    let from_spec = runner
+        .run_network(&spec::parse(&text).expect("parses"), Policy::PAPER_ARMS[4])
+        .expect("runs");
+    assert_eq!(from_zoo.cycles(), from_spec.cycles());
+    assert_eq!(
+        from_zoo.totals.buffer_access_bits(),
+        from_spec.totals.buffer_access_bits()
+    );
+}
