@@ -42,8 +42,8 @@ pub fn run_layer_forward(layer: &Layer, seed: u64) -> f64 {
     match &layer.kind {
         LayerKind::Conv(p) => {
             let weights = ConvWeights::random(p, seed + 1);
-            let out = reference::conv_forward(&input, &weights, None, p)
-                .expect("zoo layer is valid");
+            let out =
+                reference::conv_forward(&input, &weights, None, p).expect("zoo layer is valid");
             std::hint::black_box(out.as_slice()[0]);
         }
         LayerKind::Pool(p) => {

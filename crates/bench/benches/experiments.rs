@@ -1,83 +1,113 @@
-//! Criterion benches: one group per paper table/figure, timing how long
-//! the simulator takes to regenerate it, plus per-scheme compile+simulate
-//! microbenches. These are throughput benchmarks of the *reproduction
-//! system*; the figures' own numbers come from the `exp_*` binaries.
+//! Std-only timing harness (`harness = false`): one group per paper
+//! table/figure, timing how long the simulator takes to regenerate it,
+//! plus per-scheme compile+simulate microbenches. These are throughput
+//! benchmarks of the *reproduction system*; the figures' own numbers
+//! come from the `exp_*` binaries.
+//!
+//! Run with `cargo bench -p cbrain-bench`. Each entry is timed for a
+//! small fixed number of iterations (after one warm-up) and the median
+//! wall-clock time is printed. No external benchmarking crates are used
+//! so the harness builds offline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use cbrain::{Policy, RunOptions, Runner, Scheme, Workload};
 use cbrain_bench::experiments;
 use cbrain_model::zoo;
 use cbrain_sim::AcceleratorConfig;
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("regenerate");
-    g.sample_size(10);
-    g.bench_function("fig3_unrolling", |b| {
-        b.iter(|| black_box(experiments::fig3()))
-    });
-    g.bench_function("fig7_conv1", |b| b.iter(|| black_box(experiments::fig7())));
-    g.bench_function("fig8_whole_net", |b| {
-        b.iter(|| black_box(experiments::fig8()))
-    });
-    g.bench_function("fig9_zhang", |b| b.iter(|| black_box(experiments::fig9())));
-    g.bench_function("fig10_buffer_traffic", |b| {
-        b.iter(|| black_box(experiments::fig10()))
-    });
-    g.bench_function("table2_networks", |b| {
-        b.iter(|| black_box(experiments::table2()))
-    });
-    g.bench_function("table4_cpu", |b| {
-        // Fixed synthetic MAC rate: the bench times the accelerator-side
-        // sweep, not the host CPU calibration.
-        b.iter(|| black_box(experiments::table4(1e9)))
-    });
-    g.bench_function("table5_energy", |b| {
-        b.iter(|| black_box(experiments::table5()))
-    });
-    g.bench_function("sweep_pe_width", |b| {
-        b.iter(|| black_box(experiments::sweep_pe_width()))
-    });
-    g.bench_function("oracle_gap", |b| {
-        b.iter(|| black_box(experiments::oracle_gap()))
-    });
-    g.bench_function("batch_scaling", |b| {
-        b.iter(|| black_box(experiments::batch_scaling()))
-    });
-    g.finish();
+/// Times `f` for `samples` iterations (plus one discarded warm-up) and
+/// prints the median, minimum and maximum wall-clock time.
+fn bench(group: &str, name: &str, samples: usize, mut f: impl FnMut()) {
+    f(); // warm-up, not recorded
+    let mut times: Vec<Duration> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    times.sort();
+    let median = times[times.len() / 2];
+    let (min, max) = (times[0], times[times.len() - 1]);
+    println!(
+        "{group}/{name:<24} median {median:>10.3?}  (min {min:.3?}, max {max:.3?}, n={samples})"
+    );
 }
 
-fn bench_schemes(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_alexnet");
-    g.sample_size(20);
+fn bench_figures() {
+    let g = "regenerate";
+    bench(g, "fig3_unrolling", 10, || {
+        black_box(experiments::fig3());
+    });
+    bench(g, "fig7_conv1", 5, || {
+        black_box(experiments::fig7(1));
+    });
+    bench(g, "fig8_whole_net", 5, || {
+        black_box(experiments::fig8(1));
+    });
+    bench(g, "fig9_zhang", 5, || {
+        black_box(experiments::fig9(1));
+    });
+    bench(g, "fig10_buffer_traffic", 5, || {
+        black_box(experiments::fig10(1));
+    });
+    bench(g, "table2_networks", 10, || {
+        black_box(experiments::table2());
+    });
+    bench(g, "table4_cpu", 5, || {
+        // Fixed synthetic MAC rate: the bench times the accelerator-side
+        // sweep, not the host CPU calibration.
+        black_box(experiments::table4(1e9, 1));
+    });
+    bench(g, "table5_energy", 5, || {
+        black_box(experiments::table5(1));
+    });
+    bench(g, "sweep_pe_width", 5, || {
+        black_box(experiments::sweep_pe_width(1));
+    });
+    bench(g, "oracle_gap", 5, || {
+        black_box(experiments::oracle_gap(1));
+    });
+    bench(g, "batch_scaling", 5, || {
+        black_box(experiments::batch_scaling(1));
+    });
+    // The same cells fanned out over every core: the gap against the
+    // serial entries above is the thread-pool speedup.
+    let jobs = cbrain::available_jobs();
+    bench(g, "fig8_whole_net_par", 5, || {
+        black_box(experiments::fig8(jobs));
+    });
+    bench(g, "table5_energy_par", 5, || {
+        black_box(experiments::table5(jobs));
+    });
+}
+
+fn bench_schemes() {
+    let g = "simulate_alexnet";
     let runner = Runner::new(AcceleratorConfig::paper_16_16());
     let net = zoo::alexnet();
     for scheme in Scheme::ALL {
-        g.bench_function(scheme.to_string(), |b| {
-            b.iter(|| black_box(runner.run_network(&net, Policy::Fixed(scheme)).unwrap()))
+        bench(g, &scheme.to_string(), 10, || {
+            black_box(runner.run_network(&net, Policy::Fixed(scheme)).unwrap());
         });
     }
-    g.bench_function("adpa-2", |b| {
-        b.iter(|| {
-            black_box(
-                runner
-                    .run_network(
-                        &net,
-                        Policy::Adaptive {
-                            improved_inter: true,
-                        },
-                    )
-                    .unwrap(),
-            )
-        })
+    bench(g, "adpa-2", 10, || {
+        black_box(
+            runner
+                .run_network(
+                    &net,
+                    Policy::Adaptive {
+                        improved_inter: true,
+                    },
+                )
+                .unwrap(),
+        );
     });
-    g.finish();
 }
 
-fn bench_biggest_network(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_vgg16");
-    g.sample_size(10);
+fn bench_biggest_network() {
     let runner = Runner::with_options(
         AcceleratorConfig::paper_32_32(),
         RunOptions {
@@ -86,75 +116,67 @@ fn bench_biggest_network(c: &mut Criterion) {
         },
     );
     let net = zoo::vgg16();
-    g.bench_function("adpa-2_full", |b| {
-        b.iter(|| {
-            black_box(
-                runner
-                    .run_network(
-                        &net,
-                        Policy::Adaptive {
-                            improved_inter: true,
-                        },
-                    )
-                    .unwrap(),
-            )
-        })
+    bench("simulate_vgg16", "adpa-2_full", 5, || {
+        black_box(
+            runner
+                .run_network(
+                    &net,
+                    Policy::Adaptive {
+                        improved_inter: true,
+                    },
+                )
+                .unwrap(),
+        );
     });
-    g.finish();
 }
 
-fn bench_ablations(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablations");
-    g.sample_size(10);
-    g.bench_function("ablate_overlap", |b| {
-        b.iter(|| black_box(experiments::ablate_overlap()))
+fn bench_ablations() {
+    let g = "ablations";
+    bench(g, "ablate_overlap", 5, || {
+        black_box(experiments::ablate_overlap(1));
     });
-    g.bench_function("ablate_addstore", |b| {
-        b.iter(|| black_box(experiments::ablate_addstore()))
+    bench(g, "ablate_addstore", 5, || {
+        black_box(experiments::ablate_addstore(1));
     });
-    g.bench_function("ablate_layout", |b| {
-        b.iter(|| black_box(experiments::ablate_layout()))
+    bench(g, "ablate_layout", 5, || {
+        black_box(experiments::ablate_layout(1));
     });
-    g.bench_function("ablate_ks", |b| b.iter(|| black_box(experiments::ablate_ks())));
-    g.finish();
+    bench(g, "ablate_ks", 5, || {
+        black_box(experiments::ablate_ks());
+    });
 }
 
-fn bench_compile(c: &mut Criterion) {
-    use cbrain_compiler::{compile_conv, Scheme};
-    let mut g = c.benchmark_group("compile");
+fn bench_compile() {
+    use cbrain_compiler::compile_conv;
+    let g = "compile";
     let cfg = AcceleratorConfig::paper_16_16();
     let net = zoo::vgg16();
     let layer = net.layer("conv3_2").expect("layer exists");
     for scheme in Scheme::ALL {
-        g.bench_function(format!("vgg_conv3_2/{scheme}"), |b| {
-            b.iter(|| black_box(compile_conv(layer, scheme, &cfg).unwrap()))
+        bench(g, &format!("vgg_conv3_2/{scheme}"), 20, || {
+            black_box(compile_conv(layer, scheme, &cfg).unwrap());
         });
     }
-    g.bench_function("plan_googlenet_schedule", |b| {
-        let gnet = zoo::googlenet();
-        b.iter(|| {
-            black_box(
-                cbrain::schedule::plan_network(
-                    &gnet,
-                    Policy::Adaptive {
-                        improved_inter: true,
-                    },
-                    &cfg,
-                    true,
-                )
-                .unwrap(),
+    let gnet = zoo::googlenet();
+    bench(g, "plan_googlenet_schedule", 10, || {
+        black_box(
+            cbrain::schedule::plan_network(
+                &gnet,
+                Policy::Adaptive {
+                    improved_inter: true,
+                },
+                &cfg,
+                true,
             )
-        })
+            .unwrap(),
+        );
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_figures,
-    bench_schemes,
-    bench_biggest_network,
-    bench_ablations,
-    bench_compile
-);
-criterion_main!(benches);
+fn main() {
+    bench_figures();
+    bench_schemes();
+    bench_biggest_network();
+    bench_ablations();
+    bench_compile();
+}

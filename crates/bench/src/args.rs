@@ -1,0 +1,68 @@
+//! Command-line handling shared by the `exp_*` binaries.
+
+/// Parses `--jobs N` (or `--jobs=N`) from the process arguments.
+/// Defaults to the machine's available parallelism; `--jobs 1` forces a
+/// serial run. Output is byte-identical either way — the flag only
+/// changes wall-clock time.
+///
+/// # Panics
+///
+/// Panics with a usage message if the flag's value is missing or not a
+/// positive integer.
+pub fn jobs_from_args() -> usize {
+    jobs_from(std::env::args().skip(1))
+}
+
+fn jobs_from(args: impl Iterator<Item = String>) -> usize {
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let value = if arg == "--jobs" || arg == "-j" {
+            args.next()
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            Some(v.to_owned())
+        } else {
+            continue;
+        };
+        let parsed = value.as_deref().and_then(|v| v.parse::<usize>().ok());
+        match parsed {
+            Some(n) if n >= 1 => return n,
+            _ => panic!("--jobs expects a positive integer, got {value:?}"),
+        }
+    }
+    cbrain::available_jobs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn of(args: &[&str]) -> usize {
+        jobs_from(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    #[test]
+    fn parses_flag_forms() {
+        assert_eq!(of(&["--jobs", "3"]), 3);
+        assert_eq!(of(&["--jobs=7"]), 7);
+        assert_eq!(of(&["-j", "2"]), 2);
+        assert_eq!(of(&["other", "--jobs", "4", "tail"]), 4);
+    }
+
+    #[test]
+    fn defaults_to_available_parallelism() {
+        assert_eq!(of(&[]), cbrain::available_jobs());
+        assert_eq!(of(&["unrelated"]), cbrain::available_jobs());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn rejects_zero() {
+        of(&["--jobs", "0"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn rejects_garbage() {
+        of(&["--jobs", "many"]);
+    }
+}

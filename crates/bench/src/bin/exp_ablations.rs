@@ -16,21 +16,25 @@ fn print(title: &str, rows: Vec<cbrain_bench::experiments::AblationRow>) {
             ]
         })
         .collect();
-    println!("{}", render_table(&["arm", "cycles", "buffer bits"], &table));
+    println!(
+        "{}",
+        render_table(&["arm", "cycles", "buffer bits"], &table)
+    );
 }
 
 fn main() {
+    let jobs = cbrain_bench::args::jobs_from_args();
     print(
         "Ablation: double-buffered DMA overlap (VGG-16, adpa-2, 16-16)\n",
-        ablate_overlap(),
+        ablate_overlap(jobs),
     );
     print(
         "Ablation: add-and-store off/on the critical path (AlexNet, adpa-2)\n",
-        ablate_addstore(),
+        ablate_addstore(jobs),
     );
     print(
         "Ablation: Algorithm 2 layout planning vs explicit transforms (AlexNet)\n",
-        ablate_layout(),
+        ablate_layout(jobs),
     );
     print(
         "Ablation: Eq. 2 sub-kernel size ks=s vs ks=2s (AlexNet conv1)\n",

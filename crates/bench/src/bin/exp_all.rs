@@ -1,9 +1,15 @@
 //! Runs every experiment in paper order — the one-shot reproduction
 //! driver. Equivalent to running each `exp_*` binary in sequence.
+//!
+//! Accepts `--jobs N` (default: all cores) and forwards it to every
+//! child, so the whole reproduction fans out while keeping
+//! byte-identical output.
 
 use std::process::Command;
 
 fn main() {
+    // Validate the flag here for a clear error, then forward it.
+    let jobs = cbrain_bench::args::jobs_from_args();
     let exps = [
         "exp_table2",
         "exp_table3",
@@ -24,6 +30,8 @@ fn main() {
         println!("{}", "=".repeat(78));
         let bin = dir.join(exp);
         let status = Command::new(&bin)
+            .arg("--jobs")
+            .arg(jobs.to_string())
             .status()
             .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", bin.display()));
         assert!(status.success(), "{exp} failed");

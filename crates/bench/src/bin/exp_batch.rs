@@ -6,8 +6,9 @@ use cbrain::report::render_table;
 use cbrain_bench::experiments::batch_scaling;
 
 fn main() {
+    let jobs = cbrain_bench::args::jobs_from_args();
     println!("Batch scaling (AlexNet, full network incl. FC, adpa-2, 16-16)\n");
-    let rows_data = batch_scaling();
+    let rows_data = batch_scaling(jobs);
     let base = rows_data[0].clone();
     let rows: Vec<Vec<String>> = rows_data
         .iter()
@@ -24,7 +25,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["batch", "cycles/img", "DRAM B/img", "energy mJ/img", "throughput gain"],
+            &[
+                "batch",
+                "cycles/img",
+                "DRAM B/img",
+                "energy mJ/img",
+                "throughput gain"
+            ],
             &rows
         )
     );

@@ -5,8 +5,9 @@ use cbrain::report::render_table;
 use cbrain_bench::experiments::fig10;
 
 fn main() {
+    let jobs = cbrain_bench::args::jobs_from_args();
     println!("Fig. 10 — buffer traffic (access bits, conv+pool)\n");
-    let rows: Vec<Vec<String>> = fig10()
+    let rows: Vec<Vec<String>> = fig10(jobs)
         .into_iter()
         .map(|r| {
             let mut row = vec![r.network.clone(), r.pe.clone()];
@@ -22,7 +23,13 @@ fn main() {
         "{}",
         render_table(
             &[
-                "network", "PE", "inter", "intra", "partition", "adpa-1", "adpa-2",
+                "network",
+                "PE",
+                "inter",
+                "intra",
+                "partition",
+                "adpa-1",
+                "adpa-2",
                 "adpa-2 vs adpa-1"
             ],
             &rows

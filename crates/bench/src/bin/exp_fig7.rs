@@ -5,8 +5,9 @@ use cbrain::report::{format_cycles, render_table};
 use cbrain_bench::experiments::fig7;
 
 fn main() {
+    let jobs = cbrain_bench::args::jobs_from_args();
     println!("Fig. 7 — conv1 execution time (cycles)\n");
-    let rows: Vec<Vec<String>> = fig7()
+    let rows: Vec<Vec<String>> = fig7(jobs)
         .into_iter()
         .map(|r| {
             vec![

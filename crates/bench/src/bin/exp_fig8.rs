@@ -5,16 +5,14 @@ use cbrain::report::{format_cycles, log_bars, render_table};
 use cbrain_bench::experiments::fig8;
 
 fn main() {
+    let jobs = cbrain_bench::args::jobs_from_args();
     println!("Fig. 8 — whole-network performance (cycles, conv+pool)\n");
-    let rows: Vec<Vec<String>> = fig8()
+    let rows: Vec<Vec<String>> = fig8(jobs)
         .into_iter()
         .map(|r| {
             let mut row = vec![r.network.clone(), r.pe.clone()];
             row.extend(r.cycles.iter().map(|c| format_cycles(*c)));
-            row.push(format!(
-                "{:.2}x",
-                r.cycles[0] as f64 / r.cycles[4] as f64
-            ));
+            row.push(format!("{:.2}x", r.cycles[0] as f64 / r.cycles[4] as f64));
             row
         })
         .collect();
@@ -22,7 +20,13 @@ fn main() {
         "{}",
         render_table(
             &[
-                "network", "PE", "inter", "intra", "partition", "adpa-1", "adpa-2",
+                "network",
+                "PE",
+                "inter",
+                "intra",
+                "partition",
+                "adpa-1",
+                "adpa-2",
                 "adpa-2 speedup"
             ],
             &rows
@@ -32,7 +36,7 @@ fn main() {
 
     // The figure itself, log scale like the paper's.
     println!("\nAlexNet @16-16 (log-scale bars):");
-    let rows = fig8();
+    let rows = fig8(jobs);
     let alexnet = rows
         .iter()
         .find(|r| r.network == "alexnet" && r.pe == "16-16")

@@ -5,8 +5,9 @@ use cbrain::report::render_table;
 use cbrain_bench::experiments::fig9;
 
 fn main() {
+    let jobs = cbrain_bench::args::jobs_from_args();
     println!("Fig. 9 — comparison with Zhang et al. FPGA'15 at 100 MHz (AlexNet, ms)\n");
-    let rows_data = fig9();
+    let rows_data = fig9(jobs);
     let zhang = rows_data[0].clone();
     let rows: Vec<Vec<String>> = rows_data
         .iter()
@@ -23,7 +24,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["design", "conv1 ms", "whole NN ms", "conv1 speedup", "whole speedup"],
+            &[
+                "design",
+                "conv1 ms",
+                "whole NN ms",
+                "conv1 speedup",
+                "whole speedup"
+            ],
             &rows
         )
     );

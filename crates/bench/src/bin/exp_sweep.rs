@@ -6,8 +6,9 @@ use cbrain::report::{format_cycles, render_table};
 use cbrain_bench::experiments::{oracle_gap, sweep_pe_width};
 
 fn main() {
+    let jobs = cbrain_bench::args::jobs_from_args();
     println!("PE-width scalability sweep (AlexNet, conv+pool)\n");
-    let rows: Vec<Vec<String>> = sweep_pe_width()
+    let rows: Vec<Vec<String>> = sweep_pe_width(jobs)
         .into_iter()
         .map(|r| {
             vec![
@@ -24,13 +25,21 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["PE", "muls", "inter cycles", "inter util", "adpa-2 cycles", "adpa-2 util", "speedup"],
+            &[
+                "PE",
+                "muls",
+                "inter cycles",
+                "inter util",
+                "adpa-2 cycles",
+                "adpa-2 util",
+                "speedup"
+            ],
             &rows
         )
     );
 
     println!("Algorithm 2 vs exhaustive per-layer oracle (16-16)\n");
-    let rows: Vec<Vec<String>> = oracle_gap()
+    let rows: Vec<Vec<String>> = oracle_gap(jobs)
         .into_iter()
         .map(|r| {
             vec![

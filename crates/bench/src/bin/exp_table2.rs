@@ -10,7 +10,9 @@ fn main() {
         .into_iter()
         .map(|r| {
             let (din, k, s, dout) = r.conv1;
-            let macs = zoo::by_name(&r.network).map(|n| forward_macs(&n)).unwrap_or(0);
+            let macs = zoo::by_name(&r.network)
+                .map(|n| forward_macs(&n))
+                .unwrap_or(0);
             vec![
                 r.network.clone(),
                 format!("{din},{k},{s},{dout}"),
@@ -27,7 +29,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["network", "conv1 (Din,k,s,Dout)", "#conv layers", "kernel types", "conv+pool MACs"],
+            &[
+                "network",
+                "conv1 (Din,k,s,Dout)",
+                "#conv layers",
+                "kernel types",
+                "conv+pool MACs"
+            ],
             &rows
         )
     );

@@ -27,8 +27,14 @@ fn main() {
         "{}",
         render_table(
             &[
-                "PE", "multipliers", "in/out buf", "weight buf", "bias buf",
-                "weight port", "DRAM BW", "clock"
+                "PE",
+                "multipliers",
+                "in/out buf",
+                "weight buf",
+                "bias buf",
+                "weight port",
+                "DRAM BW",
+                "clock"
             ],
             &rows
         )

@@ -3,18 +3,30 @@
 //! The CPU column is measured on *this* host (naive direct convolution,
 //! calibrated MAC rate); the paper's column is Caffe on a Xeon 2.20 GHz.
 //! The reproduced claim is the 2-3 orders-of-magnitude speedup.
+//!
+//! The calibration is a wall-clock measurement and therefore varies
+//! run-to-run; set `CBRAIN_MAC_RATE` (MACs/s, e.g. `5.7e8`) to pin it
+//! for reproducible output (determinism checks, CI diffs).
 
 use cbrain::report::render_table;
 use cbrain_baselines::cpu::calibrate_mac_rate;
 use cbrain_bench::experiments::table4;
 
 fn main() {
-    let rate = calibrate_mac_rate();
+    let jobs = cbrain_bench::args::jobs_from_args();
+    let rate = match std::env::var("CBRAIN_MAC_RATE") {
+        Ok(v) => v
+            .parse::<f64>()
+            .ok()
+            .filter(|r| r.is_finite() && *r > 0.0)
+            .unwrap_or_else(|| panic!("CBRAIN_MAC_RATE must be a positive number, got `{v}`")),
+        Err(_) => calibrate_mac_rate(),
+    };
     println!(
         "Table 4 — CPU vs adaptive accelerator (host MAC rate {:.2e}/s)\n",
         rate
     );
-    let rows: Vec<Vec<String>> = table4(rate)
+    let rows: Vec<Vec<String>> = table4(rate, jobs)
         .into_iter()
         .map(|r| {
             vec![
@@ -30,7 +42,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["network", "CPU ms", "adap-16-16 ms", "speedup", "adap-32-32 ms", "speedup"],
+            &[
+                "network",
+                "CPU ms",
+                "adap-16-16 ms",
+                "speedup",
+                "adap-32-32 ms",
+                "speedup"
+            ],
             &rows
         )
     );

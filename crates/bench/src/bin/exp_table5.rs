@@ -4,8 +4,9 @@ use cbrain::report::render_table;
 use cbrain_bench::experiments::table5;
 
 fn main() {
+    let jobs = cbrain_bench::args::jobs_from_args();
     println!("Table 5 — PE energy reduction vs inter (%, 16-16)\n");
-    let rows: Vec<Vec<String>> = table5()
+    let rows: Vec<Vec<String>> = table5(jobs)
         .into_iter()
         .map(|r| {
             let mut row = vec![r.network.clone()];

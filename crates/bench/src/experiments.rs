@@ -1,15 +1,36 @@
 //! One function per table/figure of the paper's evaluation section.
 //!
 //! Every function returns structured rows; the `exp_*` binaries print them
-//! and the Criterion benches time their regeneration. EXPERIMENTS.md
-//! records the paper-vs-measured comparison for each.
+//! and the timing harness in `benches/experiments.rs` times their
+//! regeneration. EXPERIMENTS.md records the paper-vs-measured comparison
+//! for each.
+//!
+//! The heavy functions take a `jobs` argument and fan their independent
+//! experiment cells — (network, config, arm) triples and sweep points —
+//! over [`cbrain::pool::parallel_map`]. Each cell builds its own
+//! [`Runner`] (and therefore its own compiled-layer cache), and the pool
+//! merges results in submission order, so the rows are byte-identical
+//! for every `jobs` value.
 
 use cbrain::partition_math::unrolled_bits;
+use cbrain::pool::parallel_map;
 use cbrain::{Policy, RunOptions, Runner, Scheme, Workload};
 use cbrain_baselines::zhang::ZhangConfig;
 use cbrain_compiler::ideal_cycles;
 use cbrain_model::{zoo, LayerKind, Network};
 use cbrain_sim::{AcceleratorConfig, EnergyModel, MachineOptions, PeConfig};
+
+/// The (config, network) grid most figures iterate: both paper PE widths
+/// by all four zoo networks, in row-major order.
+fn config_network_cells() -> Vec<(AcceleratorConfig, Network)> {
+    let mut cells = Vec::new();
+    for cfg in paper_configs() {
+        for net in zoo::all() {
+            cells.push((cfg, net));
+        }
+    }
+    cells
+}
 
 /// The two PE configurations of the paper's sweeps.
 pub fn paper_configs() -> [AcceleratorConfig; 2] {
@@ -103,28 +124,24 @@ pub struct Fig7Row {
 
 /// Fig. 7: conv1 execution time under inter/intra/partition vs ideal,
 /// for all four networks at both PE widths.
-pub fn fig7() -> Vec<Fig7Row> {
-    let mut rows = Vec::new();
-    for cfg in paper_configs() {
-        for net in zoo::all() {
-            let runner = conv1_runner(cfg);
-            let run = |s| {
-                runner
-                    .run_network(&net, Policy::Fixed(s))
-                    .expect("zoo layers compile")
-                    .cycles()
-            };
-            rows.push(Fig7Row {
-                network: net.name().to_owned(),
-                pe: cfg.pe.to_string(),
-                ideal: ideal_cycles(net.conv1(), &cfg).expect("valid layer"),
-                inter: run(Scheme::Inter),
-                intra: run(Scheme::Intra),
-                partition: run(Scheme::Partition),
-            });
+pub fn fig7(jobs: usize) -> Vec<Fig7Row> {
+    parallel_map(jobs, config_network_cells(), |(cfg, net)| {
+        let runner = conv1_runner(cfg);
+        let run = |s| {
+            runner
+                .run_network(&net, Policy::Fixed(s))
+                .expect("zoo layers compile")
+                .cycles()
+        };
+        Fig7Row {
+            network: net.name().to_owned(),
+            pe: cfg.pe.to_string(),
+            ideal: ideal_cycles(net.conv1(), &cfg).expect("valid layer"),
+            inter: run(Scheme::Inter),
+            intra: run(Scheme::Intra),
+            partition: run(Scheme::Partition),
         }
-    }
-    rows
+    })
 }
 
 // ---------------------------------------------------------------- Fig. 8
@@ -142,24 +159,20 @@ pub struct Fig8Row {
 }
 
 /// Fig. 8: whole-network (conv+pool) performance of the five arms.
-pub fn fig8() -> Vec<Fig8Row> {
-    let mut rows = Vec::new();
-    for cfg in paper_configs() {
-        for net in zoo::all() {
-            let runner = Runner::new(cfg);
-            let reports = runner.run_paper_arms(&net).expect("zoo layers compile");
-            let mut cycles = [0u64; 5];
-            for (c, r) in cycles.iter_mut().zip(&reports) {
-                *c = r.cycles();
-            }
-            rows.push(Fig8Row {
-                network: net.name().to_owned(),
-                pe: cfg.pe.to_string(),
-                cycles,
-            });
+pub fn fig8(jobs: usize) -> Vec<Fig8Row> {
+    parallel_map(jobs, config_network_cells(), |(cfg, net)| {
+        let runner = Runner::new(cfg);
+        let reports = runner.run_paper_arms(&net).expect("zoo layers compile");
+        let mut cycles = [0u64; 5];
+        for (c, r) in cycles.iter_mut().zip(&reports) {
+            *c = r.cycles();
         }
-    }
-    rows
+        Fig8Row {
+            network: net.name().to_owned(),
+            pe: cfg.pe.to_string(),
+            cycles,
+        }
+    })
 }
 
 // ---------------------------------------------------------------- Fig. 9
@@ -179,7 +192,7 @@ pub struct Fig9Row {
 /// Fig. 9: AlexNet vs the Zhang FPGA'15 design at iso-frequency
 /// (100 MHz). `adpa-16-28` matches Zhang's 448 multipliers; 16-24 has 14%
 /// fewer, 16-32 14% more.
-pub fn fig9() -> Vec<Fig9Row> {
+pub fn fig9(jobs: usize) -> Vec<Fig9Row> {
     let net = zoo::alexnet();
     let zhang = ZhangConfig::paper();
     let mut rows = vec![Fig9Row {
@@ -187,7 +200,7 @@ pub fn fig9() -> Vec<Fig9Row> {
         conv1_ms: zhang.conv1_ms(&net),
         whole_ms: zhang.network_conv_ms(&net),
     }];
-    for tout in [24, 28, 32] {
+    rows.extend(parallel_map(jobs, vec![24, 28, 32], |tout| {
         // Down-clock the core but keep the same absolute DDR bandwidth
         // (8 GB/s at 1 GHz x 8 B/cycle -> 80 B/cycle at 100 MHz).
         let cfg = AcceleratorConfig::with_pe(PeConfig::new(16, tout))
@@ -208,12 +221,12 @@ pub fn fig9() -> Vec<Fig9Row> {
         )
         .run_network(&net, adaptive)
         .expect("compiles");
-        rows.push(Fig9Row {
+        Fig9Row {
             design: format!("adpa-16-{tout}"),
             conv1_ms: conv1.ms(),
             whole_ms: whole.ms(),
-        });
-    }
+        }
+    }));
     rows
 }
 
@@ -231,24 +244,20 @@ pub struct Fig10Row {
 }
 
 /// Fig. 10: on-chip buffer traffic of the five arms.
-pub fn fig10() -> Vec<Fig10Row> {
-    let mut rows = Vec::new();
-    for cfg in paper_configs() {
-        for net in zoo::all() {
-            let runner = Runner::new(cfg);
-            let reports = runner.run_paper_arms(&net).expect("zoo layers compile");
-            let mut bits = [0u64; 5];
-            for (b, r) in bits.iter_mut().zip(&reports) {
-                *b = r.totals.buffer_access_bits();
-            }
-            rows.push(Fig10Row {
-                network: net.name().to_owned(),
-                pe: cfg.pe.to_string(),
-                access_bits: bits,
-            });
+pub fn fig10(jobs: usize) -> Vec<Fig10Row> {
+    parallel_map(jobs, config_network_cells(), |(cfg, net)| {
+        let runner = Runner::new(cfg);
+        let reports = runner.run_paper_arms(&net).expect("zoo layers compile");
+        let mut bits = [0u64; 5];
+        for (b, r) in bits.iter_mut().zip(&reports) {
+            *b = r.totals.buffer_access_bits();
         }
-    }
-    rows
+        Fig10Row {
+            network: net.name().to_owned(),
+            pe: cfg.pe.to_string(),
+            access_bits: bits,
+        }
+    })
 }
 
 // --------------------------------------------------------------- Table 2
@@ -306,32 +315,29 @@ pub struct Table4Row {
 /// `mac_rate` is the host's calibrated MAC throughput
 /// ([`cbrain_baselines::cpu::calibrate_mac_rate`]); passing it in keeps
 /// this function deterministic and cheap for the benches.
-pub fn table4(mac_rate: f64) -> Vec<Table4Row> {
+pub fn table4(mac_rate: f64, jobs: usize) -> Vec<Table4Row> {
     let adaptive = Policy::Adaptive {
         improved_inter: true,
     };
-    zoo::all()
-        .into_iter()
-        .map(|net| {
-            let cpu = cbrain_baselines::cpu::estimate_forward_ms(&net, mac_rate);
-            let ms16 = Runner::new(AcceleratorConfig::paper_16_16())
-                .run_network(&net, adaptive)
-                .expect("compiles")
-                .ms();
-            let ms32 = Runner::new(AcceleratorConfig::paper_32_32())
-                .run_network(&net, adaptive)
-                .expect("compiles")
-                .ms();
-            Table4Row {
-                network: net.name().to_owned(),
-                cpu_ms: cpu.ms,
-                adap_16_ms: ms16,
-                speedup_16: cpu.ms / ms16,
-                adap_32_ms: ms32,
-                speedup_32: cpu.ms / ms32,
-            }
-        })
-        .collect()
+    parallel_map(jobs, zoo::all(), |net| {
+        let cpu = cbrain_baselines::cpu::estimate_forward_ms(&net, mac_rate);
+        let ms16 = Runner::new(AcceleratorConfig::paper_16_16())
+            .run_network(&net, adaptive)
+            .expect("compiles")
+            .ms();
+        let ms32 = Runner::new(AcceleratorConfig::paper_32_32())
+            .run_network(&net, adaptive)
+            .expect("compiles")
+            .ms();
+        Table4Row {
+            network: net.name().to_owned(),
+            cpu_ms: cpu.ms,
+            adap_16_ms: ms16,
+            speedup_16: cpu.ms / ms16,
+            adap_32_ms: ms32,
+            speedup_32: cpu.ms / ms32,
+        }
+    })
 }
 
 // --------------------------------------------------------------- Table 5
@@ -347,25 +353,23 @@ pub struct Table5Row {
 }
 
 /// Table 5: PE energy reduction of each arm over inter-kernel (16-16).
-pub fn table5() -> Vec<Table5Row> {
+pub fn table5(jobs: usize) -> Vec<Table5Row> {
     let model = EnergyModel::default();
-    let runner = Runner::new(AcceleratorConfig::paper_16_16());
     // The paper's Table 5 lists AlexNet, GoogLeNet and VGG.
-    [zoo::alexnet(), zoo::googlenet(), zoo::vgg16()]
-        .into_iter()
-        .map(|net| {
-            let reports = runner.run_paper_arms(&net).expect("zoo layers compile");
-            let base = &reports[0].totals;
-            let mut red = [0.0; 4];
-            for (i, r) in reports[1..].iter().enumerate() {
-                red[i] = model.pe_reduction_percent(base, &r.totals);
-            }
-            Table5Row {
-                network: net.name().to_owned(),
-                reduction_percent: red,
-            }
-        })
-        .collect()
+    let nets = vec![zoo::alexnet(), zoo::googlenet(), zoo::vgg16()];
+    parallel_map(jobs, nets, |net| {
+        let runner = Runner::new(AcceleratorConfig::paper_16_16());
+        let reports = runner.run_paper_arms(&net).expect("zoo layers compile");
+        let base = &reports[0].totals;
+        let mut red = [0.0; 4];
+        for (i, r) in reports[1..].iter().enumerate() {
+            red[i] = model.pe_reduction_percent(base, &r.totals);
+        }
+        Table5Row {
+            network: net.name().to_owned(),
+            reduction_percent: red,
+        }
+    })
 }
 
 // -------------------------------------------------------------- Ablations
@@ -382,14 +386,15 @@ pub struct AblationRow {
 }
 
 /// Ablation: DMA double-buffering on/off.
-pub fn ablate_overlap() -> Vec<AblationRow> {
+pub fn ablate_overlap(jobs: usize) -> Vec<AblationRow> {
     let net = zoo::vgg16(); // the DRAM-heavy network shows the effect
     let policy = Policy::Adaptive {
         improved_inter: true,
     };
-    [("overlap", true), ("serial", false)]
-        .into_iter()
-        .map(|(label, overlap)| {
+    parallel_map(
+        jobs,
+        vec![("overlap", true), ("serial", false)],
+        |(label, overlap)| {
             let r = Runner::with_options(
                 AcceleratorConfig::paper_16_16(),
                 RunOptions {
@@ -407,20 +412,21 @@ pub fn ablate_overlap() -> Vec<AblationRow> {
                 cycles: r.cycles(),
                 buffer_bits: r.totals.buffer_access_bits(),
             }
-        })
-        .collect()
+        },
+    )
 }
 
 /// Ablation: add-and-store hidden behind the store port vs charged on the
 /// critical path (what the Sec. 4.2.2 hardware support buys).
-pub fn ablate_addstore() -> Vec<AblationRow> {
+pub fn ablate_addstore(jobs: usize) -> Vec<AblationRow> {
     let net = zoo::alexnet();
     let policy = Policy::Adaptive {
         improved_inter: true,
     };
-    [("hidden", false), ("on-critical-path", true)]
-        .into_iter()
-        .map(|(label, charged)| {
+    parallel_map(
+        jobs,
+        vec![("hidden", false), ("on-critical-path", true)],
+        |(label, charged)| {
             let r = Runner::with_options(
                 AcceleratorConfig::paper_16_16(),
                 RunOptions {
@@ -438,20 +444,21 @@ pub fn ablate_addstore() -> Vec<AblationRow> {
                 cycles: r.cycles(),
                 buffer_bits: r.totals.buffer_access_bits(),
             }
-        })
-        .collect()
+        },
+    )
 }
 
 /// Ablation: Algorithm 2's layout planning on/off (off inserts explicit
 /// layout-transform passes between scheme switches).
-pub fn ablate_layout() -> Vec<AblationRow> {
+pub fn ablate_layout(jobs: usize) -> Vec<AblationRow> {
     let net = zoo::alexnet();
     let policy = Policy::Adaptive {
         improved_inter: true,
     };
-    [("planned", true), ("transforms", false)]
-        .into_iter()
-        .map(|(label, planning)| {
+    parallel_map(
+        jobs,
+        vec![("planned", true), ("transforms", false)],
+        |(label, planning)| {
             let r = Runner::with_options(
                 AcceleratorConfig::paper_16_16(),
                 RunOptions {
@@ -466,8 +473,8 @@ pub fn ablate_layout() -> Vec<AblationRow> {
                 cycles: r.cycles(),
                 buffer_bits: r.totals.buffer_access_bits(),
             }
-        })
-        .collect()
+        },
+    )
 }
 
 /// Ablation: sub-kernel size `ks = s` (Eq. 2) vs a coarser `ks = 2s`
@@ -554,34 +561,31 @@ pub struct SweepRow {
 
 /// Sweeps square PE arrays from 8-8 to 64-64 on AlexNet: inter-kernel's
 /// utilization collapses with width while the adaptive mapper holds.
-pub fn sweep_pe_width() -> Vec<SweepRow> {
+pub fn sweep_pe_width(jobs: usize) -> Vec<SweepRow> {
     let net = zoo::alexnet();
-    [8usize, 16, 24, 32, 48, 64]
-        .into_iter()
-        .map(|t| {
-            let cfg = AcceleratorConfig::with_pe(PeConfig::new(t, t));
-            let runner = Runner::new(cfg);
-            let inter = runner
-                .run_network(&net, Policy::Fixed(Scheme::Inter))
-                .expect("compiles");
-            let adaptive = runner
-                .run_network(
-                    &net,
-                    Policy::Adaptive {
-                        improved_inter: true,
-                    },
-                )
-                .expect("compiles");
-            SweepRow {
-                pe: cfg.pe.to_string(),
-                multipliers: cfg.pe.multipliers(),
-                inter_cycles: inter.cycles(),
-                inter_util: inter.totals.pe_utilization(),
-                adaptive_cycles: adaptive.cycles(),
-                adaptive_util: adaptive.totals.pe_utilization(),
-            }
-        })
-        .collect()
+    parallel_map(jobs, vec![8usize, 16, 24, 32, 48, 64], |t| {
+        let cfg = AcceleratorConfig::with_pe(PeConfig::new(t, t));
+        let runner = Runner::new(cfg);
+        let inter = runner
+            .run_network(&net, Policy::Fixed(Scheme::Inter))
+            .expect("compiles");
+        let adaptive = runner
+            .run_network(
+                &net,
+                Policy::Adaptive {
+                    improved_inter: true,
+                },
+            )
+            .expect("compiles");
+        SweepRow {
+            pe: cfg.pe.to_string(),
+            multipliers: cfg.pe.multipliers(),
+            inter_cycles: inter.cycles(),
+            inter_util: inter.totals.pe_utilization(),
+            adaptive_cycles: adaptive.cycles(),
+            adaptive_util: adaptive.totals.pe_utilization(),
+        }
+    })
 }
 
 /// The oracle-vs-Algorithm-2 comparison: how much of the exhaustive
@@ -599,28 +603,29 @@ pub struct OracleRow {
 }
 
 /// Runs the oracle comparison on all four networks at 16-16.
-pub fn oracle_gap() -> Vec<OracleRow> {
-    let runner = Runner::new(AcceleratorConfig::paper_16_16());
-    zoo::all()
-        .into_iter()
-        .map(|net| {
-            let adaptive = runner
-                .run_network(
-                    &net,
-                    Policy::Adaptive {
-                        improved_inter: true,
-                    },
-                )
-                .expect("compiles");
-            let oracle = runner.run_network(&net, Policy::Oracle).expect("compiles");
-            OracleRow {
-                network: net.name().to_owned(),
-                adaptive_cycles: adaptive.cycles(),
-                oracle_cycles: oracle.cycles(),
-                gap: adaptive.cycles() as f64 / oracle.cycles() as f64,
-            }
-        })
-        .collect()
+///
+/// Each network is one cell; the Oracle's per-layer four-scheme sweep
+/// inside a cell reuses the cell runner's compiled-layer cache, so the
+/// adaptive run after it compiles almost nothing.
+pub fn oracle_gap(jobs: usize) -> Vec<OracleRow> {
+    parallel_map(jobs, zoo::all(), |net| {
+        let runner = Runner::new(AcceleratorConfig::paper_16_16());
+        let oracle = runner.run_network(&net, Policy::Oracle).expect("compiles");
+        let adaptive = runner
+            .run_network(
+                &net,
+                Policy::Adaptive {
+                    improved_inter: true,
+                },
+            )
+            .expect("compiles");
+        OracleRow {
+            network: net.name().to_owned(),
+            adaptive_cycles: adaptive.cycles(),
+            oracle_cycles: oracle.cycles(),
+            gap: adaptive.cycles() as f64 / oracle.cycles() as f64,
+        }
+    })
 }
 
 // ------------------------------------------------------------ batching
@@ -642,35 +647,32 @@ pub struct BatchRow {
 /// (FC included) as the batch grows. The FC weight stream — the dominant
 /// DRAM consumer at batch 1 — amortizes across the batch via the
 /// weight-chunk-outer ordering.
-pub fn batch_scaling() -> Vec<BatchRow> {
+pub fn batch_scaling(jobs: usize) -> Vec<BatchRow> {
     let net = zoo::alexnet();
-    [1usize, 2, 4, 8, 16, 32]
-        .into_iter()
-        .map(|batch| {
-            let runner = Runner::with_options(
-                AcceleratorConfig::paper_16_16(),
-                RunOptions {
-                    workload: Workload::FullNetwork,
-                    batch,
-                    ..RunOptions::default()
-                },
-            );
-            let r = runner
-                .run_network(
-                    &net,
-                    Policy::Adaptive {
-                        improved_inter: true,
-                    },
-                )
-                .expect("compiles");
-            BatchRow {
+    parallel_map(jobs, vec![1usize, 2, 4, 8, 16, 32], |batch| {
+        let runner = Runner::with_options(
+            AcceleratorConfig::paper_16_16(),
+            RunOptions {
+                workload: Workload::FullNetwork,
                 batch,
-                cycles_per_image: r.cycles_per_image(),
-                dram_per_image: r.dram_bytes_per_image(),
-                energy_per_image_mj: r.energy.total_mj() / batch as f64,
-            }
-        })
-        .collect()
+                ..RunOptions::default()
+            },
+        );
+        let r = runner
+            .run_network(
+                &net,
+                Policy::Adaptive {
+                    improved_inter: true,
+                },
+            )
+            .expect("compiles");
+        BatchRow {
+            batch,
+            cycles_per_image: r.cycles_per_image(),
+            dram_per_image: r.dram_bytes_per_image(),
+            energy_per_image_mj: r.energy.total_mj() / batch as f64,
+        }
+    })
 }
 
 // ------------------------------------------------------------ conveniences
@@ -706,7 +708,7 @@ mod tests {
 
     #[test]
     fn fig7_partition_wins_conv1_everywhere() {
-        for row in fig7() {
+        for row in fig7(1) {
             assert!(
                 row.partition < row.inter,
                 "{} {}: partition {} !< inter {}",
@@ -738,7 +740,7 @@ mod tests {
     fn fig7_average_speedups_near_paper() {
         // Paper: partition outperforms inter by 5.8x and intra by 2.1x on
         // average over the 4 networks and both configs.
-        let rows = fig7();
+        let rows = fig7(1);
         let geo = |f: &dyn Fn(&Fig7Row) -> f64| {
             let logsum: f64 = rows.iter().map(|r| f(r).ln()).sum();
             (logsum / rows.len() as f64).exp()
@@ -751,7 +753,7 @@ mod tests {
 
     #[test]
     fn fig8_adaptive_wins_every_cell() {
-        for row in fig8() {
+        for row in fig8(1) {
             let adpa2 = row.cycles[4];
             for (i, c) in row.cycles[..3].iter().enumerate() {
                 assert!(
@@ -769,7 +771,7 @@ mod tests {
 
     #[test]
     fn fig9_adaptive_beats_zhang() {
-        let rows = fig9();
+        let rows = fig9(1);
         let zhang = &rows[0];
         let adpa28 = rows.iter().find(|r| r.design == "adpa-16-28").unwrap();
         // Paper: 2.22x on conv1, 1.20x whole network at iso-resources.
@@ -781,7 +783,7 @@ mod tests {
 
     #[test]
     fn fig10_adpa2_slashes_traffic() {
-        for row in fig10() {
+        for row in fig10(1) {
             let [inter, intra, _partition, adpa1, adpa2] = row.access_bits;
             assert!(adpa2 < adpa1 / 3, "{} {}", row.network, row.pe);
             assert!(adpa2 < inter / 3, "{} {}", row.network, row.pe);
@@ -802,7 +804,7 @@ mod tests {
     #[test]
     fn table4_speedups_are_orders_of_magnitude() {
         // Fixed synthetic CPU rate (1 GMAC/s, Xeon-class for naive code).
-        for row in table4(1e9) {
+        for row in table4(1e9, 1) {
             assert!(row.speedup_16 > 20.0, "{}: {}", row.network, row.speedup_16);
             assert!(
                 row.speedup_32 > row.speedup_16,
@@ -814,21 +816,25 @@ mod tests {
 
     #[test]
     fn table5_shape_matches_paper() {
-        let rows = table5();
+        let rows = table5(1);
         let alexnet = &rows[0];
         let vgg = &rows[2];
         // AlexNet: every alternative saves PE energy; adpa best-ish.
         assert!(alexnet.reduction_percent[2] > 18.0); // adpa-1
         assert!(alexnet.reduction_percent[1] > 8.0); // partition
-        // VGG: intra *costs* energy (paper: -44.72%).
-        assert!(vgg.reduction_percent[0] < 0.0, "{:?}", vgg.reduction_percent);
+                                                     // VGG: intra *costs* energy (paper: -44.72%).
+        assert!(
+            vgg.reduction_percent[0] < 0.0,
+            "{:?}",
+            vgg.reduction_percent
+        );
         // VGG adaptive stays near break-even (paper: ~3%).
         assert!(vgg.reduction_percent[2].abs() < 15.0);
     }
 
     #[test]
     fn sweep_shows_inter_scalability_collapse() {
-        let rows = sweep_pe_width();
+        let rows = sweep_pe_width(1);
         // Inter utilization decreases monotonically with width...
         for w in rows.windows(2) {
             assert!(
@@ -856,7 +862,7 @@ mod tests {
 
     #[test]
     fn algorithm_2_is_near_oracle_everywhere() {
-        for row in oracle_gap() {
+        for row in oracle_gap(1) {
             assert!(row.gap >= 1.0 - 1e-9, "{}: {}", row.network, row.gap);
             assert!(row.gap < 1.10, "{}: {}", row.network, row.gap);
         }
@@ -864,7 +870,7 @@ mod tests {
 
     #[test]
     fn batch_scaling_reduces_per_image_cost() {
-        let rows = batch_scaling();
+        let rows = batch_scaling(1);
         for w in rows.windows(2) {
             assert!(
                 w[1].dram_per_image <= w[0].dram_per_image * 1.001,
@@ -882,14 +888,24 @@ mod tests {
     }
 
     #[test]
+    fn rows_are_jobs_invariant() {
+        // The whole point of the pool: worker count changes wall-clock
+        // only, never a row. (fig7 and the ablations are the cheap
+        // representatives; the full grid is covered by `exp_all --jobs`.)
+        assert_eq!(fig7(1), fig7(4));
+        assert_eq!(fig9(1), fig9(3));
+        assert_eq!(ablate_overlap(1), ablate_overlap(2));
+    }
+
+    #[test]
     fn ablations_point_the_right_way() {
-        let overlap = ablate_overlap();
+        let overlap = ablate_overlap(1);
         assert!(overlap[0].cycles < overlap[1].cycles);
 
-        let addstore = ablate_addstore();
+        let addstore = ablate_addstore(1);
         assert!(addstore[0].cycles <= addstore[1].cycles);
 
-        let layout = ablate_layout();
+        let layout = ablate_layout(1);
         assert!(layout[0].cycles < layout[1].cycles);
 
         let ks = ablate_ks();

@@ -6,11 +6,15 @@
 //! * a function in [`experiments`] returning structured rows,
 //! * an `exp_*` binary printing the rows (`cargo run -p cbrain-bench
 //!   --bin exp_fig7 --release`),
-//! * a Criterion bench timing its regeneration (`cargo bench`).
+//! * a timing harness entry (`cargo bench`, std-only, no external deps).
 //!
-//! EXPERIMENTS.md at the repository root records paper-vs-measured values.
+//! The heavy binaries accept `--jobs N` (default: all cores) and fan
+//! their experiment cells over a deterministic thread pool; output is
+//! byte-identical for every `N`. EXPERIMENTS.md at the repository root
+//! records paper-vs-measured values.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod args;
 pub mod experiments;

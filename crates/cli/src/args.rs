@@ -38,6 +38,8 @@ pub struct RunArgs {
     pub workload: Workload,
     /// Images per run.
     pub batch: usize,
+    /// Worker threads for the compile work-list (0 = auto-detect).
+    pub jobs: usize,
     /// Print the per-layer breakdown table.
     pub breakdown: bool,
 }
@@ -160,6 +162,7 @@ type CommonArgs = (
     AcceleratorConfig,
     Workload,
     usize,
+    usize,
     bool,
 );
 
@@ -172,6 +175,7 @@ fn parse_common(tokens: &[String]) -> Result<CommonArgs, ArgError> {
     let mut mhz = 1000u64;
     let mut workload = Workload::ConvAndPool;
     let mut batch = 1usize;
+    let mut jobs = 0usize; // 0 = auto-detect at execution time
     let mut breakdown = false;
 
     let mut f = Flags { tokens, index: 0 };
@@ -197,13 +201,22 @@ fn parse_common(tokens: &[String]) -> Result<CommonArgs, ArgError> {
                     return fail("--batch must be at least 1");
                 }
             }
+            "--jobs" => {
+                let v = f.value("--jobs")?;
+                jobs = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad --jobs `{v}`")))?;
+                if jobs == 0 {
+                    return fail("--jobs must be at least 1");
+                }
+            }
             "--breakdown" => breakdown = true,
             other => return fail(format!("unknown flag `{other}`")),
         }
         f.index += 1;
     }
     let config = AcceleratorConfig::with_pe(pe).at_mhz(mhz);
-    Ok((network, policy, config, workload, batch, breakdown))
+    Ok((network, policy, config, workload, batch, jobs, breakdown))
 }
 
 /// Parses a full command line (without the program name).
@@ -219,7 +232,7 @@ pub fn parse(tokens: &[String]) -> Result<Command, ArgError> {
     match sub.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "run" => {
-            let (network, policy, config, workload, batch, breakdown) =
+            let (network, policy, config, workload, batch, jobs, breakdown) =
                 parse_common(&tokens[1..])?;
             let network =
                 network.ok_or_else(|| ArgError("run needs --network or --spec".into()))?;
@@ -229,12 +242,13 @@ pub fn parse(tokens: &[String]) -> Result<Command, ArgError> {
                 config,
                 workload,
                 batch,
+                jobs,
                 breakdown,
             }))
         }
         "zoo" => Ok(Command::Zoo),
         "schedule" => {
-            let (network, policy, config, _, _, _) = parse_common(&tokens[1..])?;
+            let (network, policy, config, _, _, _, _) = parse_common(&tokens[1..])?;
             let network =
                 network.ok_or_else(|| ArgError("schedule needs --network or --spec".into()))?;
             Ok(Command::Schedule(ScheduleArgs {
@@ -255,9 +269,27 @@ pub fn parse(tokens: &[String]) -> Result<Command, ArgError> {
             };
             while f.index < rest.len() {
                 match rest[f.index].as_str() {
-                    "--din" => din = Some(f.value("--din")?.parse().map_err(|_| ArgError("bad --din".into()))?),
-                    "--k" => k = Some(f.value("--k")?.parse().map_err(|_| ArgError("bad --k".into()))?),
-                    "--s" => s_ = Some(f.value("--s")?.parse().map_err(|_| ArgError("bad --s".into()))?),
+                    "--din" => {
+                        din = Some(
+                            f.value("--din")?
+                                .parse()
+                                .map_err(|_| ArgError("bad --din".into()))?,
+                        )
+                    }
+                    "--k" => {
+                        k = Some(
+                            f.value("--k")?
+                                .parse()
+                                .map_err(|_| ArgError("bad --k".into()))?,
+                        )
+                    }
+                    "--s" => {
+                        s_ = Some(
+                            f.value("--s")?
+                                .parse()
+                                .map_err(|_| ArgError("bad --s".into()))?,
+                        )
+                    }
                     "--pe" => pe = parse_pe(f.value("--pe")?)?,
                     other => return fail(format!("unknown flag `{other}`")),
                 }
@@ -284,7 +316,7 @@ USAGE:
   cbrain run      --network <alexnet|googlenet|vgg|nin> | --spec <file>
                   [--policy inter|intra|partition|inter-improved|adpa-1|adpa-2|oracle]
                   [--pe TinxTout] [--mhz N] [--workload conv1|conv|conv+pool|full]
-                  [--batch N] [--breakdown]
+                  [--batch N] [--jobs N] [--breakdown]
   cbrain schedule --network <name> | --spec <file> [--policy ...] [--pe TinxTout]
   cbrain scheme   --din N --k K --s S [--pe TinxTout]
   cbrain spec-check <file>
@@ -339,6 +371,20 @@ mod tests {
         assert!(args.breakdown);
         assert!(parse(&toks("run --network alexnet --batch 0")).is_err());
         assert_eq!(parse(&toks("zoo")).unwrap(), Command::Zoo);
+    }
+
+    #[test]
+    fn jobs_flag() {
+        let Command::Run(args) = parse(&toks("run --network vgg --jobs 4")).unwrap() else {
+            panic!("run expected")
+        };
+        assert_eq!(args.jobs, 4);
+        let Command::Run(args) = parse(&toks("run --network vgg")).unwrap() else {
+            panic!("run expected")
+        };
+        assert_eq!(args.jobs, 0); // auto-detect sentinel
+        assert!(parse(&toks("run --network vgg --jobs 0")).is_err());
+        assert!(parse(&toks("run --network vgg --jobs x")).is_err());
     }
 
     #[test]

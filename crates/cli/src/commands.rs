@@ -63,11 +63,17 @@ pub fn resolve_network(net: &NetworkRef) -> Result<Network, CommandError> {
 /// Propagates network-resolution and simulation errors.
 pub fn run(args: &RunArgs) -> Result<String, CommandError> {
     let net = resolve_network(&args.network)?;
+    let jobs = if args.jobs == 0 {
+        cbrain::available_jobs()
+    } else {
+        args.jobs
+    };
     let runner = Runner::with_options(
         args.config,
         RunOptions {
             workload: args.workload,
             batch: args.batch,
+            jobs,
             ..RunOptions::default()
         },
     );
@@ -222,9 +228,10 @@ mod tests {
 
     #[test]
     fn run_zoo_network() {
-        let Command::Run(args) =
-            parse(&toks("run --network alexnet --policy inter --workload conv1")).unwrap()
-        else {
+        let Command::Run(args) = parse(&toks(
+            "run --network alexnet --policy inter --workload conv1",
+        ))
+        .unwrap() else {
             panic!("run expected")
         };
         let out = run(&args).unwrap();
@@ -235,9 +242,7 @@ mod tests {
 
     #[test]
     fn run_with_breakdown() {
-        let Command::Run(args) =
-            parse(&toks("run --network nin --breakdown")).unwrap()
-        else {
+        let Command::Run(args) = parse(&toks("run --network nin --breakdown")).unwrap() else {
             panic!("run expected")
         };
         let out = run(&args).unwrap();

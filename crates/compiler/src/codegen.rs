@@ -419,10 +419,16 @@ mod tests {
     fn partition_beats_inter_on_conv1_cycles() {
         let net = zoo::alexnet();
         let machine = Machine::new(cfg());
-        let inter = machine
-            .run(&compile_conv(net.conv1(), Scheme::Inter, &cfg()).unwrap().program);
-        let part = machine
-            .run(&compile_conv(net.conv1(), Scheme::Partition, &cfg()).unwrap().program);
+        let inter = machine.run(
+            &compile_conv(net.conv1(), Scheme::Inter, &cfg())
+                .unwrap()
+                .program,
+        );
+        let part = machine.run(
+            &compile_conv(net.conv1(), Scheme::Partition, &cfg())
+                .unwrap()
+                .program,
+        );
         let speedup = inter.cycles as f64 / part.cycles as f64;
         assert!(speedup > 3.0, "speedup={speedup}");
     }

@@ -39,11 +39,7 @@ fn blocks(n: u64, w: u64) -> u64 {
 
 fn inter(geom: &ConvGeometry, cfg: &AcceleratorConfig, improved: bool) -> AnalyticCost {
     let (tin, tout) = (cfg.pe.tin as u64, cfg.pe.tout as u64);
-    let (din, dout, g) = (
-        geom.din_g as u64,
-        geom.dout_g as u64,
-        geom.groups as u64,
-    );
+    let (din, dout, g) = (geom.din_g as u64, geom.dout_g as u64, geom.groups as u64);
     let pix = geom.out_pixels();
     let k2 = (geom.k * geom.k) as u64;
 
@@ -80,11 +76,7 @@ fn window_sweep(
     window: u64,
 ) -> AnalyticCost {
     let (tin, tout) = (cfg.pe.tin as u64, cfg.pe.tout as u64);
-    let (din, dout, g) = (
-        geom.din_g as u64,
-        geom.dout_g as u64,
-        geom.groups as u64,
-    );
+    let (din, dout, g) = (geom.din_g as u64, geom.dout_g as u64, geom.groups as u64);
     let windows = geom.out_pixels();
     let holds = passes * din * g;
     let ob = blocks(dout, tout);
@@ -135,11 +127,7 @@ fn window_sweep(
 /// assert!(part.compute_cycles * 3 < inter.compute_cycles);
 /// # Ok::<(), cbrain_compiler::CompileError>(())
 /// ```
-pub fn analytic_cost(
-    geom: &ConvGeometry,
-    scheme: Scheme,
-    cfg: &AcceleratorConfig,
-) -> AnalyticCost {
+pub fn analytic_cost(geom: &ConvGeometry, scheme: Scheme, cfg: &AcceleratorConfig) -> AnalyticCost {
     match scheme {
         Scheme::Inter => inter(geom, cfg, false),
         Scheme::InterImproved => inter(geom, cfg, true),
@@ -184,10 +172,7 @@ mod tests {
                             predicted.weight_loads, stats.weight_buf.loads,
                             "weights {ctx}"
                         );
-                        assert_eq!(
-                            predicted.input_loads, stats.input_buf.loads,
-                            "inputs {ctx}"
-                        );
+                        assert_eq!(predicted.input_loads, stats.input_buf.loads, "inputs {ctx}");
                         assert_eq!(
                             predicted.add_stores, stats.add_store_ops,
                             "add-stores {ctx}"

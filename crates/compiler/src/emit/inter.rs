@@ -18,11 +18,7 @@ use cbrain_sim::{AcceleratorConfig, MacroOp};
 /// output buffer's add-and-store path ("each time we move to ... the next
 /// pixel ... to calculate the 1/(k*k) partial sum instead of the complete
 /// sum"). Cycle counts are identical; buffer traffic is not.
-pub fn emit_inter(
-    geom: &ConvGeometry,
-    cfg: &AcceleratorConfig,
-    improved: bool,
-) -> Vec<MacroOp> {
+pub fn emit_inter(geom: &ConvGeometry, cfg: &AcceleratorConfig, improved: bool) -> Vec<MacroOp> {
     let tin = cfg.pe.tin;
     let tout = cfg.pe.tout;
     let base = geom.out_pixels() * (geom.k * geom.k) as u64 * geom.groups as u64;
@@ -48,8 +44,7 @@ pub fn emit_inter(
             if improved {
                 // One register refill per (kernel position, Din block,
                 // Dout block); each refill is a single port-wide fetch.
-                let refills =
-                    (geom.k * geom.k) as u64 * geom.groups as u64 * dcount * ocount;
+                let refills = (geom.k * geom.k) as u64 * geom.groups as u64 * dcount * ocount;
                 ops.push(MacroOp::MacBurst {
                     bursts: refills,
                     active_lanes: 0,

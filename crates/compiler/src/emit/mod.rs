@@ -94,21 +94,17 @@ mod tests {
     fn intra_sliding_vs_unrolled() {
         let cfg = AcceleratorConfig::paper_16_16();
         // k == s: sliding window, no inflation.
-        let sliding = ConvGeometry::from_params(
-            TensorShape::new(8, 16, 16),
-            &ConvParams::new(8, 8, 2, 2, 0),
-        )
-        .unwrap();
+        let sliding =
+            ConvGeometry::from_params(TensorShape::new(8, 16, 16), &ConvParams::new(8, 8, 2, 2, 0))
+                .unwrap();
         let e = emit_intra(&sliding, &cfg);
         assert!(!e.needs_unroll);
         assert_eq!(e.inflation, 1.0);
 
         // k != s: unrolling with Eq. 1 inflation.
-        let overlapped = ConvGeometry::from_params(
-            TensorShape::new(8, 16, 16),
-            &ConvParams::new(8, 8, 3, 1, 0),
-        )
-        .unwrap();
+        let overlapped =
+            ConvGeometry::from_params(TensorShape::new(8, 16, 16), &ConvParams::new(8, 8, 3, 1, 0))
+                .unwrap();
         let e = emit_intra(&overlapped, &cfg);
         assert!(e.needs_unroll);
         assert!((e.inflation - overlapped.unroll_factor()).abs() < 1e-12);

@@ -128,11 +128,9 @@ mod tests {
 
     #[test]
     fn degenerates_to_sliding_window_when_k_equals_s() {
-        let geom = ConvGeometry::from_params(
-            TensorShape::new(8, 16, 16),
-            &ConvParams::new(8, 8, 2, 2, 0),
-        )
-        .unwrap();
+        let geom =
+            ConvGeometry::from_params(TensorShape::new(8, 16, 16), &ConvParams::new(8, 8, 2, 2, 0))
+                .unwrap();
         let e = emit_partition(&geom, &cfg());
         assert_eq!(e.pieces, 1);
         assert_eq!(e.sub_kernel, 2);

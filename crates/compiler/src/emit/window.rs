@@ -29,9 +29,7 @@ pub struct WindowSweep {
 impl WindowSweep {
     /// Useful MACs this sweep performs (including any padding zeros).
     pub const fn macs(&self) -> u64 {
-        self.passes
-            * self.windows
-            * (self.window * self.din * self.dout * self.groups) as u64
+        self.passes * self.windows * (self.window * self.din * self.dout * self.groups) as u64
     }
 }
 

@@ -54,7 +54,8 @@ pub use codegen::{
     layout_transform_program, CompiledLayer,
 };
 pub use emit::{
-    emit_inter, emit_intra, emit_partition, emit_window_sweep, IntraEmission, PartitionEmission, WindowSweep,
+    emit_inter, emit_intra, emit_partition, emit_window_sweep, IntraEmission, PartitionEmission,
+    WindowSweep,
 };
 pub use error::CompileError;
 pub use geometry::ConvGeometry;

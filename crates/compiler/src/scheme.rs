@@ -97,7 +97,10 @@ mod tests {
 
     #[test]
     fn parse_aliases() {
-        assert_eq!("kernel-partition".parse::<Scheme>().unwrap(), Scheme::Partition);
+        assert_eq!(
+            "kernel-partition".parse::<Scheme>().unwrap(),
+            Scheme::Partition
+        );
         assert_eq!("IMPROVED".parse::<Scheme>().unwrap(), Scheme::InterImproved);
         assert!("systolic".parse::<Scheme>().is_err());
     }

@@ -8,8 +8,8 @@
 
 use crate::error::CompileError;
 use crate::geometry::ConvGeometry;
-use cbrain_sim::{AcceleratorConfig, MacroOp, Tile};
 use cbrain_model::ELEM_BYTES;
+use cbrain_sim::{AcceleratorConfig, MacroOp, Tile};
 
 /// A tiling decision for one layer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -170,8 +170,7 @@ impl TilePlan {
     /// group; weights once if resident, else once per spatial tile).
     pub fn dram_read_bytes(&self) -> u64 {
         let inputs = self.input_tile_bytes * (self.spatial_tiles * self.groups) as u64;
-        let weight_total =
-            self.weight_chunk_bytes * (self.weight_chunks * self.groups) as u64;
+        let weight_total = self.weight_chunk_bytes * (self.weight_chunks * self.groups) as u64;
         let weights = if self.weights_resident {
             weight_total
         } else {
@@ -269,8 +268,7 @@ impl TilePlan {
                 if self.weights_resident {
                     // Once per batch, on the very first tile.
                     if image == 0 && i == 0 {
-                        read += self.weight_chunk_bytes
-                            * (self.weight_chunks * self.groups) as u64;
+                        read += self.weight_chunk_bytes * (self.weight_chunks * self.groups) as u64;
                     }
                 } else {
                     read += self.weight_chunk_bytes;
@@ -280,8 +278,7 @@ impl TilePlan {
                     // spatial bands (the last band may be narrower).
                     let nb = self.spatial_tiles as u64;
                     let sp = spatial as u64;
-                    (self.output_group_bytes * (sp + 1)) / nb
-                        - (self.output_group_bytes * sp) / nb
+                    (self.output_group_bytes * (sp + 1)) / nb - (self.output_group_bytes * sp) / nb
                 } else {
                     0
                 };
@@ -378,10 +375,7 @@ mod tests {
         let plan = TilePlan::conv(&g, &cfg(), 1.0).unwrap();
         assert!(plan.spatial_tiles > 4, "tiles={}", plan.spatial_tiles);
         // Per-tile working set honours the capacity.
-        assert!(
-            plan.input_tile_bytes + plan.output_tile_bytes
-                <= cfg().inout_buf_bytes as u64
-        );
+        assert!(plan.input_tile_bytes + plan.output_tile_bytes <= cfg().inout_buf_bytes as u64);
     }
 
     #[test]
@@ -558,8 +552,6 @@ mod tests {
         let g = ConvGeometry::from_params(TensorShape::new(64, 3, 60_000), &params).unwrap();
         let plan = TilePlan::conv(&g, &cfg(), 1.0).unwrap();
         assert!(plan.spatial_tiles > g.out_y);
-        assert!(
-            plan.input_tile_bytes + plan.output_tile_bytes <= cfg().inout_buf_bytes as u64
-        );
+        assert!(plan.input_tile_bytes + plan.output_tile_bytes <= cfg().inout_buf_bytes as u64);
     }
 }

@@ -6,6 +6,22 @@ use cbrain_sim::AcceleratorConfig;
 use std::fmt;
 
 /// How a network run chooses per-layer schemes.
+///
+/// # Examples
+///
+/// ```
+/// use cbrain::{Policy, Runner, Scheme};
+/// use cbrain_model::zoo;
+/// use cbrain_sim::AcceleratorConfig;
+///
+/// let runner = Runner::new(AcceleratorConfig::paper_16_16());
+/// let net = zoo::alexnet();
+/// let adaptive = runner.run_network(&net, Policy::Adaptive { improved_inter: true })?;
+/// let inter = runner.run_network(&net, Policy::Fixed(Scheme::Inter))?;
+/// // The paper's headline: adaptive selection beats any fixed scheme.
+/// assert!(adaptive.speedup_over(&inter) > 1.0);
+/// # Ok::<(), cbrain::RunError>(())
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Policy {
     /// Every conv layer uses the same scheme (the paper's `inter`,
@@ -87,11 +103,7 @@ impl fmt::Display for Policy {
 /// let c1 = ConvParams::new(3, 96, 11, 4, 0);
 /// assert_eq!(select_scheme(&c1, &cfg, false), Scheme::Partition);
 /// ```
-pub fn select_scheme(
-    conv: &ConvParams,
-    cfg: &AcceleratorConfig,
-    improved_inter: bool,
-) -> Scheme {
+pub fn select_scheme(conv: &ConvParams, cfg: &AcceleratorConfig, improved_inter: bool) -> Scheme {
     if conv.kernel == conv.stride && conv.kernel != 1 {
         Scheme::Intra
     } else if conv.in_maps_per_group() < cfg.pe.tin {
@@ -193,10 +205,7 @@ mod tests {
     #[test]
     fn policy_labels_match_paper() {
         let labels: Vec<_> = Policy::PAPER_ARMS.iter().map(|p| p.label()).collect();
-        assert_eq!(
-            labels,
-            ["inter", "intra", "partition", "adpa-1", "adpa-2"]
-        );
+        assert_eq!(labels, ["inter", "intra", "partition", "adpa-1", "adpa-2"]);
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! Memoization of compiled layers across runs.
+//!
+//! Compiling a layer (tiling, Eq. 1/Eq. 2 math, macro-op emission) and
+//! simulating the resulting program are pure functions of the layer's
+//! geometry, the chosen [`Scheme`], the hardware configuration, the
+//! machine execution knobs and the batch size. The experiment harness
+//! replays the same layers hundreds of times — every VGG block repeats
+//! one conv shape, every paper arm revisits the same network, and the
+//! `Oracle` policy compiles all four schemes per layer — so the
+//! [`CompiledLayerCache`] keys compiled programs by exactly those inputs
+//! and shares them.
+//!
+//! The cache is thread-safe: [`Runner`](crate::Runner) clones share one
+//! cache through an [`Arc`], and the parallel compile fan-out inserts
+//! from worker threads. Hit/miss accounting for a *run* is computed by
+//! the runner in a deterministic serial pre-pass (so the counters on
+//! [`NetworkReport`](crate::NetworkReport) do not depend on thread
+//! scheduling); the cache's own global counters aggregate every lookup
+//! for whole-process summaries.
+//!
+//! # Examples
+//!
+//! ```
+//! use cbrain::cache::{CompiledLayerCache, LayerKey};
+//! use cbrain::{RunOptions, Scheme};
+//! use cbrain_model::zoo;
+//! use cbrain_sim::AcceleratorConfig;
+//!
+//! let cache = CompiledLayerCache::new();
+//! let net = zoo::vgg16();
+//! let opts = RunOptions::default();
+//! let cfg = AcceleratorConfig::paper_16_16();
+//!
+//! // conv3_2 and conv3_3 have identical geometry: one cache entry.
+//! let a = LayerKey::new(net.layer("conv3_2").unwrap(), Scheme::Inter, &cfg, &opts);
+//! let b = LayerKey::new(net.layer("conv3_3").unwrap(), Scheme::Inter, &cfg, &opts);
+//! assert_eq!(a, b);
+//! assert!(!cache.contains(&a));
+//! ```
+
+use crate::runner::RunOptions;
+use cbrain_compiler::{CompiledLayer, Scheme};
+use cbrain_model::{Layer, LayerKind, TensorShape};
+use cbrain_sim::{AcceleratorConfig, MachineOptions, Stats};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Everything a compiled-and-simulated layer depends on.
+///
+/// Deliberately excludes the layer *name*: two layers with the same
+/// geometry compile to the same program and simulate to the same stats,
+/// so VGG's repeated blocks share entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerKey {
+    /// Layer operation and parameters.
+    pub kind: LayerKind,
+    /// Input tensor shape.
+    pub input: TensorShape,
+    /// Mapping scheme (for non-conv layers the compiler ignores it; the
+    /// runner normalizes it to [`Scheme::Inter`]).
+    pub scheme: Scheme,
+    /// Hardware configuration.
+    pub cfg: AcceleratorConfig,
+    /// Machine execution knobs (they change the simulated stats).
+    pub machine: MachineOptions,
+    /// Batch size (it changes the emitted program).
+    pub batch: usize,
+}
+
+impl LayerKey {
+    /// Key for compiling `layer` under `scheme` with the given hardware
+    /// and run options.
+    pub fn new(layer: &Layer, scheme: Scheme, cfg: &AcceleratorConfig, opts: &RunOptions) -> Self {
+        // Non-conv layers have a fixed mapping; normalizing the scheme
+        // makes all four Oracle probes of a pool layer collapse to one key.
+        let scheme = if layer.as_conv().is_some() {
+            scheme
+        } else {
+            Scheme::Inter
+        };
+        Self {
+            kind: layer.kind,
+            input: layer.input,
+            scheme,
+            cfg: *cfg,
+            machine: opts.machine,
+            batch: opts.batch,
+        }
+    }
+}
+
+/// A compiled layer together with its simulated statistics.
+#[derive(Debug, Clone)]
+pub struct CachedLayer {
+    /// Compiler output (program, layouts, scheme actually used).
+    pub compiled: CompiledLayer,
+    /// Machine statistics for one execution of the program.
+    pub stats: Stats,
+}
+
+/// Thread-safe map from [`LayerKey`] to compiled+simulated layers.
+///
+/// # Examples
+///
+/// ```
+/// use cbrain::{Policy, Runner};
+/// use cbrain_model::zoo;
+/// use cbrain_sim::AcceleratorConfig;
+///
+/// let runner = Runner::new(AcceleratorConfig::paper_16_16());
+/// let report = runner.run_network(&zoo::vgg16(), Policy::PAPER_ARMS[0])?;
+/// // VGG repeats conv shapes, so even a cold cache scores hits.
+/// assert!(report.cache_hits > 0);
+/// // A second identical run is answered entirely from the cache.
+/// let again = runner.run_network(&zoo::vgg16(), Policy::PAPER_ARMS[0])?;
+/// assert_eq!(again.cache_misses, 0);
+/// assert_eq!(again.cycles(), report.cycles());
+/// # Ok::<(), cbrain::RunError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct CompiledLayerCache {
+    entries: RwLock<HashMap<LayerKey, Arc<CachedLayer>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CompiledLayerCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache behind an [`Arc`], ready to share between runners.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Whether the key is already cached (does not touch the counters).
+    pub fn contains(&self, key: &LayerKey) -> bool {
+        self.entries.read().expect("cache lock").contains_key(key)
+    }
+
+    /// Looks up a key without touching the counters. The runner uses
+    /// this for its merge pass, whose hits were already accounted by the
+    /// serial pre-pass (see [`crate::Runner::run_network`]).
+    pub fn peek(&self, key: &LayerKey) -> Option<Arc<CachedLayer>> {
+        self.entries.read().expect("cache lock").get(key).cloned()
+    }
+
+    /// Adds externally-accounted lookups to the global counters (the
+    /// runner computes a run's hits/misses deterministically and reports
+    /// them here in one shot).
+    pub fn record(&self, hits: u64, misses: u64) {
+        self.hits.fetch_add(hits, Ordering::Relaxed);
+        self.misses.fetch_add(misses, Ordering::Relaxed);
+    }
+
+    /// Looks up a key, counting a global hit or miss.
+    pub fn get(&self, key: &LayerKey) -> Option<Arc<CachedLayer>> {
+        let found = self.entries.read().expect("cache lock").get(key).cloned();
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts an entry computed elsewhere. Returns the entry that ends up
+    /// in the cache (the existing one if another thread got there first,
+    /// so concurrent same-key compiles converge on one allocation).
+    pub fn insert(&self, key: LayerKey, value: CachedLayer) -> Arc<CachedLayer> {
+        let mut map = self.entries.write().expect("cache lock");
+        map.entry(key).or_insert_with(|| Arc::new(value)).clone()
+    }
+
+    /// Returns the cached entry or computes, inserts and returns it. The
+    /// boolean is `true` on a hit. Counts toward the global counters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the compute closure's error; nothing is inserted.
+    pub fn get_or_try_insert_with<E>(
+        &self,
+        key: LayerKey,
+        compute: impl FnOnce() -> Result<CachedLayer, E>,
+    ) -> Result<(Arc<CachedLayer>, bool), E> {
+        if let Some(found) = self.get(&key) {
+            return Ok((found, true));
+        }
+        let value = compute()?;
+        Ok((self.insert(key, value), false))
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Global hit count across every lookup since construction.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Global miss count across every lookup since construction.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Global hit rate in `[0, 1]`; `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let m = self.misses() as f64;
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+
+    /// Drops every entry and zeroes the counters.
+    pub fn clear(&self) {
+        self.entries.write().expect("cache lock").clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbrain_model::zoo;
+    use cbrain_sim::Machine;
+
+    fn key_for(layer_name: &str, scheme: Scheme) -> (LayerKey, Layer) {
+        let net = zoo::alexnet();
+        let layer = net.layer(layer_name).expect("layer exists").clone();
+        let key = LayerKey::new(
+            &layer,
+            scheme,
+            &AcceleratorConfig::paper_16_16(),
+            &RunOptions::default(),
+        );
+        (key, layer)
+    }
+
+    fn compiled(layer: &Layer, scheme: Scheme) -> CachedLayer {
+        let cfg = AcceleratorConfig::paper_16_16();
+        let compiled = cbrain_compiler::compile_layer_batched(layer, scheme, &cfg, 1).unwrap();
+        let stats = Machine::new(cfg).run(&compiled.program);
+        CachedLayer { compiled, stats }
+    }
+
+    #[test]
+    fn same_geometry_same_key_distinct_scheme_distinct_key() {
+        let net = zoo::vgg16();
+        let cfg = AcceleratorConfig::paper_16_16();
+        let opts = RunOptions::default();
+        let a = LayerKey::new(net.layer("conv3_2").unwrap(), Scheme::Inter, &cfg, &opts);
+        let b = LayerKey::new(net.layer("conv3_3").unwrap(), Scheme::Inter, &cfg, &opts);
+        let c = LayerKey::new(net.layer("conv3_3").unwrap(), Scheme::Intra, &cfg, &opts);
+        assert_eq!(a, b);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn pool_layers_normalize_scheme() {
+        let net = zoo::alexnet();
+        let cfg = AcceleratorConfig::paper_16_16();
+        let opts = RunOptions::default();
+        let pool = net.layer("pool1").unwrap();
+        let a = LayerKey::new(pool, Scheme::Partition, &cfg, &opts);
+        let b = LayerKey::new(pool, Scheme::Intra, &cfg, &opts);
+        assert_eq!(a, b);
+        assert_eq!(a.scheme, Scheme::Inter);
+    }
+
+    #[test]
+    fn hit_miss_counting() {
+        let cache = CompiledLayerCache::new();
+        let (key, layer) = key_for("conv1", Scheme::Partition);
+        assert!(cache.get(&key).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+
+        let (entry, hit) = cache
+            .get_or_try_insert_with(key, || {
+                Ok::<_, crate::RunError>(compiled(&layer, key.scheme))
+            })
+            .unwrap();
+        assert!(!hit);
+        assert_eq!(entry.compiled.scheme, Some(Scheme::Partition));
+
+        let (again, hit) = cache
+            .get_or_try_insert_with(key, || -> Result<_, crate::RunError> {
+                unreachable!("must hit")
+            })
+            .unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&entry, &again));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        assert!(cache.hit_rate() > 0.3);
+        assert_eq!(cache.len(), 1);
+
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn failed_compute_inserts_nothing() {
+        let cache = CompiledLayerCache::new();
+        let (key, _) = key_for("conv1", Scheme::Inter);
+        let err: Result<(Arc<CachedLayer>, bool), &str> =
+            cache.get_or_try_insert_with(key, || Err("boom"));
+        assert!(err.is_err());
+        assert!(!cache.contains(&key));
+    }
+}

@@ -94,14 +94,12 @@ impl NetworkWeights {
                 }
                 LayerKind::FullyConnected(p) => {
                     let scale = (2.0 / p.in_features as f32).sqrt();
-                    let w: Vec<f32> = Tensor3::random(
-                        TensorShape::new(1, p.out_features, p.in_features),
-                        lseed,
-                    )
-                    .into_vec()
-                    .into_iter()
-                    .map(|v| v * scale * 0.5)
-                    .collect();
+                    let w: Vec<f32> =
+                        Tensor3::random(TensorShape::new(1, p.out_features, p.in_features), lseed)
+                            .into_vec()
+                            .into_iter()
+                            .map(|v| v * scale * 0.5)
+                            .collect();
                     let bias = vec![0.01; p.out_features];
                     fcs.push((layer.name.clone(), w, bias));
                 }
@@ -126,11 +124,7 @@ impl NetworkWeights {
     }
 }
 
-fn scale_conv(
-    w: ConvWeights,
-    p: &cbrain_model::ConvParams,
-    scale: f32,
-) -> ConvWeights {
+fn scale_conv(w: ConvWeights, p: &cbrain_model::ConvParams, scale: f32) -> ConvWeights {
     let mut out = ConvWeights::zeros(p);
     for o in 0..p.out_maps {
         for i in 0..p.in_maps_per_group() {
@@ -348,8 +342,7 @@ mod tests {
             &cfg,
         )
         .unwrap();
-        let by_name: std::collections::HashMap<_, _> =
-            run.schemes.iter().cloned().collect();
+        let by_name: std::collections::HashMap<_, _> = run.schemes.iter().cloned().collect();
         assert_eq!(by_name["stem"], Some(Scheme::Partition));
         assert_eq!(by_name["mid"], Some(Scheme::Partition));
         assert_eq!(by_name["deep"], Some(Scheme::InterImproved));

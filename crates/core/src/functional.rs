@@ -113,12 +113,7 @@ pub fn unrolled_forward(
 ) -> Result<Tensor3, ModelError> {
     params.validate("<unrolled>")?;
     let out_shape = params.output_shape(input.shape())?;
-    let (buf, wy, wx) = reference::unroll_windows(
-        input,
-        params.kernel,
-        params.stride,
-        params.pad,
-    )?;
+    let (buf, wy, wx) = reference::unroll_windows(input, params.kernel, params.stride, params.pad)?;
     debug_assert_eq!((wy, wx), (out_shape.height, out_shape.width));
 
     let k2 = params.kernel * params.kernel;
@@ -281,16 +276,17 @@ pub fn partition_forward_on_pe(
                                 }
                             }
                         }
-                        let lanes: Vec<&[f64]> =
-                            lane_weights[..o_count].iter().map(|w| &w[..data.len()]).collect();
+                        let lanes: Vec<&[f64]> = lane_weights[..o_count]
+                            .iter()
+                            .map(|w| &w[..data.len()])
+                            .collect();
                         let psums = array
                             .issue(&data, &lanes, window)
                             .expect("issue shapes are consistent by construction");
                         for (oo, lane) in psums.iter().enumerate() {
                             for (b, p) in lane.iter().enumerate() {
                                 let w_idx = w_base + b;
-                                let (oy, ox) =
-                                    (w_idx / out_shape.width, w_idx % out_shape.width);
+                                let (oy, ox) = (w_idx / out_shape.width, w_idx % out_shape.width);
                                 // add-and-store into the output buffer.
                                 *out.at_mut(o_base + oo, oy, ox) += *p as f32;
                             }

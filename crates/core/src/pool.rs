@@ -1,0 +1,146 @@
+//! Deterministic fork-join pool built on `std::thread::scope`.
+//!
+//! The experiment harness fans out independent cells — (network, config,
+//! arm) triples, per-layer Oracle probes, compile work-lists — and needs
+//! the fan-out to be *invisible* in the output: running with 8 workers
+//! must produce byte-identical results to running serially. The pool
+//! guarantees that by construction: work items are claimed from a shared
+//! queue in submission order, each worker writes its result into the
+//! slot reserved for that item's index, and [`parallel_map`] returns the
+//! slots in index order. Scheduling can change *when* an item runs,
+//! never *where its result lands*.
+//!
+//! DESIGN.md sanctions scoped `std::thread` for exactly this: no external
+//! runtime, no work stealing, results merged in fixed order.
+
+use std::sync::Mutex;
+
+/// Number of jobs to use when the caller does not say: the machine's
+/// available parallelism, or 1 if that cannot be determined.
+pub fn available_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `jobs` worker threads, returning the
+/// results in input order.
+///
+/// `jobs <= 1` (or a single item) runs inline on the caller's thread —
+/// the serial path and the parallel path produce identical output, so
+/// callers can thread a `--jobs` flag straight through.
+///
+/// # Panics
+///
+/// If `f` panics on any item the panic propagates to the caller once the
+/// scope joins.
+///
+/// # Examples
+///
+/// ```
+/// use cbrain::pool::parallel_map;
+///
+/// let squares = parallel_map(4, (0..100).collect(), |n: u64| n * n);
+/// assert_eq!(squares, parallel_map(1, (0..100).collect(), |n: u64| n * n));
+/// assert_eq!(squares[7], 49);
+/// ```
+pub fn parallel_map<T, U, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let slots: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                // Claim under the lock, compute outside it.
+                let claimed = queue.lock().expect("pool queue").next();
+                let Some((index, item)) = claimed else { break };
+                let result = f(item);
+                *slots[index].lock().expect("pool slot") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("pool slot")
+                .expect("every slot is filled before the scope joins")
+        })
+        .collect()
+}
+
+/// [`parallel_map`] for fallible work: stops at nothing (every item runs)
+/// but returns the first error in *input order*, so error reporting is as
+/// deterministic as the success path.
+///
+/// # Errors
+///
+/// The error of the lowest-indexed failing item, if any.
+pub fn try_parallel_map<T, U, E, F>(jobs: usize, items: Vec<T>, f: F) -> Result<Vec<U>, E>
+where
+    T: Send,
+    U: Send,
+    E: Send,
+    F: Fn(T) -> Result<U, E> + Sync,
+{
+    parallel_map(jobs, items, f).into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn preserves_order_at_any_width() {
+        let input: Vec<usize> = (0..257).collect();
+        let serial = parallel_map(1, input.clone(), |n| n * 3 + 1);
+        for jobs in [2, 3, 8, 64, 1000] {
+            assert_eq!(parallel_map(jobs, input.clone(), |n| n * 3 + 1), serial);
+        }
+    }
+
+    #[test]
+    fn runs_every_item_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let out = parallel_map(4, (0..100).collect::<Vec<usize>>(), |n| {
+            count.fetch_add(1, Ordering::Relaxed);
+            n
+        });
+        assert_eq!(out.len(), 100);
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = parallel_map(8, Vec::new(), |n: u32| n);
+        assert!(empty.is_empty());
+        assert_eq!(parallel_map(8, vec![9], |n: u32| n + 1), vec![10]);
+    }
+
+    #[test]
+    fn first_error_in_input_order_wins() {
+        let r = try_parallel_map(4, (0..50).collect::<Vec<usize>>(), |n| {
+            if n % 10 == 7 {
+                Err(n)
+            } else {
+                Ok(n)
+            }
+        });
+        assert_eq!(r, Err(7));
+    }
+
+    #[test]
+    fn available_jobs_is_positive() {
+        assert!(available_jobs() >= 1);
+    }
+}

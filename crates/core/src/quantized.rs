@@ -134,7 +134,11 @@ mod tests {
 
     #[test]
     fn error_is_small_for_unit_scale_data() {
-        let q = run(ConvParams::new(3, 8, 5, 1, 2), TensorShape::new(3, 16, 16), 7);
+        let q = run(
+            ConvParams::new(3, 8, 5, 1, 2),
+            TensorShape::new(3, 16, 16),
+            7,
+        );
         assert!(q.max_abs_error < 0.12, "{}", q.max_abs_error);
         assert!(q.rms_error < 0.03, "{}", q.rms_error);
     }
@@ -148,8 +152,16 @@ mod tests {
 
     #[test]
     fn deeper_reductions_accumulate_more_error() {
-        let shallow = run(ConvParams::new(2, 4, 3, 1, 1), TensorShape::new(2, 10, 10), 3);
-        let deep = run(ConvParams::new(32, 4, 3, 1, 1), TensorShape::new(32, 10, 10), 3);
+        let shallow = run(
+            ConvParams::new(2, 4, 3, 1, 1),
+            TensorShape::new(2, 10, 10),
+            3,
+        );
+        let deep = run(
+            ConvParams::new(32, 4, 3, 1, 1),
+            TensorShape::new(32, 10, 10),
+            3,
+        );
         assert!(deep.rms_error > shallow.rms_error);
     }
 
@@ -161,11 +173,7 @@ mod tests {
         let input = Tensor3::from_fn(TensorShape::new(64, 4, 4), |_, _, _| 1.0);
         let weights = ConvWeights::from_fn(&params, |_, _, _, _| 1.0);
         let q = conv_forward_q16(&input, &weights, None, &params).unwrap();
-        let max = q
-            .output
-            .as_slice()
-            .iter()
-            .fold(f32::MIN, |a, &b| a.max(b));
+        let max = q.output.as_slice().iter().fold(f32::MIN, |a, &b| a.max(b));
         assert!((max - Fx16::MAX.to_f32()).abs() < 1e-3, "max={max}");
     }
 
@@ -181,7 +189,11 @@ mod tests {
 
     #[test]
     fn output_matches_reference_shape() {
-        let q = run(ConvParams::new(3, 6, 3, 2, 0), TensorShape::new(3, 11, 11), 9);
+        let q = run(
+            ConvParams::new(3, 6, 3, 2, 0),
+            TensorShape::new(3, 11, 11),
+            9,
+        );
         assert_eq!(q.output.shape(), TensorShape::new(6, 5, 5));
     }
 }

@@ -102,7 +102,7 @@ pub fn log_bars(rows: &[(&str, u64)], width: usize) -> String {
 /// One-line summary of a network run.
 pub fn summarize(report: &NetworkReport) -> String {
     format!(
-        "{:<10} {:<10} {:>14} cycles  {:>8.3} ms  util {:>5.1}%  buffer {:>6.2e} bits  dram {:>6.2e} B",
+        "{:<10} {:<10} {:>14} cycles  {:>8.3} ms  util {:>5.1}%  buffer {:>6.2e} bits  dram {:>6.2e} B  cache {}h/{}m",
         report.network,
         report.policy.label(),
         format_cycles(report.cycles()),
@@ -110,6 +110,8 @@ pub fn summarize(report: &NetworkReport) -> String {
         report.totals.pe_utilization() * 100.0,
         report.totals.buffer_access_bits() as f64,
         report.totals.dram_bytes() as f64,
+        report.cache_hits,
+        report.cache_misses,
     )
 }
 
@@ -177,10 +179,7 @@ mod tests {
     fn log_bars_equal_values() {
         let chart = log_bars(&[("x", 7), ("y", 7)], 10);
         let lines: Vec<&str> = chart.lines().collect();
-        assert_eq!(
-            lines[0].matches('#').count(),
-            lines[1].matches('#').count()
-        );
+        assert_eq!(lines[0].matches('#').count(), lines[1].matches('#').count());
     }
 
     #[test]

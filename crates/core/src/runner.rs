@@ -1,15 +1,22 @@
 //! Whole-network execution under a parallelization policy.
+//!
+//! Compilation is memoized through a [`CompiledLayerCache`] and the
+//! per-run compile work-list fans out over [`crate::pool`] when
+//! [`RunOptions::jobs`] asks for it. Hit/miss accounting and the final
+//! report are computed serially in layer order, so a parallel run is
+//! byte-identical to a serial one.
 
 use crate::adaptive::{scheme_for, Policy};
+use crate::cache::{CachedLayer, CompiledLayerCache, LayerKey};
 use crate::error::RunError;
+use crate::pool::try_parallel_map;
 use cbrain_compiler::{
-    compile_layer_batched, ideal_cycles, layout_transform_program, CompiledLayer, DataLayout,
-    Scheme,
+    compile_layer_batched, ideal_cycles, layout_transform_program, DataLayout, Scheme,
 };
 use cbrain_model::{Layer, LayerKind, Network};
-use cbrain_sim::{
-    AcceleratorConfig, EnergyBreakdown, EnergyModel, Machine, MachineOptions, Stats,
-};
+use cbrain_sim::{AcceleratorConfig, EnergyBreakdown, EnergyModel, Machine, MachineOptions, Stats};
+use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Which layers of the network a run covers.
 ///
@@ -63,6 +70,11 @@ pub struct RunOptions {
     /// batch; weights resident on chip (and FC weight streams, via the
     /// weight-chunk-outer ordering) are amortized across it.
     pub batch: usize,
+    /// Worker threads for the compile work-list inside one run (the
+    /// Oracle policy compiles every scheme per layer, so this is where a
+    /// single run has parallelism to exploit). The report is identical
+    /// for every value; `1` (the default) stays on the calling thread.
+    pub jobs: usize,
 }
 
 impl Default for RunOptions {
@@ -73,6 +85,7 @@ impl Default for RunOptions {
             machine: MachineOptions::default(),
             energy: EnergyModel::default(),
             batch: 1,
+            jobs: 1,
         }
     }
 }
@@ -110,6 +123,14 @@ pub struct NetworkReport {
     pub totals: Stats,
     /// Energy under the run's model.
     pub energy: EnergyBreakdown,
+    /// Compiled-layer cache hits this run scored (repeated geometry
+    /// inside the network, the Oracle's winner re-fetch, or entries left
+    /// by earlier runs on the same [`Runner`]). Computed in a serial
+    /// pre-pass, so the value is independent of [`RunOptions::jobs`].
+    pub cache_hits: u64,
+    /// Compiled-layer cache misses this run paid for (each one is a
+    /// unique compile+simulate of a layer geometry/scheme pair).
+    pub cache_misses: u64,
 }
 
 impl NetworkReport {
@@ -142,28 +163,61 @@ impl NetworkReport {
     pub fn dram_bytes_per_image(&self) -> f64 {
         self.totals.dram_bytes() as f64 / self.batch as f64
     }
+
+    /// Fraction of this run's compile lookups answered from the cache,
+    /// in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// The network runner: compiles each selected layer under the policy and
 /// executes it on the simulated machine.
+///
+/// Every runner owns a [`CompiledLayerCache`]; clones share it (the
+/// handle is an [`Arc`]), and [`Runner::with_cache`] lets several
+/// runners pool one explicitly.
 #[derive(Debug, Clone)]
 pub struct Runner {
     cfg: AcceleratorConfig,
     opts: RunOptions,
+    cache: Arc<CompiledLayerCache>,
 }
 
 impl Runner {
-    /// Creates a runner with default options.
+    /// Creates a runner with default options and a fresh cache.
     pub fn new(cfg: AcceleratorConfig) -> Self {
+        Self::with_options(cfg, RunOptions::default())
+    }
+
+    /// Creates a runner with explicit options and a fresh cache.
+    pub fn with_options(cfg: AcceleratorConfig, opts: RunOptions) -> Self {
         Self {
             cfg,
-            opts: RunOptions::default(),
+            opts,
+            cache: CompiledLayerCache::shared(),
         }
     }
 
-    /// Creates a runner with explicit options.
-    pub fn with_options(cfg: AcceleratorConfig, opts: RunOptions) -> Self {
-        Self { cfg, opts }
+    /// Replaces the runner's cache with a shared one. Sharing trades the
+    /// per-run determinism of the hit/miss *counters* for cross-runner
+    /// reuse: with a shared cache, whether run B hits depends on whether
+    /// run A already compiled the entry. Results are unaffected either
+    /// way — a cached entry is exactly what a fresh compile would return.
+    #[must_use]
+    pub fn with_cache(mut self, cache: Arc<CompiledLayerCache>) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// The runner's compiled-layer cache.
+    pub fn cache(&self) -> &Arc<CompiledLayerCache> {
+        &self.cache
     }
 
     /// The hardware configuration.
@@ -176,37 +230,93 @@ impl Runner {
         &self.opts
     }
 
-    fn compile(&self, layer: &Layer, policy: Policy) -> Result<CompiledLayer, RunError> {
-        let Some(conv) = layer.as_conv() else {
-            // Pools and FC layers have a fixed mapping; the scheme argument
-            // is ignored by their compilers.
-            return Ok(compile_layer_batched(
-                layer,
-                Scheme::Inter,
-                &self.cfg,
-                self.opts.batch,
-            )?);
-        };
-        if policy == Policy::Oracle {
-            // Exhaustive search: simulate every scheme, keep the cheapest.
-            let machine = Machine::with_options(self.cfg, self.opts.machine);
-            let mut best: Option<(u64, CompiledLayer)> = None;
-            for scheme in Scheme::ALL {
-                let compiled = compile_layer_batched(layer, scheme, &self.cfg, self.opts.batch)?;
-                let cycles = machine.run(&compiled.program).cycles;
-                if best.as_ref().is_none_or(|(b, _)| cycles < *b) {
-                    best = Some((cycles, compiled));
+    /// The cache keys a layer's compile will probe, in deterministic
+    /// order. One key for a fixed or heuristic policy; all four schemes
+    /// for the Oracle's exhaustive sweep; non-conv layers have a fixed
+    /// mapping and always collapse to one `Scheme::Inter` key.
+    fn probe_keys(&self, layer: &Layer, policy: Policy) -> Vec<LayerKey> {
+        match layer.as_conv() {
+            None => vec![LayerKey::new(layer, Scheme::Inter, &self.cfg, &self.opts)],
+            Some(conv) => match policy {
+                Policy::Oracle => Scheme::ALL
+                    .into_iter()
+                    .map(|s| LayerKey::new(layer, s, &self.cfg, &self.opts))
+                    .collect(),
+                _ => vec![LayerKey::new(
+                    layer,
+                    scheme_for(policy, conv, &self.cfg),
+                    &self.cfg,
+                    &self.opts,
+                )],
+            },
+        }
+    }
+
+    /// Compiles and simulates one cache key's worth of work.
+    fn compile_key(&self, layer: &Layer, key: &LayerKey) -> Result<CachedLayer, RunError> {
+        let compiled = compile_layer_batched(layer, key.scheme, &self.cfg, self.opts.batch)?;
+        let stats = Machine::with_options(self.cfg, self.opts.machine).run(&compiled.program);
+        Ok(CachedLayer { compiled, stats })
+    }
+
+    /// Phase 1+2 of a run: serial hit/miss accounting over every probe
+    /// key in layer order, then a (possibly parallel) compile of the
+    /// unique misses. Returns `(hits, misses)` for the report; on return
+    /// every probe key is present in the cache.
+    ///
+    /// The accounting happens *before* any compile, against the cache
+    /// state at entry plus a local seen-set — so the counts depend only
+    /// on the layer sequence and prior cache contents, never on how the
+    /// compile work-list is scheduled across threads.
+    fn plan_and_compile(&self, layers: &[&Layer], policy: Policy) -> Result<(u64, u64), RunError> {
+        let mut seen: HashSet<LayerKey> = HashSet::new();
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut worklist: Vec<(LayerKey, &Layer)> = Vec::new();
+        for layer in layers {
+            for key in self.probe_keys(layer, policy) {
+                if self.cache.contains(&key) || seen.contains(&key) {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                    seen.insert(key);
+                    worklist.push((key, layer));
                 }
             }
-            return Ok(best.expect("Scheme::ALL is non-empty").1);
+            if policy == Policy::Oracle && layer.as_conv().is_some() {
+                // After the sweep the winning scheme is fetched back out
+                // of the cache: a guaranteed hit on every Oracle layer.
+                hits += 1;
+            }
         }
-        let scheme = scheme_for(policy, conv, &self.cfg);
-        Ok(compile_layer_batched(
-            layer,
-            scheme,
-            &self.cfg,
-            self.opts.batch,
-        )?)
+        let compiled = try_parallel_map(self.opts.jobs, worklist, |(key, layer)| {
+            self.compile_key(layer, &key).map(|entry| (key, entry))
+        })?;
+        for (key, entry) in compiled {
+            self.cache.insert(key, entry);
+        }
+        self.cache.record(hits, misses);
+        Ok((hits, misses))
+    }
+
+    /// Fetches the cached entry a layer executes under `policy`; for the
+    /// Oracle that is the cheapest scheme (ties broken in `Scheme::ALL`
+    /// order). Every key must already be cached (see `plan_and_compile`).
+    fn resolve(&self, layer: &Layer, policy: Policy) -> Arc<CachedLayer> {
+        let mut best: Option<Arc<CachedLayer>> = None;
+        for key in self.probe_keys(layer, policy) {
+            let entry = self
+                .cache
+                .peek(&key)
+                .expect("plan_and_compile cached every probe key");
+            if best
+                .as_ref()
+                .is_none_or(|b| entry.stats.cycles < b.stats.cycles)
+            {
+                best = Some(entry);
+            }
+        }
+        best.expect("probe_keys is non-empty")
     }
 
     /// Runs one layer in isolation (no layout-transform accounting).
@@ -215,13 +325,12 @@ impl Runner {
     ///
     /// Returns a [`RunError`] if the layer fails to compile.
     pub fn run_layer(&self, layer: &Layer, policy: Policy) -> Result<LayerReport, RunError> {
-        let machine = Machine::with_options(self.cfg, self.opts.machine);
-        let compiled = self.compile(layer, policy)?;
-        let stats = machine.run(&compiled.program);
+        self.plan_and_compile(&[layer], policy)?;
+        let entry = self.resolve(layer, policy);
         Ok(LayerReport {
             name: layer.name.clone(),
-            scheme: compiled.scheme,
-            stats,
+            scheme: entry.compiled.scheme,
+            stats: entry.stats,
             ideal_cycles: ideal_cycles(layer, &self.cfg)?,
             layout_transform_cycles: 0,
         })
@@ -259,6 +368,14 @@ impl Runner {
             });
         }
 
+        // Phase 1+2: deterministic accounting, then compile the unique
+        // misses (in parallel when opts.jobs > 1).
+        let (cache_hits, cache_misses) = self.plan_and_compile(&selected, policy)?;
+
+        // Phase 3: serial merge in layer order. Every compile is a cache
+        // fetch now, so this pass is cheap and its output — including the
+        // layout-transform chain, which threads state layer to layer — is
+        // identical however phase 2 was scheduled.
         let mut layers = Vec::with_capacity(selected.len());
         let mut totals = Stats::new();
         // Layout of the tensor currently in memory: the raw image arrives in
@@ -266,11 +383,11 @@ impl Runner {
         let mut current_layout: Option<DataLayout> = None;
 
         for layer in selected {
-            let compiled = self.compile(layer, policy)?;
+            let entry = self.resolve(layer, policy);
             let mut transform_cycles = 0;
             if let Some(prev) = current_layout {
                 let needs_transform = !self.opts.layout_planning
-                    && prev != compiled.wants_input_layout
+                    && prev != entry.compiled.wants_input_layout
                     && matches!(layer.kind, LayerKind::Conv(_));
                 if needs_transform {
                     let t = machine.run(&layout_transform_program(layer.input, &layer.name));
@@ -278,18 +395,18 @@ impl Runner {
                     totals += t;
                 }
             }
-            let stats = machine.run(&compiled.program);
+            let stats = entry.stats;
             totals += stats;
             current_layout = Some(if self.opts.layout_planning {
                 // Algorithm 2 lines 4-5: the output is stored in whatever
                 // order the consumer will want, so it always matches.
-                compiled.wants_input_layout
+                entry.compiled.wants_input_layout
             } else {
-                compiled.output_layout
+                entry.compiled.output_layout
             });
             layers.push(LayerReport {
                 name: layer.name.clone(),
-                scheme: compiled.scheme,
+                scheme: entry.compiled.scheme,
                 stats,
                 ideal_cycles: ideal_cycles(layer, &self.cfg)? * self.opts.batch as u64,
                 layout_transform_cycles: transform_cycles,
@@ -305,6 +422,8 @@ impl Runner {
             layers,
             totals,
             energy,
+            cache_hits,
+            cache_misses,
         })
     }
 
@@ -441,9 +560,7 @@ mod tests {
         // Alternate schemes (adaptive on AlexNet: partition then inter)
         // force transforms when planning is off.
         let net = zoo::alexnet();
-        let planned = runner()
-            .run_network(&net, Policy::PAPER_ARMS[3])
-            .unwrap();
+        let planned = runner().run_network(&net, Policy::PAPER_ARMS[3]).unwrap();
         let unplanned = Runner::with_options(
             AcceleratorConfig::paper_16_16(),
             RunOptions {
@@ -556,6 +673,120 @@ mod tests {
         let four = mk(4).run_network(&net, Policy::PAPER_ARMS[0]).unwrap();
         let ratio = four.cycles() as f64 / one.cycles() as f64;
         assert!((3.8..=4.05).contains(&ratio), "ratio={ratio}");
+    }
+
+    #[test]
+    fn vgg_scores_cache_hits_even_cold() {
+        // VGG16 repeats conv geometries within blocks (conv3_2 == conv3_3
+        // etc.), so a fresh runner still reuses compiled layers.
+        let report = runner()
+            .run_network(&zoo::vgg16(), Policy::PAPER_ARMS[0])
+            .unwrap();
+        assert!(report.cache_hits > 0, "hits={}", report.cache_hits);
+        assert!(report.cache_misses > 0);
+        assert!(report.cache_hit_rate() > 0.0);
+        assert!(report.cache_hit_rate() < 1.0);
+    }
+
+    #[test]
+    fn oracle_always_scores_cache_hits() {
+        // The Oracle sweep fetches its winner back out of the cache, so
+        // every Oracle run on every network reports hits.
+        let r = runner();
+        for net in zoo::all() {
+            let report = r.run_network(&net, Policy::Oracle).unwrap();
+            assert!(report.cache_hits > 0, "{}", net.name());
+        }
+    }
+
+    #[test]
+    fn repeat_run_is_all_hits_and_identical() {
+        let r = runner();
+        let net = zoo::alexnet();
+        let first = r.run_network(&net, Policy::PAPER_ARMS[4]).unwrap();
+        let second = r.run_network(&net, Policy::PAPER_ARMS[4]).unwrap();
+        assert_eq!(second.cache_misses, 0);
+        assert_eq!(second.cache_hits, first.cache_hits + first.cache_misses);
+        assert_eq!(second.cycles(), first.cycles());
+        assert_eq!(second.totals, first.totals);
+    }
+
+    #[test]
+    fn shared_cache_crosses_runners() {
+        let cache = crate::cache::CompiledLayerCache::shared();
+        let net = zoo::alexnet();
+        let a = Runner::new(AcceleratorConfig::paper_16_16()).with_cache(Arc::clone(&cache));
+        let b = Runner::new(AcceleratorConfig::paper_16_16()).with_cache(Arc::clone(&cache));
+        let first = a.run_network(&net, Policy::PAPER_ARMS[0]).unwrap();
+        let second = b.run_network(&net, Policy::PAPER_ARMS[0]).unwrap();
+        assert!(first.cache_misses > 0);
+        assert_eq!(second.cache_misses, 0);
+        assert_eq!(second.cycles(), first.cycles());
+        assert!(cache.hits() >= second.cache_hits);
+    }
+
+    #[test]
+    fn parallel_run_is_identical_to_serial() {
+        // The tentpole guarantee: jobs only changes wall-clock, never a
+        // single field of the report — including the cache counters.
+        let mk = |jobs| {
+            Runner::with_options(
+                AcceleratorConfig::paper_16_16(),
+                RunOptions {
+                    jobs,
+                    ..RunOptions::default()
+                },
+            )
+        };
+        for net in zoo::all() {
+            for policy in [Policy::Oracle, Policy::PAPER_ARMS[4]] {
+                let serial = mk(1).run_network(&net, policy).unwrap();
+                let parallel = mk(4).run_network(&net, policy).unwrap();
+                assert_eq!(
+                    format!("{serial:?}"),
+                    format!("{parallel:?}"),
+                    "{}",
+                    net.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_and_machine_options_split_cache_entries() {
+        let net = zoo::alexnet();
+        let mk = |batch, overlap_dma| {
+            Runner::with_options(
+                AcceleratorConfig::paper_16_16(),
+                RunOptions {
+                    batch,
+                    machine: MachineOptions {
+                        overlap_dma,
+                        ..MachineOptions::default()
+                    },
+                    ..RunOptions::default()
+                },
+            )
+        };
+        let cache = crate::cache::CompiledLayerCache::shared();
+        let a = mk(1, true).with_cache(Arc::clone(&cache));
+        let b = mk(2, true).with_cache(Arc::clone(&cache));
+        let c = mk(1, false).with_cache(Arc::clone(&cache));
+        a.run_network(&net, Policy::PAPER_ARMS[0]).unwrap();
+        // Different batch and different machine knobs must not reuse the
+        // batch-1/overlap entries: both runs recompile everything.
+        assert_eq!(
+            b.run_network(&net, Policy::PAPER_ARMS[0])
+                .unwrap()
+                .cache_hits,
+            0
+        );
+        assert_eq!(
+            c.run_network(&net, Policy::PAPER_ARMS[0])
+                .unwrap()
+                .cache_hits,
+            0
+        );
     }
 
     #[test]

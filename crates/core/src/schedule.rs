@@ -186,7 +186,11 @@ mod tests {
     #[test]
     fn alexnet_schedule_partitions_conv1_only() {
         let plan = plan_network(&zoo::alexnet(), adpa2(), &cfg(), true).unwrap();
-        let conv_schemes: Vec<_> = plan.layers.iter().filter_map(|l| l.scheme.as_ref()).collect();
+        let conv_schemes: Vec<_> = plan
+            .layers
+            .iter()
+            .filter_map(|l| l.scheme.as_ref())
+            .collect();
         assert_eq!(*conv_schemes[0], Scheme::Partition);
         assert!(conv_schemes[1..4]
             .iter()
@@ -211,8 +215,7 @@ mod tests {
     #[test]
     fn fixed_policies_never_transform() {
         for scheme in Scheme::ALL {
-            let plan =
-                plan_network(&zoo::alexnet(), Policy::Fixed(scheme), &cfg(), false).unwrap();
+            let plan = plan_network(&zoo::alexnet(), Policy::Fixed(scheme), &cfg(), false).unwrap();
             assert_eq!(plan.transform_count(), 0, "{scheme}");
         }
     }

@@ -449,10 +449,7 @@ mod tests {
         let whole = ConvParams::new(96, 256, 5, 1, 2);
         let grouped = ConvParams::grouped(96, 256, 5, 1, 2, 2);
         let input = TensorShape::new(96, 27, 27);
-        assert_eq!(
-            grouped.macs(input).unwrap() * 2,
-            whole.macs(input).unwrap()
-        );
+        assert_eq!(grouped.macs(input).unwrap() * 2, whole.macs(input).unwrap());
     }
 
     #[test]

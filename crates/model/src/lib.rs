@@ -34,6 +34,7 @@ pub mod fixed;
 mod layer;
 mod network;
 pub mod reference;
+pub mod rng;
 mod shape;
 pub mod spec;
 pub mod stats;

@@ -217,11 +217,8 @@ impl NetworkBuilder {
     /// Appends a fully-connected layer; the running shape is flattened.
     pub fn fully_connected(self, name: &str, out_features: usize) -> Self {
         let in_features = self.cursor.elems();
-        let layer = Layer::fully_connected(
-            name,
-            self.cursor,
-            FcParams::new(in_features, out_features),
-        );
+        let layer =
+            Layer::fully_connected(name, self.cursor, FcParams::new(in_features, out_features));
         self.push(layer)
     }
 
@@ -274,14 +271,8 @@ mod tests {
     fn builder_chains_shapes() {
         let net = tiny();
         assert_eq!(net.layer("c1").unwrap().input, TensorShape::new(3, 32, 32));
-        assert_eq!(
-            net.layer("c2").unwrap().input,
-            TensorShape::new(16, 16, 16)
-        );
-        assert_eq!(
-            net.layer("fc").unwrap().input,
-            TensorShape::new(32, 16, 16)
-        );
+        assert_eq!(net.layer("c2").unwrap().input, TensorShape::new(16, 16, 16));
+        assert_eq!(net.layer("fc").unwrap().input, TensorShape::new(32, 16, 16));
     }
 
     #[test]

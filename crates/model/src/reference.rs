@@ -67,11 +67,8 @@ pub fn conv_forward(
                 for i in 0..in_per_group {
                     for ky in 0..params.kernel {
                         for kx in 0..params.kernel {
-                            let v = input.at_padded(
-                                in_base + i,
-                                iy0 + ky as isize,
-                                ix0 + kx as isize,
-                            );
+                            let v =
+                                input.at_padded(in_base + i, iy0 + ky as isize, ix0 + kx as isize);
                             acc += v * weights.at(o, i, ky, kx);
                         }
                     }

@@ -163,10 +163,7 @@ pub fn parse(text: &str) -> Result<Network, ParseSpecError> {
                     return Err(err(lineno, "duplicate `network` directive"));
                 }
                 if tokens.len() != 4 || tokens[2] != "input" {
-                    return Err(err(
-                        lineno,
-                        "expected `network <name> input <DinxHxW>`",
-                    ));
+                    return Err(err(lineno, "expected `network <name> input <DinxHxW>`"));
                 }
                 name = Some(tokens[1].to_owned());
                 let shape = parse_shape(tokens[3], lineno)?;
@@ -174,9 +171,8 @@ pub fn parse(text: &str) -> Result<Network, ParseSpecError> {
                 cursor = Some(shape);
             }
             kind @ ("conv" | "pool" | "fc") => {
-                let cur = cursor.ok_or_else(|| {
-                    err(lineno, "layer before the `network` directive")
-                })?;
+                let cur =
+                    cursor.ok_or_else(|| err(lineno, "layer before the `network` directive"))?;
                 if tokens.len() < 2 {
                     return Err(err(lineno, format!("`{kind}` needs a layer name")));
                 }
@@ -218,10 +214,7 @@ pub fn parse(text: &str) -> Result<Network, ParseSpecError> {
                             "max_ceil" => PoolParams::max_ceil(k, s),
                             "avg" => PoolParams::average(k, s),
                             other => {
-                                return Err(err(
-                                    lineno,
-                                    format!("unknown pool mode `{other}`"),
-                                ))
+                                return Err(err(lineno, format!("unknown pool mode `{other}`")))
                             }
                         };
                         Layer::pool(lname, layer_input, params)
@@ -238,10 +231,12 @@ pub fn parse(text: &str) -> Result<Network, ParseSpecError> {
                     }
                     _ => unreachable!(),
                 };
-                layer
-                    .validate()
-                    .map_err(|e| err(lineno, e.to_string()))?;
-                cursor = Some(layer.output_shape().map_err(|e| err(lineno, e.to_string()))?);
+                layer.validate().map_err(|e| err(lineno, e.to_string()))?;
+                cursor = Some(
+                    layer
+                        .output_shape()
+                        .map_err(|e| err(lineno, e.to_string()))?,
+                );
                 layers.push(layer);
             }
             other => return Err(err(lineno, format!("unknown directive `{other}`"))),
@@ -336,10 +331,7 @@ mod tests {
 
     #[test]
     fn explicit_input_override() {
-        let net = parse(
-            "network t input 3x32x32\nconv c1 @16x7x7 out=8 k=3 s=1 pad=1\n",
-        )
-        .unwrap();
+        let net = parse("network t input 3x32x32\nconv c1 @16x7x7 out=8 k=3 s=1 pad=1\n").unwrap();
         assert_eq!(net.conv1().input, TensorShape::new(16, 7, 7));
     }
 
@@ -390,8 +382,7 @@ mod tests {
     fn every_zoo_network_round_trips() {
         for net in zoo::all() {
             let text = to_text(&net);
-            let parsed = parse(&text)
-                .unwrap_or_else(|e| panic!("{}: {e}", net.name()));
+            let parsed = parse(&text).unwrap_or_else(|e| panic!("{}: {e}", net.name()));
             assert_eq!(net, parsed, "{}", net.name());
         }
     }

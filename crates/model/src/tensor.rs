@@ -5,9 +5,8 @@
 //! outermost — the paper's "intra-order" `(X, Y, Din)` storage corresponds to
 //! iterating width fastest within one map).
 
+use crate::rng::XorShift64;
 use crate::shape::TensorShape;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 use std::fmt;
 
 /// A dense `maps x height x width` tensor of `f32`.
@@ -66,8 +65,8 @@ impl Tensor3 {
     ///
     /// Panics if the shape has a zero dimension.
     pub fn random(shape: TensorShape, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        Self::from_fn(shape, |_, _, _| rng.random_range(-1.0..1.0))
+        let mut rng = XorShift64::seed_from_u64(seed);
+        Self::from_fn(shape, |_, _, _| rng.range_f32(-1.0, 1.0))
     }
 
     /// Wraps an existing buffer.
@@ -203,9 +202,9 @@ impl ConvWeights {
     /// Deterministic pseudo-random weights in `[-0.5, 0.5)`.
     pub fn random(params: &crate::layer::ConvParams, seed: u64) -> Self {
         let mut w = Self::zeros(params);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = XorShift64::seed_from_u64(seed);
         for v in &mut w.data {
-            *v = rng.random_range(-0.5..0.5);
+            *v = rng.range_f32(-0.5, 0.5);
         }
         w
     }
@@ -336,7 +335,9 @@ mod tests {
     #[test]
     fn weights_layout() {
         let p = ConvParams::new(2, 3, 2, 1, 0);
-        let w = ConvWeights::from_fn(&p, |o, i, ky, kx| (o * 1000 + i * 100 + ky * 10 + kx) as f32);
+        let w = ConvWeights::from_fn(&p, |o, i, ky, kx| {
+            (o * 1000 + i * 100 + ky * 10 + kx) as f32
+        });
         assert_eq!(w.at(2, 1, 1, 0), 2110.0);
         assert_eq!(w.len(), 3 * 2 * 2 * 2);
         assert!(!w.is_empty());

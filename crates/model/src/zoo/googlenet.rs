@@ -80,22 +80,57 @@ pub fn googlenet() -> Network {
 
     // Inception 3a/3b at 28x28.
     let i3a = inception(&mut layers, "inception_3a", p2, (64, 96, 128, 16, 32, 32));
-    let i3b = inception(&mut layers, "inception_3b", i3a, (128, 128, 192, 32, 96, 64));
+    let i3b = inception(
+        &mut layers,
+        "inception_3b",
+        i3a,
+        (128, 128, 192, 32, 96, 64),
+    );
     layers.push(Layer::pool("pool3/3x3_s2", i3b, PoolParams::max_ceil(3, 2)));
     let p3 = PoolParams::max_ceil(3, 2).output_shape(i3b).expect("pool3");
 
     // Inception 4a-4e at 14x14.
     let i4a = inception(&mut layers, "inception_4a", p3, (192, 96, 208, 16, 48, 64));
-    let i4b = inception(&mut layers, "inception_4b", i4a, (160, 112, 224, 24, 64, 64));
-    let i4c = inception(&mut layers, "inception_4c", i4b, (128, 128, 256, 24, 64, 64));
-    let i4d = inception(&mut layers, "inception_4d", i4c, (112, 144, 288, 32, 64, 64));
-    let i4e = inception(&mut layers, "inception_4e", i4d, (256, 160, 320, 32, 128, 128));
+    let i4b = inception(
+        &mut layers,
+        "inception_4b",
+        i4a,
+        (160, 112, 224, 24, 64, 64),
+    );
+    let i4c = inception(
+        &mut layers,
+        "inception_4c",
+        i4b,
+        (128, 128, 256, 24, 64, 64),
+    );
+    let i4d = inception(
+        &mut layers,
+        "inception_4d",
+        i4c,
+        (112, 144, 288, 32, 64, 64),
+    );
+    let i4e = inception(
+        &mut layers,
+        "inception_4e",
+        i4d,
+        (256, 160, 320, 32, 128, 128),
+    );
     layers.push(Layer::pool("pool4/3x3_s2", i4e, PoolParams::max_ceil(3, 2)));
     let p4 = PoolParams::max_ceil(3, 2).output_shape(i4e).expect("pool4");
 
     // Inception 5a/5b at 7x7.
-    let i5a = inception(&mut layers, "inception_5a", p4, (256, 160, 320, 32, 128, 128));
-    let i5b = inception(&mut layers, "inception_5b", i5a, (384, 192, 384, 48, 128, 128));
+    let i5a = inception(
+        &mut layers,
+        "inception_5a",
+        p4,
+        (256, 160, 320, 32, 128, 128),
+    );
+    let i5b = inception(
+        &mut layers,
+        "inception_5b",
+        i5a,
+        (384, 192, 384, 48, 128, 128),
+    );
 
     // Global average pool and classifier.
     layers.push(Layer::pool("pool5/7x7_s1", i5b, PoolParams::average(7, 1)));
@@ -138,10 +173,7 @@ mod tests {
         let net = googlenet();
         let l = net.layer("inception_3a/3x3").unwrap();
         assert_eq!(l.input, TensorShape::new(96, 28, 28));
-        assert_eq!(
-            l.output_shape().unwrap(),
-            TensorShape::new(128, 28, 28)
-        );
+        assert_eq!(l.output_shape().unwrap(), TensorShape::new(128, 28, 28));
         let proj = net.layer("inception_3a/pool_proj").unwrap();
         assert_eq!(proj.input, TensorShape::new(192, 28, 28));
     }
@@ -165,10 +197,7 @@ mod tests {
     fn total_macs_in_expected_range() {
         // GoogLeNet is ~1.5-1.6 GMAC (inference, main tower only).
         let macs = googlenet().conv_macs().unwrap();
-        assert!(
-            macs > 1_200_000_000 && macs < 2_000_000_000,
-            "macs={macs}"
-        );
+        assert!(macs > 1_200_000_000 && macs < 2_000_000_000, "macs={macs}");
     }
 
     #[test]

@@ -60,10 +60,7 @@ mod tests {
     fn final_pool_collapses_to_1x1() {
         let net = nin();
         let pool4 = net.layer("pool4").unwrap();
-        assert_eq!(
-            pool4.output_shape().unwrap(),
-            TensorShape::new(1000, 1, 1)
-        );
+        assert_eq!(pool4.output_shape().unwrap(), TensorShape::new(1000, 1, 1));
     }
 
     #[test]

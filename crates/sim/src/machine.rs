@@ -15,7 +15,7 @@ use crate::stats::Stats;
 use crate::trace::{Trace, TraceEvent};
 
 /// Execution policy knobs, exposed for the ablation benches.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MachineOptions {
     /// Overlap tile DMA with compute (double buffering). Disabling it
     /// serializes every tile's DMA before its compute.
@@ -207,8 +207,8 @@ impl Machine {
                 stats.dram_stall_cycles += step - compute;
                 total += step;
             } else {
-                let dma = self.dma_cycles(tile.dram_read_bytes)
-                    + self.dma_cycles(tile.dram_write_bytes);
+                let dma =
+                    self.dma_cycles(tile.dram_read_bytes) + self.dma_cycles(tile.dram_write_bytes);
                 stats.dram_stall_cycles += dma;
                 total += compute + dma;
             }

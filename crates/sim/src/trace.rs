@@ -97,7 +97,7 @@ impl fmt::Display for Trace {
 
 #[cfg(test)]
 mod tests {
-    
+
     use crate::config::AcceleratorConfig;
     use crate::isa::{MacroOp, Program, Tile};
     use crate::machine::Machine;

@@ -66,7 +66,14 @@ fn main() {
         println!(
             "{}",
             render_table(
-                &["layer", "params", "16-16", "32-32", "Eq.2 split", "input layout"],
+                &[
+                    "layer",
+                    "params",
+                    "16-16",
+                    "32-32",
+                    "Eq.2 split",
+                    "input layout"
+                ],
                 &display
             )
         );

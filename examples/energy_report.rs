@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 format!("{:.3}", r.energy.buffer_pj * 1e-9),
                 format!("{:.3}", r.energy.dram_pj * 1e-9),
                 format!("{:.3}", r.energy.total_mj()),
-                format!("{:+.2}%", model.pe_reduction_percent(&reports[0].totals, &r.totals)),
+                format!(
+                    "{:+.2}%",
+                    model.pe_reduction_percent(&reports[0].totals, &r.totals)
+                ),
                 format!("{:.1}%", r.energy.pe_pj / base_pe * 100.0),
             ]
         })

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let weights = NetworkWeights::random(&net, 2024);
     let input = Tensor3::random(net.input(), 7);
 
-    println!("running NiN ({} layers) functionally...", net.layers().len());
+    println!(
+        "running NiN ({} layers) functionally...",
+        net.layers().len()
+    );
     let t0 = Instant::now();
     let adaptive = forward(
         &net,

@@ -32,15 +32,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let chosen = select_scheme(conv, &cfg, true);
         cells.push(chosen.to_string());
-        cells.push(if chosen == best.1 || best.0 == runner
-            .run_layer(layer, Policy::Fixed(chosen))?
-            .stats
-            .cycles
-        {
-            "=best".into()
-        } else {
-            format!("best: {}", best.1)
-        });
+        cells.push(
+            if chosen == best.1
+                || best.0 == runner.run_layer(layer, Policy::Fixed(chosen))?.stats.cycles
+            {
+                "=best".into()
+            } else {
+                format!("best: {}", best.1)
+            },
+        );
         rows.push(cells);
     }
     println!(

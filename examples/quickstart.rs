@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!();
         println!(
             "{}",
-            render_table(&["network", "adpa-2 speedup vs inter", "buffer traffic cut"], &rows)
+            render_table(
+                &["network", "adpa-2 speedup vs inter", "buffer traffic cut"],
+                &rows
+            )
         );
     }
     Ok(())

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Full offline CI gate for the C-Brain reproduction. Everything here runs
+# without network access; any failure fails the script.
+#
+#   scripts/ci.sh            # the whole gate
+#   scripts/ci.sh --quick    # skip the release build (debug test cycle only)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+quick=0
+[[ "${1:-}" == "--quick" ]] && quick=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+if [[ $quick -eq 0 ]]; then
+    echo "==> cargo build --release (tier-1)"
+    cargo build --release
+fi
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "==> cargo test --workspace --doc -q"
+cargo test --workspace --doc -q
+
+echo "CI gate passed."

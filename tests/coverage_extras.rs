@@ -108,9 +108,8 @@ fn geometry_of_every_googlenet_conv_is_consistent() {
         // Analytic == simulated for a spot scheme (full check lives in
         // compiler::cost; this guards the public API path).
         let cost = cbrain_compiler::cost::analytic_cost(&geom, Scheme::Inter, &cfg);
-        let stats = Machine::new(cfg).run(
-            &compile_conv(layer, Scheme::Inter, &cfg).unwrap().program,
-        );
+        let stats =
+            Machine::new(cfg).run(&compile_conv(layer, Scheme::Inter, &cfg).unwrap().program);
         assert_eq!(cost.compute_cycles, stats.compute_cycles, "{}", layer.name);
     }
 }

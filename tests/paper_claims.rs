@@ -48,7 +48,10 @@ fn some_layers_speed_up_4x_to_8x() {
         }
     }
     assert!(best > 4.0, "best per-layer speedup {best}");
-    assert!(best < 12.0, "best per-layer speedup {best} implausibly high");
+    assert!(
+        best < 12.0,
+        "best per-layer speedup {best} implausibly high"
+    );
 }
 
 /// Fig. 7: on conv1, inter-kernel wastes most of the array because
@@ -100,10 +103,7 @@ fn vgg_is_the_weakest_win() {
     let mut speedups = Vec::new();
     for net in zoo::all() {
         let reports = r.run_paper_arms(&net).expect("runs");
-        speedups.push((
-            net.name().to_owned(),
-            reports[4].speedup_over(&reports[0]),
-        ));
+        speedups.push((net.name().to_owned(), reports[4].speedup_over(&reports[0])));
     }
     let vgg = speedups
         .iter()

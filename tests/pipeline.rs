@@ -46,7 +46,8 @@ fn mac_count_is_conserved_for_non_padding_schemes() {
                     let compiled = compile_conv(layer, scheme, &cfg).expect("compiles");
                     let stats = machine.run(&compiled.program);
                     assert_eq!(
-                        stats.mac_ops, macs,
+                        stats.mac_ops,
+                        macs,
                         "{}/{} under {scheme}",
                         net.name(),
                         layer.name
@@ -131,9 +132,8 @@ fn dram_traffic_covers_weights_and_activations() {
             let p = layer.as_conv().expect("conv");
             let out = layer.output_shape().expect("valid");
             let rows_used = ((out.height - 1) * p.stride + p.kernel).min(layer.input.height);
-            let min_read = ((rows_used * layer.input.width * layer.input.maps
-                + p.weight_count())
-                * 2) as u64;
+            let min_read =
+                ((rows_used * layer.input.width * layer.input.maps + p.weight_count()) * 2) as u64;
             let out_bytes = layer.output_shape().expect("valid").bytes() as u64;
             assert!(
                 stats.dram_read_bytes >= min_read,

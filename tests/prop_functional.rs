@@ -1,107 +1,122 @@
-//! Property-based tests: every mapping scheme computes the same
-//! convolution as the reference sliding window, for arbitrary layer
-//! parameters.
+//! Randomized tests: every mapping scheme computes the same convolution
+//! as the reference sliding window, for arbitrary layer parameters.
+//!
+//! Cases are drawn from the in-tree deterministic RNG (the build
+//! environment has no registry access, so `proptest` is unavailable);
+//! each test replays a fixed seed sequence, so failures reproduce
+//! exactly.
 
 use cbrain::functional::{improved_inter_forward, partition_forward, unrolled_forward};
+use cbrain_model::rng::XorShift64;
 use cbrain_model::{reference, ConvParams, ConvWeights, Tensor3, TensorShape};
-use proptest::prelude::*;
 
-/// Arbitrary small-but-interesting conv configurations. Strides never
+/// One random small-but-interesting conv configuration. Strides never
 /// exceed kernels (model invariant), inputs always fit the kernel.
-fn conv_strategy() -> impl Strategy<Value = (ConvParams, TensorShape, u64)> {
-    (
-        1usize..=4,  // in maps per group
-        1usize..=6,  // out maps per group
-        1usize..=7,  // kernel
-        1usize..=3,  // pad
-        1usize..=2,  // groups
-        0usize..=10, // extra input extent beyond the kernel
-        any::<u64>(),
-    )
-        .prop_flat_map(|(ing, outg, k, pad, groups, extra, seed)| {
-            (1usize..=k, Just((ing, outg, k, pad, groups, extra, seed)))
-        })
-        .prop_map(|(s, (ing, outg, k, pad, groups, extra, seed))| {
-            let params = ConvParams::grouped(ing * groups, outg * groups, k, s, pad, groups);
-            let extent = k + extra;
-            (params, TensorShape::new(ing * groups, extent, extent), seed)
-        })
+fn random_conv(rng: &mut XorShift64) -> (ConvParams, TensorShape, u64) {
+    let groups = rng.range_usize(1, 2);
+    let ing = rng.range_usize(1, 4); // in maps per group
+    let outg = rng.range_usize(1, 6); // out maps per group
+    let k = rng.range_usize(1, 7);
+    let s = rng.range_usize(1, k);
+    let pad = rng.range_usize(1, 3);
+    let extra = rng.range_usize(0, 10); // input extent beyond the kernel
+    let seed = rng.next_u64();
+    let params = ConvParams::grouped(ing * groups, outg * groups, k, s, pad, groups);
+    let extent = k + extra;
+    (params, TensorShape::new(ing * groups, extent, extent), seed)
 }
 
 fn max_diff(
     params: &ConvParams,
     shape: TensorShape,
     seed: u64,
-    f: impl Fn(&Tensor3, &ConvWeights, Option<&[f32]>, &ConvParams) -> Result<Tensor3, cbrain_model::ModelError>,
+    f: impl Fn(
+        &Tensor3,
+        &ConvWeights,
+        Option<&[f32]>,
+        &ConvParams,
+    ) -> Result<Tensor3, cbrain_model::ModelError>,
 ) -> f32 {
     let input = Tensor3::random(shape, seed);
     let weights = ConvWeights::random(params, seed ^ 0xDEAD);
-    let bias: Vec<f32> = (0..params.out_maps).map(|i| (i as f32) * 0.25 - 1.0).collect();
-    let truth = reference::conv_forward(&input, &weights, Some(&bias), params)
-        .expect("reference computes");
+    let bias: Vec<f32> = (0..params.out_maps)
+        .map(|i| (i as f32) * 0.25 - 1.0)
+        .collect();
+    let truth =
+        reference::conv_forward(&input, &weights, Some(&bias), params).expect("reference computes");
     let ours = f(&input, &weights, Some(&bias), params).expect("scheme computes");
     ours.max_abs_diff(&truth)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn partition_equals_reference((params, shape, seed) in conv_strategy()) {
+#[test]
+fn partition_equals_reference() {
+    let mut rng = XorShift64::seed_from_u64(0x5041_5254);
+    for _ in 0..64 {
+        let (params, shape, seed) = random_conv(&mut rng);
         let diff = max_diff(&params, shape, seed, partition_forward);
-        prop_assert!(diff < 1e-3, "diff={diff} params={params:?}");
+        assert!(diff < 1e-3, "diff={diff} params={params:?}");
     }
+}
 
-    #[test]
-    fn unrolled_equals_reference((params, shape, seed) in conv_strategy()) {
+#[test]
+fn unrolled_equals_reference() {
+    let mut rng = XorShift64::seed_from_u64(0x554E_524C);
+    for _ in 0..64 {
+        let (params, shape, seed) = random_conv(&mut rng);
         let diff = max_diff(&params, shape, seed, unrolled_forward);
-        prop_assert!(diff < 1e-3, "diff={diff} params={params:?}");
+        assert!(diff < 1e-3, "diff={diff} params={params:?}");
     }
+}
 
-    #[test]
-    fn improved_inter_equals_reference((params, shape, seed) in conv_strategy()) {
+#[test]
+fn improved_inter_equals_reference() {
+    let mut rng = XorShift64::seed_from_u64(0x494E_5452);
+    for _ in 0..64 {
+        let (params, shape, seed) = random_conv(&mut rng);
         let diff = max_diff(&params, shape, seed, improved_inter_forward);
-        prop_assert!(diff < 1e-3, "diff={diff} params={params:?}");
+        assert!(diff < 1e-3, "diff={diff} params={params:?}");
     }
+}
 
-    #[test]
-    fn schemes_agree_with_each_other((params, shape, seed) in conv_strategy()) {
+#[test]
+fn schemes_agree_with_each_other() {
+    let mut rng = XorShift64::seed_from_u64(0x4147_5245);
+    for _ in 0..64 {
+        let (params, shape, seed) = random_conv(&mut rng);
         let input = Tensor3::random(shape, seed);
         let weights = ConvWeights::random(&params, seed ^ 0xBEEF);
         let a = partition_forward(&input, &weights, None, &params).expect("computes");
         let b = unrolled_forward(&input, &weights, None, &params).expect("computes");
         let c = improved_inter_forward(&input, &weights, None, &params).expect("computes");
-        prop_assert!(a.max_abs_diff(&b) < 1e-3);
-        prop_assert!(b.max_abs_diff(&c) < 1e-3);
+        assert!(a.max_abs_diff(&b) < 1e-3, "params={params:?}");
+        assert!(b.max_abs_diff(&c) < 1e-3, "params={params:?}");
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// The PE-level partitioned execution (segmented adder trees, packed
-    /// windows, add-and-store accumulation) matches the reference too.
-    #[test]
-    fn pe_level_partition_equals_reference(
-        inm in 1usize..=3,
-        outm in 1usize..=5,
-        k in 2usize..=6,
-        extra in 0usize..=6,
-        seed in any::<u64>(),
-    ) {
-        use cbrain::functional::partition_forward_on_pe;
-        use cbrain_sim::PeConfig;
+/// The PE-level partitioned execution (segmented adder trees, packed
+/// windows, add-and-store accumulation) matches the reference too.
+#[test]
+fn pe_level_partition_equals_reference() {
+    use cbrain::functional::partition_forward_on_pe;
+    use cbrain_sim::PeConfig;
+    let mut rng = XorShift64::seed_from_u64(0x5045_5045);
+    for _ in 0..32 {
+        let inm = rng.range_usize(1, 3);
+        let outm = rng.range_usize(1, 5);
+        let k = rng.range_usize(2, 6);
+        let extra = rng.range_usize(0, 6);
+        let seed = rng.next_u64();
         // Pick a stride whose sub-window (s*s) fits 16 lanes.
         let s = if k >= 4 { 2 } else { 1 };
         let params = ConvParams::new(inm, outm, k, s, 0);
         let extent = k + extra;
         let input = Tensor3::random(TensorShape::new(inm, extent, extent), seed);
         let weights = ConvWeights::random(&params, seed ^ 0xF00D);
-        let truth = reference::conv_forward(&input, &weights, None, &params)
-            .expect("reference computes");
+        let truth =
+            reference::conv_forward(&input, &weights, None, &params).expect("reference computes");
         let ours = partition_forward_on_pe(&input, &weights, &params, PeConfig::new(16, 4))
             .expect("PE execution computes");
         let diff = ours.max_abs_diff(&truth);
-        prop_assert!(diff < 1e-3, "diff={diff} k={k} s={s}");
+        assert!(diff < 1e-3, "diff={diff} k={k} s={s}");
     }
 }

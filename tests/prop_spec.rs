@@ -1,102 +1,111 @@
-//! Property test: the network-spec text format round-trips arbitrary
+//! Randomized test: the network-spec text format round-trips arbitrary
 //! generated networks exactly.
+//!
+//! Networks are generated from the in-tree deterministic RNG (the build
+//! environment has no registry access, so `proptest` is unavailable);
+//! the seed sequence is fixed, so failures reproduce exactly.
 
+use cbrain_model::rng::XorShift64;
 use cbrain_model::{spec, ConvParams, FcParams, Layer, Network, PoolParams, TensorShape};
-use proptest::prelude::*;
 
-/// Strategy for one random-but-valid sequential network.
-fn network_strategy() -> impl Strategy<Value = Network> {
-    let layer_kind = 0usize..3;
-    (
-        2usize..=8,                       // input maps
-        12usize..=40,                     // input extent
-        proptest::collection::vec(layer_kind, 1..6),
-        any::<u64>(),
-    )
-        .prop_map(|(maps, extent, kinds, seed)| {
-            let input = TensorShape::new(maps, extent, extent);
-            let mut cursor = input;
-            let mut layers = Vec::new();
-            let mut rng = seed;
-            let mut next = |m: u64| {
-                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-                ((rng >> 33) % m) as usize
-            };
-            for (i, kind) in kinds.into_iter().enumerate() {
-                let name = format!("l{i}");
-                let layer = match kind {
-                    0 => {
-                        let k = 1 + next(3); // 1..=3
-                        let s = 1 + next(k as u64);
-                        let out = 1 + next(12);
-                        // groups must divide both sides
-                        let groups = if cursor.maps.is_multiple_of(2) && out.is_multiple_of(2) && next(2) == 1 {
-                            2
-                        } else {
-                            1
-                        };
-                        let p = ConvParams::grouped(cursor.maps, out.max(groups), k, s, next(2), groups);
-                        // Re-fix out divisibility.
-                        let out_maps = if p.out_maps.is_multiple_of(groups) {
-                            p.out_maps
-                        } else {
-                            p.out_maps + 1
-                        };
-                        let p = ConvParams::grouped(cursor.maps, out_maps, k, s, p.pad, groups);
-                        Layer::conv(name, cursor, p)
-                    }
-                    1 => {
-                        let k = 2 + next(2);
-                        let layer = Layer::pool(name, cursor, PoolParams::max(k, 2));
-                        if layer.output_shape().is_err() {
-                            return None; // window too big; skip this net
-                        }
-                        layer
-                    }
-                    _ => Layer::fully_connected(
-                        name,
-                        cursor,
-                        FcParams::new(cursor.elems(), 1 + next(20)),
-                    ),
+/// One random-but-valid sequential network, or `None` if this draw
+/// produced an inconsistent geometry (the caller just redraws).
+fn random_network(rng: &mut XorShift64) -> Option<Network> {
+    let maps = rng.range_usize(2, 8);
+    let extent = rng.range_usize(12, 40);
+    let layer_count = rng.range_usize(1, 5);
+    let input = TensorShape::new(maps, extent, extent);
+    let mut cursor = input;
+    let mut layers = Vec::new();
+    for i in 0..layer_count {
+        let name = format!("l{i}");
+        let layer = match rng.range_usize(0, 2) {
+            0 => {
+                let k = rng.range_usize(1, 3);
+                let s = rng.range_usize(1, k);
+                let out = rng.range_usize(1, 12);
+                // groups must divide both sides
+                let groups = if cursor.maps.is_multiple_of(2)
+                    && out.is_multiple_of(2)
+                    && rng.range_usize(0, 1) == 1
+                {
+                    2
+                } else {
+                    1
                 };
-                match layer.output_shape() {
-                    Ok(out) => {
-                        cursor = out;
-                        let is_fc = matches!(layer.kind, cbrain_model::LayerKind::FullyConnected(_));
-                        layers.push(layer);
-                        if is_fc {
-                            break; // keep networks sequentializable
-                        }
-                    }
-                    Err(_) => return None,
+                let pad = rng.range_usize(0, 1);
+                let p = ConvParams::grouped(cursor.maps, out.max(groups), k, s, pad, groups);
+                // Re-fix out divisibility.
+                let out_maps = if p.out_maps.is_multiple_of(groups) {
+                    p.out_maps
+                } else {
+                    p.out_maps + 1
+                };
+                let p = ConvParams::grouped(cursor.maps, out_maps, k, s, p.pad, groups);
+                Layer::conv(name, cursor, p)
+            }
+            1 => {
+                let k = rng.range_usize(2, 3);
+                let layer = Layer::pool(name, cursor, PoolParams::max(k, 2));
+                if layer.output_shape().is_err() {
+                    return None; // window too big; skip this net
+                }
+                layer
+            }
+            _ => Layer::fully_connected(
+                name,
+                cursor,
+                FcParams::new(cursor.elems(), rng.range_usize(1, 20)),
+            ),
+        };
+        match layer.output_shape() {
+            Ok(out) => {
+                cursor = out;
+                let is_fc = matches!(layer.kind, cbrain_model::LayerKind::FullyConnected(_));
+                layers.push(layer);
+                if is_fc {
+                    break; // keep networks sequentializable
                 }
             }
-            if layers.is_empty() {
-                None
-            } else {
-                Some(Network::new("prop_net", input, layers))
-            }
-        })
-        .prop_filter_map("generated network must be valid", |maybe| {
-            maybe.filter(|n| n.validate().is_ok())
-        })
+            Err(_) => return None,
+        }
+    }
+    if layers.is_empty() {
+        return None;
+    }
+    Some(Network::new("prop_net", input, layers)).filter(|n| n.validate().is_ok())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+/// Draws valid networks until `count` have been produced.
+fn valid_networks(seed: u64, count: usize) -> Vec<Network> {
+    let mut rng = XorShift64::seed_from_u64(seed);
+    let mut nets = Vec::with_capacity(count);
+    let mut attempts = 0;
+    while nets.len() < count {
+        attempts += 1;
+        assert!(attempts < count * 100, "generator rejects too many draws");
+        if let Some(net) = random_network(&mut rng) {
+            nets.push(net);
+        }
+    }
+    nets
+}
 
-    #[test]
-    fn spec_round_trips_random_networks(net in network_strategy()) {
+#[test]
+fn spec_round_trips_random_networks() {
+    for net in valid_networks(0x53EC, 128) {
         let text = spec::to_text(&net);
         let parsed = spec::parse(&text).expect("serialized spec parses");
-        prop_assert_eq!(parsed, net);
+        assert_eq!(parsed, net, "spec:\n{text}");
     }
+}
 
-    #[test]
-    fn serialization_is_stable(net in network_strategy()) {
-        // Serialize -> parse -> serialize must be a fixed point.
+#[test]
+fn serialization_is_stable() {
+    // Serialize -> parse -> serialize must be a fixed point.
+    for net in valid_networks(0x57AB, 128) {
         let once = spec::to_text(&net);
         let twice = spec::to_text(&spec::parse(&once).expect("parses"));
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice);
     }
 }

@@ -15,8 +15,8 @@ fn spec_path(name: &str) -> PathBuf {
 fn shipped_specs_parse_to_zoo_networks() {
     for net in zoo::all() {
         let path = spec_path(net.name());
-        let text = std::fs::read_to_string(&path)
-            .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         let parsed = spec::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
         assert_eq!(parsed, net, "{}", net.name());
     }
