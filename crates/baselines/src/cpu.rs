@@ -56,6 +56,12 @@ pub fn run_layer_forward(layer: &Layer, seed: u64) -> f64 {
                 .expect("zoo layer is valid");
             std::hint::black_box(out[0]);
         }
+        LayerKind::Eltwise(p) => {
+            // The skip operand is another tensor of the same shape; adding
+            // the input to itself times the same arithmetic.
+            let out = reference::eltwise_forward(&input, &input, p.op).expect("shapes match");
+            std::hint::black_box(out.as_slice()[0]);
+        }
     }
     start.elapsed().as_secs_f64()
 }

@@ -71,7 +71,8 @@ pub struct SchemeArgs {
 /// Where a network comes from.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum NetworkRef {
-    /// A zoo network name (`alexnet`, `googlenet`, `vgg`, `nin`).
+    /// A zoo network name (`alexnet`, `googlenet`, `vgg`, `nin`,
+    /// `resnet18`, `mobilenet_dw`).
     Zoo(String),
     /// A network-spec file path.
     SpecFile(String),
@@ -313,7 +314,7 @@ pub const HELP: &str = "\
 cbrain — C-Brain (DAC 2016) accelerator reproduction
 
 USAGE:
-  cbrain run      --network <alexnet|googlenet|vgg|nin> | --spec <file>
+  cbrain run      --network <alexnet|googlenet|vgg|nin|resnet18|mobilenet_dw> | --spec <file>
                   [--policy inter|intra|partition|inter-improved|adpa-1|adpa-2|oracle]
                   [--pe TinxTout] [--mhz N] [--workload conv1|conv|conv+pool|full]
                   [--batch N] [--jobs N] [--breakdown]

@@ -45,7 +45,7 @@ pub fn resolve_network(net: &NetworkRef) -> Result<Network, CommandError> {
     match net {
         NetworkRef::Zoo(name) => cbrain_model::zoo::by_name(name).ok_or_else(|| {
             CommandError::Network(format!(
-                "unknown network `{name}` (alexnet|googlenet|vgg|nin)"
+                "unknown network `{name}` (alexnet|googlenet|vgg|nin|resnet18|mobilenet_dw)"
             ))
         }),
         NetworkRef::SpecFile(path) => {

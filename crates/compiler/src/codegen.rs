@@ -219,6 +219,97 @@ pub fn compile_pool_batched(
     })
 }
 
+/// Compiles an elementwise-merge layer (residual add).
+///
+/// # Errors
+///
+/// Propagates shape errors from the model crate.
+pub fn compile_eltwise(
+    layer: &Layer,
+    cfg: &AcceleratorConfig,
+) -> Result<CompiledLayer, CompileError> {
+    compile_eltwise_batched(layer, cfg, 1)
+}
+
+/// Compiles an elementwise-merge layer for a batch of `batch` images. The
+/// merge is weight-free: each output element reads one element from each
+/// operand tensor, adds them through the adder trees and writes the result.
+/// Both operands stream from DRAM (the skip tensor was produced several
+/// layers ago and cannot be buffer-resident), so DRAM reads are twice the
+/// input footprint.
+///
+/// # Errors
+///
+/// See [`compile_eltwise`].
+///
+/// # Panics
+///
+/// Panics if `batch` is zero.
+pub fn compile_eltwise_batched(
+    layer: &Layer,
+    cfg: &AcceleratorConfig,
+    batch: usize,
+) -> Result<CompiledLayer, CompileError> {
+    assert!(batch > 0, "batch must be non-zero");
+    let LayerKind::Eltwise(_) = &layer.kind else {
+        return Err(CompileError::NotConvolution {
+            layer: layer.name.clone(),
+        });
+    };
+    let elems = layer.input.elems() as u64;
+    let tin = cfg.pe.tin as u64;
+    let template = [MacroOp::EltwiseBurst {
+        bursts: elems.div_ceil(tin),
+        input_reads: (2 * cfg.pe.tin) as u32,
+        output_writes: cfg.pe.tin as u32,
+    }];
+
+    // Two operand tensors come in, one result goes out; split into bands
+    // when the combined working set exceeds the data buffer.
+    let in_bytes = 2 * layer.input.bytes() as u64;
+    let out_bytes = layer.input.bytes() as u64;
+    let cap = cfg.inout_buf_bytes as u64;
+    let bands = ((in_bytes + out_bytes).div_ceil(cap)).max(1);
+    let mut tiles = Vec::with_capacity(bands as usize);
+    for i in 0..bands {
+        let share = |total: u64| (total * (i + 1)) / bands - (total * i) / bands;
+        let ops: Vec<MacroOp> = template
+            .iter()
+            .map(|op| match *op {
+                MacroOp::EltwiseBurst {
+                    bursts,
+                    input_reads,
+                    output_writes,
+                } => MacroOp::EltwiseBurst {
+                    bursts: share(bursts),
+                    input_reads,
+                    output_writes,
+                },
+                other => other,
+            })
+            .collect();
+        tiles.push(Tile {
+            dram_read_bytes: share(in_bytes),
+            dram_write_bytes: share(out_bytes),
+            ops,
+        });
+    }
+
+    let per_image = tiles.clone();
+    for _ in 1..batch {
+        tiles.extend(per_image.iter().cloned());
+    }
+
+    Ok(CompiledLayer {
+        program: Program::new(format!("{} [eltwise]", layer.name), tiles),
+        scheme: None,
+        wants_input_layout: DataLayout::IntraOrder,
+        output_layout: DataLayout::IntraOrder,
+        tiles: TilePlan::flat(in_bytes, out_bytes, 0, cfg)
+            .unwrap_or_else(|_| TilePlan::flat(0, 0, 0, cfg).expect("empty plan fits")),
+    })
+}
+
 /// Compiles a fully-connected layer. FC layers have no sliding window, so
 /// they always run inter-kernel; they are invariably DRAM-bound on their
 /// weight stream.
@@ -338,6 +429,7 @@ pub fn compile_layer_batched(
         LayerKind::Conv(_) => compile_conv_batched(layer, scheme, cfg, batch),
         LayerKind::Pool(_) => compile_pool_batched(layer, cfg, batch),
         LayerKind::FullyConnected(_) => compile_fc_batched(layer, cfg, batch),
+        LayerKind::Eltwise(_) => compile_eltwise_batched(layer, cfg, batch),
     }
 }
 

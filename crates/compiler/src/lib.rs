@@ -49,9 +49,9 @@ mod scheme;
 mod tiling;
 
 pub use codegen::{
-    compile_conv, compile_conv_batched, compile_fc, compile_fc_batched, compile_layer,
-    compile_layer_batched, compile_pool, compile_pool_batched, ideal_cycles,
-    layout_transform_program, CompiledLayer,
+    compile_conv, compile_conv_batched, compile_eltwise, compile_eltwise_batched, compile_fc,
+    compile_fc_batched, compile_layer, compile_layer_batched, compile_pool, compile_pool_batched,
+    ideal_cycles, layout_transform_program, CompiledLayer,
 };
 pub use emit::{
     emit_inter, emit_intra, emit_partition, emit_window_sweep, IntraEmission, PartitionEmission,

@@ -336,6 +336,18 @@ fn scale_op(op: &MacroOp, share: &dyn Fn(u64) -> u64) -> Option<MacroOp> {
                 output_writes,
             })
         }
+        MacroOp::EltwiseBurst {
+            bursts,
+            input_reads,
+            output_writes,
+        } => {
+            let b = share(bursts);
+            (b > 0).then_some(MacroOp::EltwiseBurst {
+                bursts: b,
+                input_reads,
+                output_writes,
+            })
+        }
         MacroOp::BiasLoad { elems } => {
             let e = share(elems);
             (e > 0).then_some(MacroOp::BiasLoad { elems: e })

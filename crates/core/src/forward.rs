@@ -103,7 +103,7 @@ impl NetworkWeights {
                     let bias = vec![0.01; p.out_features];
                     fcs.push((layer.name.clone(), w, bias));
                 }
-                LayerKind::Pool(_) => {}
+                LayerKind::Pool(_) | LayerKind::Eltwise(_) => {}
             }
         }
         Self { convs, fcs }
@@ -203,6 +203,15 @@ pub fn forward(
     let mut schemes = Vec::new();
     let n_layers = net.layers().len();
 
+    // Residual skip operands: outputs of layers some later eltwise layer
+    // names as its `skip` source, kept alive until consumed.
+    let skip_sources: std::collections::HashSet<&str> = net
+        .layers()
+        .iter()
+        .filter_map(|l| l.skip.as_deref())
+        .collect();
+    let mut stored: std::collections::HashMap<String, Tensor3> = std::collections::HashMap::new();
+
     for (i, layer) in net.layers().iter().enumerate() {
         let is_last = i + 1 == n_layers;
         check_sequential(layer, &activations, flat.as_deref())?;
@@ -219,6 +228,18 @@ pub fn forward(
             }
             LayerKind::Pool(p) => {
                 activations = reference::pool_forward(&activations, p)?;
+                schemes.push((layer.name.clone(), None));
+            }
+            LayerKind::Eltwise(p) => {
+                let skip_name = layer.skip.as_deref().expect("validated eltwise has a skip");
+                let skip = stored
+                    .get(skip_name)
+                    .expect("validated skip source ran earlier");
+                let mut out = reference::eltwise_forward(&activations, skip, p.op)?;
+                if !is_last {
+                    out.relu_in_place();
+                }
+                activations = out;
                 schemes.push((layer.name.clone(), None));
             }
             LayerKind::FullyConnected(p) => {
@@ -238,6 +259,9 @@ pub fn forward(
                 flat = Some(out);
                 schemes.push((layer.name.clone(), None));
             }
+        }
+        if skip_sources.contains(layer.name.as_str()) {
+            stored.insert(layer.name.clone(), activations.clone());
         }
     }
 

@@ -139,6 +139,74 @@ pub fn unrolled_forward(
     Ok(out)
 }
 
+/// Plain inter-kernel convolution with the input-map dimension walked in
+/// `tin`-wide blocks: each block's window dot-product accumulates in a PE
+/// register, then add-and-stores into the output buffer once per block —
+/// the accumulation order of the inter-kernel hardware mapping.
+///
+/// The reference sliding window accumulates the whole window in one
+/// running sum; this executor deliberately reorders it the way the array
+/// does, so the conformance suite compares two genuinely different
+/// summation orders.
+///
+/// # Errors
+///
+/// Propagates shape/parameter errors. Grouped convolutions are supported.
+///
+/// # Panics
+///
+/// Panics if `tin` is zero.
+pub fn inter_forward(
+    input: &Tensor3,
+    weights: &ConvWeights,
+    bias: Option<&[f32]>,
+    params: &ConvParams,
+    tin: usize,
+) -> Result<Tensor3, ModelError> {
+    assert!(tin > 0, "tin must be non-zero");
+    params.validate("<inter>")?;
+    let out_shape = params.output_shape(input.shape())?;
+    let in_per_group = params.in_maps_per_group();
+    let out_per_group = params.out_maps_per_group();
+    let pad = params.pad as isize;
+
+    let mut out = Tensor3::zeros(out_shape);
+    if let Some(b) = bias {
+        for (o, &bv) in b.iter().enumerate().take(out_shape.maps) {
+            for oy in 0..out_shape.height {
+                for ox in 0..out_shape.width {
+                    *out.at_mut(o, oy, ox) = bv;
+                }
+            }
+        }
+    }
+
+    for o in 0..params.out_maps {
+        let group = o / out_per_group;
+        let in_base = group * in_per_group;
+        for oy in 0..out_shape.height {
+            for ox in 0..out_shape.width {
+                for i_block in (0..in_per_group).step_by(tin) {
+                    let mut acc = 0.0f32; // the PE register
+                    for i in i_block..(i_block + tin).min(in_per_group) {
+                        for ky in 0..params.kernel {
+                            for kx in 0..params.kernel {
+                                let y = (oy * params.stride) as isize - pad + ky as isize;
+                                let x = (ox * params.stride) as isize - pad + kx as isize;
+                                acc +=
+                                    input.at_padded(in_base + i, y, x) * weights.at(o, i, ky, kx);
+                            }
+                        }
+                    }
+                    // One add-and-store per Din block.
+                    *out.at_mut(o, oy, ox) += acc;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Improved inter-kernel convolution (Sec. 4.2.2): the kernel-position loop
 /// is outermost, so each output element is built from `k*k` partial sums
 /// accumulated in the output buffer ("add-and-store") instead of in the PE
@@ -383,6 +451,24 @@ mod tests {
             ConvParams::grouped(4, 4, 3, 1, 1, 2),
             TensorShape::new(4, 9, 9),
             unrolled_forward,
+        );
+    }
+
+    #[test]
+    fn inter_blocked_matches_reference() {
+        check_against_reference(
+            ConvParams::new(40, 6, 3, 1, 1),
+            TensorShape::new(40, 9, 9),
+            |i, w, b, p| inter_forward(i, w, b, p, 16),
+        );
+    }
+
+    #[test]
+    fn inter_blocked_matches_reference_grouped_depthwise() {
+        check_against_reference(
+            ConvParams::depthwise(6, 3, 2, 1),
+            TensorShape::new(6, 11, 11),
+            |i, w, b, p| inter_forward(i, w, b, p, 16),
         );
     }
 

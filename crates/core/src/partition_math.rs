@@ -4,9 +4,14 @@
 /// kernel splits into `g x g` sub-kernels of side `ks`:
 /// `g = ceil(k / s)`, `ks = s`.
 ///
+/// When `stride >= kernel` the windows already never overlap and the
+/// split degenerates to a single piece, `(1, kernel)` — a plain sliding
+/// window. This keeps the function total for every geometry Algorithm 2
+/// can hand it (`k = 1` pointwise layers included).
+///
 /// # Panics
 ///
-/// Panics if `stride` is zero or larger than `kernel`.
+/// Panics if `stride` is zero.
 ///
 /// # Examples
 ///
@@ -17,13 +22,16 @@
 /// assert_eq!(partition(11, 4), (3, 4));
 /// // VGG: 3x3 at stride 1 -> 3x3 pieces of single weights.
 /// assert_eq!(partition(3, 1), (3, 1));
+/// // Pointwise (k=1): nothing to split.
+/// assert_eq!(partition(1, 1), (1, 1));
+/// // Stride past the kernel: one piece, no zero-padding slack.
+/// assert_eq!(partition(3, 5), (1, 3));
 /// ```
 pub fn partition(kernel: usize, stride: usize) -> (usize, usize) {
     assert!(stride > 0, "stride must be non-zero");
-    assert!(
-        stride <= kernel,
-        "stride {stride} larger than kernel {kernel}"
-    );
+    if stride >= kernel {
+        return (1, kernel);
+    }
     (kernel.div_ceil(stride), stride)
 }
 
@@ -83,6 +91,16 @@ mod tests {
         assert_eq!(partition(5, 1), (5, 1));
         assert_eq!(partition(3, 3), (1, 3)); // k == s degenerates
         assert_eq!(partition(4, 2), (2, 2)); // exact divide, no padding
+    }
+
+    #[test]
+    fn degenerate_geometries_are_total() {
+        // k = 1 pointwise: one piece regardless of stride.
+        assert_eq!(partition(1, 1), (1, 1));
+        assert_eq!(partition(1, 2), (1, 1));
+        // s > k: already non-overlapping, one full-size piece.
+        assert_eq!(partition(3, 5), (1, 3));
+        assert_eq!(partition(2, 7), (1, 2));
     }
 
     #[test]

@@ -67,7 +67,7 @@ impl Schedule {
 fn static_scheme(layer: &Layer, policy: Policy, cfg: &AcceleratorConfig) -> Option<Scheme> {
     match &layer.kind {
         LayerKind::Conv(p) => Some(scheme_for(policy, p, cfg)),
-        LayerKind::Pool(_) => None,
+        LayerKind::Pool(_) | LayerKind::Eltwise(_) => None,
         LayerKind::FullyConnected(_) => Some(Scheme::Inter),
     }
 }

@@ -81,6 +81,26 @@ impl ConvParams {
         }
     }
 
+    /// Creates a depthwise convolution: every input map is its own group
+    /// (`groups == in_maps == out_maps`), so each group sees exactly one
+    /// input map (`Din_group = 1`) — which forces Algorithm 2 down the
+    /// kernel-partition path for every such layer.
+    pub const fn depthwise(maps: usize, kernel: usize, stride: usize, pad: usize) -> Self {
+        Self {
+            in_maps: maps,
+            out_maps: maps,
+            kernel,
+            stride,
+            pad,
+            groups: maps,
+        }
+    }
+
+    /// `true` when every group sees exactly one input map (depthwise).
+    pub const fn is_depthwise(&self) -> bool {
+        self.groups == self.in_maps && self.groups > 1
+    }
+
     /// Input maps seen by one group — the effective `Din` for scheme
     /// selection (the paper's Table 2 lists AlexNet c2 as `Din = 48` for
     /// exactly this reason).
@@ -300,6 +320,37 @@ impl FcParams {
     }
 }
 
+/// Elementwise operation flavour (residual connections).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EltwiseOp {
+    /// Elementwise addition (ResNet shortcut merge).
+    #[default]
+    Add,
+}
+
+/// Parameters of an elementwise merge layer.
+///
+/// The layer combines its sequential input with the stored output of an
+/// earlier layer (named by [`Layer::skip`]); both operands and the output
+/// share the layer's input shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct EltwiseParams {
+    /// Operation applied lane-by-lane across the two operand cubes.
+    pub op: EltwiseOp,
+}
+
+impl EltwiseParams {
+    /// Creates elementwise-add parameters.
+    pub const fn add() -> Self {
+        Self { op: EltwiseOp::Add }
+    }
+
+    /// Elementwise operations performed (one per output element).
+    pub const fn ops(&self, input: TensorShape) -> u64 {
+        input.elems() as u64
+    }
+}
+
 /// The kind of compute a layer performs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LayerKind {
@@ -309,6 +360,8 @@ pub enum LayerKind {
     Pool(PoolParams),
     /// Fully connected (executed inter-kernel; it has no sliding window).
     FullyConnected(FcParams),
+    /// Elementwise merge with a stored earlier output (residual add).
+    Eltwise(EltwiseParams),
 }
 
 /// One compute job: a named layer with its input shape.
@@ -320,6 +373,10 @@ pub struct Layer {
     pub input: TensorShape,
     /// What the layer computes.
     pub kind: LayerKind,
+    /// For [`LayerKind::Eltwise`] layers: the name of the earlier layer
+    /// whose stored output is the second operand. `None` for every other
+    /// kind.
+    pub skip: Option<String>,
 }
 
 impl Layer {
@@ -329,6 +386,7 @@ impl Layer {
             name: name.into(),
             input,
             kind: LayerKind::Conv(params),
+            skip: None,
         }
     }
 
@@ -338,6 +396,7 @@ impl Layer {
             name: name.into(),
             input,
             kind: LayerKind::Pool(params),
+            skip: None,
         }
     }
 
@@ -347,6 +406,22 @@ impl Layer {
             name: name.into(),
             input,
             kind: LayerKind::FullyConnected(params),
+            skip: None,
+        }
+    }
+
+    /// Creates a residual elementwise-add layer merging the sequential
+    /// input with the stored output of the earlier layer named `skip`.
+    pub fn eltwise_add(
+        name: impl Into<String>,
+        input: TensorShape,
+        skip: impl Into<String>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            input,
+            kind: LayerKind::Eltwise(EltwiseParams::add()),
+            skip: Some(skip.into()),
         }
     }
 
@@ -368,10 +443,12 @@ impl Layer {
             LayerKind::Conv(p) => p.output_shape(self.input),
             LayerKind::Pool(p) => p.output_shape(self.input),
             LayerKind::FullyConnected(p) => Ok(p.output_shape()),
+            LayerKind::Eltwise(_) => Ok(self.input),
         }
     }
 
-    /// MAC count (pooling counts one op per window element).
+    /// MAC count (pooling and elementwise layers count one op per window
+    /// element / output element respectively).
     ///
     /// # Errors
     ///
@@ -381,6 +458,7 @@ impl Layer {
             LayerKind::Conv(p) => p.macs(self.input),
             LayerKind::Pool(p) => p.ops(self.input),
             LayerKind::FullyConnected(p) => Ok(p.macs()),
+            LayerKind::Eltwise(p) => Ok(p.ops(self.input)),
         }
     }
 
@@ -398,6 +476,22 @@ impl Layer {
         }
         if let LayerKind::Conv(p) = &self.kind {
             p.validate(&self.name)?;
+        }
+        match (&self.kind, &self.skip) {
+            (LayerKind::Eltwise(_), None) => {
+                return Err(ModelError::InvalidLayer {
+                    layer: self.name.clone(),
+                    reason: "eltwise layer needs a skip source".to_owned(),
+                });
+            }
+            (LayerKind::Eltwise(_), Some(_)) => {}
+            (_, Some(_)) => {
+                return Err(ModelError::InvalidLayer {
+                    layer: self.name.clone(),
+                    reason: "only eltwise layers may carry a skip source".to_owned(),
+                });
+            }
+            (_, None) => {}
         }
         self.output_shape().map(|_| ())
     }
@@ -420,6 +514,14 @@ impl fmt::Display for Layer {
                 f,
                 "{}: fc {} -> {}",
                 self.name, p.in_features, p.out_features
+            ),
+            LayerKind::Eltwise(p) => write!(
+                f,
+                "{}: eltwise {:?} with {} (in {})",
+                self.name,
+                p.op,
+                self.skip.as_deref().unwrap_or("<missing>"),
+                self.input
             ),
         }
     }
@@ -532,6 +634,59 @@ mod tests {
             ConvParams::new(3, 8, 3, 1, 1),
         );
         assert!(layer.validate().is_err());
+    }
+
+    #[test]
+    fn depthwise_params() {
+        let p = ConvParams::depthwise(32, 3, 1, 1);
+        assert!(p.is_depthwise());
+        assert_eq!(p.in_maps_per_group(), 1);
+        assert_eq!(p.out_maps_per_group(), 1);
+        assert!(p.validate("dw").is_ok());
+        let out = p.output_shape(TensorShape::new(32, 28, 28)).unwrap();
+        assert_eq!(out, TensorShape::new(32, 28, 28));
+        // Depthwise MACs: out_pixels * out_maps * 1 * k^2.
+        assert_eq!(p.macs(TensorShape::new(32, 28, 28)).unwrap(), {
+            28 * 28 * 32 * 9
+        });
+        assert!(!ConvParams::new(32, 32, 3, 1, 1).is_depthwise());
+        assert!(!ConvParams::new(1, 1, 3, 1, 1).is_depthwise());
+    }
+
+    #[test]
+    fn eltwise_shape_and_ops() {
+        let shape = TensorShape::new(64, 56, 56);
+        let layer = Layer::eltwise_add("res2a", shape, "pool1");
+        assert_eq!(layer.output_shape().unwrap(), shape);
+        assert_eq!(layer.macs().unwrap(), shape.elems() as u64);
+        assert!(layer.validate().is_ok());
+        assert_eq!(layer.skip.as_deref(), Some("pool1"));
+    }
+
+    #[test]
+    fn eltwise_without_skip_is_invalid() {
+        let mut layer = Layer::eltwise_add("res2a", TensorShape::new(1, 2, 2), "x");
+        layer.skip = None;
+        assert!(layer.validate().is_err());
+    }
+
+    #[test]
+    fn skip_on_non_eltwise_is_invalid() {
+        let mut layer = Layer::conv(
+            "c",
+            TensorShape::new(3, 8, 8),
+            ConvParams::new(3, 8, 3, 1, 1),
+        );
+        layer.skip = Some("elsewhere".to_owned());
+        assert!(layer.validate().is_err());
+    }
+
+    #[test]
+    fn eltwise_display_mentions_skip() {
+        let layer = Layer::eltwise_add("res2a", TensorShape::new(64, 56, 56), "pool1");
+        let text = layer.to_string();
+        assert!(text.contains("eltwise"));
+        assert!(text.contains("pool1"));
     }
 
     #[test]

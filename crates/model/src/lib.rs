@@ -43,7 +43,9 @@ pub mod zoo;
 
 pub use error::ModelError;
 pub use fixed::Fx16;
-pub use layer::{ConvParams, FcParams, Layer, LayerKind, PoolKind, PoolParams};
+pub use layer::{
+    ConvParams, EltwiseOp, EltwiseParams, FcParams, Layer, LayerKind, PoolKind, PoolParams,
+};
 pub use network::{Network, NetworkBuilder};
 pub use shape::{TensorShape, ELEM_BYTES};
 pub use tensor::{ConvWeights, Tensor3};

@@ -94,14 +94,33 @@ impl Network {
         self.conv_layers().map(|l| l.macs()).sum()
     }
 
-    /// Validates every layer.
+    /// Validates every layer, plus cross-layer invariants: an eltwise
+    /// layer's skip source must name an *earlier* layer whose output shape
+    /// matches the eltwise input.
     ///
     /// # Errors
     ///
     /// Returns the first layer validation failure.
     pub fn validate(&self) -> Result<(), ModelError> {
-        for layer in &self.layers {
+        for (i, layer) in self.layers.iter().enumerate() {
             layer.validate()?;
+            if let (LayerKind::Eltwise(_), Some(skip)) = (&layer.kind, &layer.skip) {
+                let source = self.layers[..i].iter().rev().find(|l| &l.name == skip);
+                let Some(source) = source else {
+                    return Err(ModelError::InvalidLayer {
+                        layer: layer.name.clone(),
+                        reason: format!("skip source '{skip}' is not an earlier layer"),
+                    });
+                };
+                let produced = source.output_shape()?;
+                if produced != layer.input {
+                    return Err(ModelError::ShapeMismatch {
+                        context: format!("eltwise '{}' skip operand", layer.name),
+                        expected: layer.input.to_string(),
+                        found: produced.to_string(),
+                    });
+                }
+            }
         }
         Ok(())
     }
@@ -193,6 +212,21 @@ impl NetworkBuilder {
     ) -> Self {
         let params = ConvParams::grouped(self.cursor.maps, out_maps, k, s, pad, groups);
         let layer = Layer::conv(name, self.cursor, params);
+        self.push(layer)
+    }
+
+    /// Appends a depthwise convolution (one group per map) fed by the
+    /// running shape.
+    pub fn conv_dw(self, name: &str, k: usize, s: usize, pad: usize) -> Self {
+        let params = ConvParams::depthwise(self.cursor.maps, k, s, pad);
+        let layer = Layer::conv(name, self.cursor, params);
+        self.push(layer)
+    }
+
+    /// Appends a residual elementwise add merging the running shape with
+    /// the stored output of the earlier layer named `skip`.
+    pub fn eltwise_add(self, name: &str, skip: &str) -> Self {
+        let layer = Layer::eltwise_add(name, self.cursor, skip);
         self.push(layer)
     }
 
@@ -316,5 +350,70 @@ mod tests {
         let net = tiny();
         assert!(net.layer("p1").is_some());
         assert!(net.layer("nope").is_none());
+    }
+
+    #[test]
+    fn builder_residual_block() {
+        let net = NetworkBuilder::new("res", TensorShape::new(16, 8, 8))
+            .conv("a", 16, 3, 1, 1)
+            .conv("b", 16, 3, 1, 1)
+            .eltwise_add("merge", "a")
+            .build()
+            .unwrap();
+        let merge = net.layer("merge").unwrap();
+        assert_eq!(merge.input, TensorShape::new(16, 8, 8));
+        assert_eq!(merge.output_shape().unwrap(), TensorShape::new(16, 8, 8));
+    }
+
+    #[test]
+    fn validate_rejects_dangling_skip() {
+        let net = NetworkBuilder::new("res", TensorShape::new(16, 8, 8))
+            .conv("a", 16, 3, 1, 1)
+            .eltwise_add("merge", "nonexistent")
+            .build();
+        assert!(net.is_err());
+    }
+
+    #[test]
+    fn validate_rejects_skip_shape_mismatch() {
+        // 'a' produces 32 maps, but the merge input (after 'b') is 16 maps.
+        let net = NetworkBuilder::new("res", TensorShape::new(16, 8, 8))
+            .conv("a", 32, 3, 1, 1)
+            .conv("b", 16, 3, 1, 1)
+            .eltwise_add("merge", "a")
+            .build();
+        assert!(net.is_err());
+    }
+
+    #[test]
+    fn validate_rejects_forward_skip() {
+        // The skip source must appear before the eltwise layer.
+        let layers = vec![
+            Layer::eltwise_add("merge", TensorShape::new(4, 4, 4), "later"),
+            Layer::conv(
+                "later",
+                TensorShape::new(4, 4, 4),
+                ConvParams::new(4, 4, 1, 1, 0),
+            ),
+        ];
+        let net = Network::new("bad", TensorShape::new(4, 4, 4), layers);
+        assert!(net.validate().is_err());
+    }
+
+    #[test]
+    fn builder_depthwise_chains() {
+        let net = NetworkBuilder::new("dw", TensorShape::new(3, 32, 32))
+            .conv("stem", 16, 3, 2, 1)
+            .conv_dw("dw1", 3, 1, 1)
+            .conv("pw1", 32, 1, 1, 0)
+            .build()
+            .unwrap();
+        let dw = net.layer("dw1").unwrap().as_conv().unwrap();
+        assert!(dw.is_depthwise());
+        assert_eq!(dw.groups, 16);
+        assert_eq!(
+            net.layer("pw1").unwrap().input,
+            TensorShape::new(16, 16, 16)
+        );
     }
 }

@@ -3,7 +3,7 @@
 //! compiler/functional crates is validated against these functions.
 
 use crate::error::ModelError;
-use crate::layer::{ConvParams, FcParams, PoolKind, PoolParams};
+use crate::layer::{ConvParams, EltwiseOp, FcParams, PoolKind, PoolParams};
 use crate::tensor::{ConvWeights, Tensor3};
 
 /// Direct convolution: for every output pixel, slide the `k x k x Din/groups`
@@ -167,6 +167,42 @@ pub fn fc_forward(
         out.push(acc);
     }
     Ok(out)
+}
+
+/// Elementwise merge of two same-shaped cubes (residual shortcut).
+///
+/// # Errors
+///
+/// Returns a [`ModelError::ShapeMismatch`] when the operand shapes differ.
+///
+/// # Examples
+///
+/// ```
+/// use cbrain_model::{reference, EltwiseOp, Tensor3, TensorShape};
+///
+/// let a = Tensor3::from_fn(TensorShape::new(1, 2, 2), |_, y, x| (y + x) as f32);
+/// let b = Tensor3::from_fn(TensorShape::new(1, 2, 2), |_, _, _| 1.0);
+/// let out = reference::eltwise_forward(&a, &b, EltwiseOp::Add)?;
+/// assert_eq!(out.at(0, 1, 1), 3.0);
+/// # Ok::<(), cbrain_model::ModelError>(())
+/// ```
+pub fn eltwise_forward(a: &Tensor3, b: &Tensor3, op: EltwiseOp) -> Result<Tensor3, ModelError> {
+    if a.shape() != b.shape() {
+        return Err(ModelError::ShapeMismatch {
+            context: "eltwise operands".to_owned(),
+            expected: a.shape().to_string(),
+            found: b.shape().to_string(),
+        });
+    }
+    let data = match op {
+        EltwiseOp::Add => a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| x + y)
+            .collect(),
+    };
+    Ok(Tensor3::from_vec(a.shape(), data))
 }
 
 /// Unrolls the input for intra-kernel parallelization (im2col): every
@@ -340,6 +376,23 @@ mod tests {
         assert!(fc_forward(&[1.0; 2], &[0.0; 6], None, &params).is_err());
         assert!(fc_forward(&[1.0; 3], &[0.0; 5], None, &params).is_err());
         assert!(fc_forward(&[1.0; 3], &[0.0; 6], Some(&[0.0; 3]), &params).is_err());
+    }
+
+    #[test]
+    fn eltwise_add_is_elementwise() {
+        let a = ramp(TensorShape::new(2, 2, 2));
+        let b = ramp(TensorShape::new(2, 2, 2));
+        let out = eltwise_forward(&a, &b, EltwiseOp::Add).unwrap();
+        for (o, x) in out.as_slice().iter().zip(a.as_slice()) {
+            assert_eq!(*o, 2.0 * x);
+        }
+    }
+
+    #[test]
+    fn eltwise_rejects_shape_mismatch() {
+        let a = Tensor3::zeros(TensorShape::new(1, 2, 2));
+        let b = Tensor3::zeros(TensorShape::new(1, 2, 3));
+        assert!(eltwise_forward(&a, &b, EltwiseOp::Add).is_err());
     }
 
     #[test]

@@ -18,9 +18,11 @@
 //! ```
 //!
 //! `pool` takes `max`, `max_ceil` or `avg`; `conv` keys `pad` and
-//! `groups` default to 0 and 1. Shapes chain sequentially (branchy
-//! networks like GoogLeNet serialize with explicit `@DinxHxW` input
-//! overrides on each layer).
+//! `groups` default to 0 and 1 (`groups=<maps>` expresses depthwise
+//! convolution). `add <name> from=<layer>` is a residual elementwise add
+//! merging the running activation with the stored output of an earlier
+//! layer. Shapes chain sequentially (branchy networks like GoogLeNet
+//! serialize with explicit `@DinxHxW` input overrides on each layer).
 //!
 //! # Examples
 //!
@@ -127,6 +129,13 @@ impl<'a> Args<'a> {
         }
     }
 
+    fn required_str(&self, key: &str) -> Result<&'a str, ParseSpecError> {
+        self.values
+            .get(key)
+            .copied()
+            .ok_or_else(|| err(self.line, format!("missing `{key}=`")))
+    }
+
     fn finish(self, known: &[&str]) -> Result<(), ParseSpecError> {
         for k in self.values.keys() {
             if !known.contains(k) {
@@ -170,7 +179,7 @@ pub fn parse(text: &str) -> Result<Network, ParseSpecError> {
                 input = Some(shape);
                 cursor = Some(shape);
             }
-            kind @ ("conv" | "pool" | "fc") => {
+            kind @ ("conv" | "pool" | "fc" | "add") => {
                 let cur =
                     cursor.ok_or_else(|| err(lineno, "layer before the `network` directive"))?;
                 if tokens.len() < 2 {
@@ -229,6 +238,12 @@ pub fn parse(text: &str) -> Result<Network, ParseSpecError> {
                             FcParams::new(layer_input.elems(), out),
                         )
                     }
+                    "add" => {
+                        let args = Args::parse(&rest, lineno)?;
+                        let from = args.required_str("from")?.to_owned();
+                        args.finish(&["from"])?;
+                        Layer::eltwise_add(lname, layer_input, from)
+                    }
                     _ => unreachable!(),
                 };
                 layer.validate().map_err(|e| err(lineno, e.to_string()))?;
@@ -248,7 +263,10 @@ pub fn parse(text: &str) -> Result<Network, ParseSpecError> {
     if layers.is_empty() {
         return Err(err(0, "network has no layers"));
     }
-    Ok(Network::new(name, input, layers))
+    let net = Network::new(name, input, layers);
+    // Cross-layer invariants (eltwise skip sources) need the whole list.
+    net.validate().map_err(|e| err(0, e.to_string()))?;
+    Ok(net)
 }
 
 /// Serializes a network back to specification text. Every layer carries an
@@ -288,6 +306,13 @@ pub fn to_text(net: &Network) -> String {
             }
             LayerKind::FullyConnected(p) => {
                 out.push_str(&format!("fc {} {at} out={}\n", layer.name, p.out_features));
+            }
+            LayerKind::Eltwise(_) => {
+                out.push_str(&format!(
+                    "add {} {at} from={}\n",
+                    layer.name,
+                    layer.skip.as_deref().unwrap_or("<missing>")
+                ));
             }
         }
     }
@@ -394,5 +419,39 @@ mod tests {
         let p = net.conv1().as_conv().unwrap();
         assert_eq!(p.groups, 2);
         assert_eq!(parse(&to_text(&net)).unwrap(), net);
+    }
+
+    #[test]
+    fn depthwise_conv_round_trips() {
+        let text = "network t input 8x8x8\nconv dw out=8 k=3 s=1 pad=1 groups=8\n";
+        let net = parse(text).unwrap();
+        assert!(net.conv1().as_conv().unwrap().is_depthwise());
+        assert_eq!(parse(&to_text(&net)).unwrap(), net);
+    }
+
+    #[test]
+    fn eltwise_add_round_trips() {
+        let text = "network t input 4x8x8\nconv a out=4 k=3 s=1 pad=1\nconv b out=4 k=3 s=1 pad=1\nadd m from=a\n";
+        let net = parse(text).unwrap();
+        let m = net.layer("m").unwrap();
+        assert!(matches!(m.kind, LayerKind::Eltwise(_)));
+        assert_eq!(m.skip.as_deref(), Some("a"));
+        assert_eq!(parse(&to_text(&net)).unwrap(), net);
+    }
+
+    #[test]
+    fn eltwise_add_rejects_bad_lines() {
+        // Missing from=.
+        let e = parse("network t input 4x8x8\nconv a out=4 k=3 s=1 pad=1\nadd m\n").unwrap_err();
+        assert!(e.message.contains("from"));
+        // Unknown key.
+        assert!(
+            parse("network t input 4x8x8\nconv a out=4 k=3 s=1 pad=1\nadd m from=a out=3\n")
+                .is_err()
+        );
+        // Dangling skip source is a file-level (cross-layer) error.
+        let e = parse("network t input 4x8x8\nconv a out=4 k=3 s=1 pad=1\nadd m from=zzz\n")
+            .unwrap_err();
+        assert!(e.message.contains("zzz"));
     }
 }

@@ -12,7 +12,7 @@ use crate::ModelError;
 pub struct LayerStats {
     /// Layer name.
     pub name: String,
-    /// `"conv"`, `"pool"` or `"fc"`.
+    /// `"conv"`, `"pool"`, `"fc"` or `"add"`.
     pub kind: &'static str,
     /// Input shape.
     pub input: TensorShape,
@@ -41,6 +41,7 @@ impl LayerStats {
                 "fc",
                 (p.in_features * p.out_features + p.out_features) as u64,
             ),
+            LayerKind::Eltwise(_) => ("add", 0),
         };
         Ok(Self {
             name: layer.name.clone(),

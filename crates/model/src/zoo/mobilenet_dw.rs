@@ -1,0 +1,110 @@
+//! MobileNet-style depthwise-separable network (Howard et al., 2017),
+//! reduced to one depthwise/pointwise pair per resolution step. This
+//! network is *not* part of the paper's Table 2 corpus; every depthwise
+//! layer has `Din_group = 1`, which forces Algorithm 2 down the
+//! kernel-partition path — the geometry the paper only meets in AlexNet's
+//! conv1 — and every pointwise layer is a `k = 1` convolution, the
+//! degenerate case of both Eq. 1 and Eq. 2.
+
+use crate::network::{Network, NetworkBuilder};
+use crate::shape::TensorShape;
+
+/// One depthwise-separable pair: a 3x3 depthwise convolution (stride `s`)
+/// followed by a 1x1 pointwise convolution to `out_maps`.
+fn pair(b: NetworkBuilder, idx: usize, s: usize, out_maps: usize) -> NetworkBuilder {
+    b.conv_dw(&format!("dw{idx}"), 3, s, 1)
+        .conv(&format!("pw{idx}"), out_maps, 1, 1, 0)
+}
+
+/// Builds the reduced MobileNet for a 3x224x224 input: a full-depth stem
+/// plus 8 depthwise-separable pairs (17 convolutions).
+///
+/// # Panics
+///
+/// Never panics; the layer table is statically consistent (checked by
+/// tests).
+pub fn mobilenet_dw() -> Network {
+    let mut b = NetworkBuilder::new("mobilenet_dw", TensorShape::new(3, 224, 224))
+        .conv("conv1", 32, 3, 2, 1);
+    for (idx, (s, out)) in [
+        (1, 64),
+        (2, 128),
+        (1, 128),
+        (2, 256),
+        (1, 256),
+        (2, 512),
+        (1, 512),
+        (2, 1024),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        b = pair(b, idx + 1, s, out);
+    }
+    b.pool_average("pool", 7, 7)
+        .fully_connected("fc", 1000)
+        .build()
+        .expect("mobilenet_dw layer table is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_counts() {
+        let net = mobilenet_dw();
+        assert_eq!(net.conv_layers().count(), 17);
+        let dw = net
+            .conv_layers()
+            .filter(|l| l.as_conv().unwrap().is_depthwise())
+            .count();
+        assert_eq!(dw, 8);
+    }
+
+    #[test]
+    fn is_valid_and_sequential() {
+        let net = mobilenet_dw();
+        net.validate().unwrap();
+        let mut cursor = net.input();
+        for layer in net.layers() {
+            assert_eq!(layer.input, cursor, "{}", layer.name);
+            cursor = layer.output_shape().unwrap();
+        }
+    }
+
+    #[test]
+    fn depthwise_layers_have_unit_group_depth() {
+        for layer in mobilenet_dw().conv_layers() {
+            let p = layer.as_conv().unwrap();
+            if p.is_depthwise() {
+                assert_eq!(p.in_maps_per_group(), 1, "{}", layer.name);
+                assert_eq!(p.groups, p.in_maps, "{}", layer.name);
+            }
+        }
+    }
+
+    #[test]
+    fn resolution_and_depth_schedule() {
+        let net = mobilenet_dw();
+        assert_eq!(
+            net.layer("dw2").unwrap().input,
+            TensorShape::new(64, 112, 112)
+        );
+        assert_eq!(net.layer("pw8").unwrap().input, TensorShape::new(512, 7, 7));
+        assert_eq!(
+            net.layer("pool").unwrap().output_shape().unwrap(),
+            TensorShape::new(1024, 1, 1)
+        );
+    }
+
+    #[test]
+    fn pointwise_layers_are_1x1_ungrouped() {
+        for layer in mobilenet_dw().conv_layers() {
+            let p = layer.as_conv().unwrap();
+            if layer.name.starts_with("pw") {
+                assert_eq!((p.kernel, p.stride, p.groups), (1, 1, 1), "{}", layer.name);
+            }
+        }
+    }
+}

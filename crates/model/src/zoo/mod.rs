@@ -1,6 +1,8 @@
 //! The paper's benchmark networks (Table 2): AlexNet, GoogLeNet, VGG-16 and
 //! Network-in-Network, built layer by layer from their published
-//! architectures.
+//! architectures — plus two out-of-paper extensions (a reduced ResNet-18
+//! with residual adds and a reduced MobileNet with depthwise convolutions)
+//! that stress Algorithm 2 beyond the paper's corpus.
 //!
 //! # Examples
 //!
@@ -14,19 +16,36 @@
 
 mod alexnet;
 mod googlenet;
+mod mobilenet_dw;
 mod nin;
+mod resnet;
 mod vgg;
 
 pub use alexnet::alexnet;
 pub use googlenet::googlenet;
+pub use mobilenet_dw::mobilenet_dw;
 pub use nin::nin;
+pub use resnet::resnet18;
 pub use vgg::vgg16;
 
 use crate::network::Network;
 
-/// All four benchmark networks, in the paper's order
-/// (AlexNet, GoogLeNet, VGG, NiN).
+/// All six benchmark networks: the paper's four (AlexNet, GoogLeNet, VGG,
+/// NiN) followed by the two out-of-paper extensions (ResNet-18 reduced,
+/// MobileNet depthwise reduced).
 pub fn all() -> Vec<Network> {
+    vec![
+        alexnet(),
+        googlenet(),
+        vgg16(),
+        nin(),
+        resnet18(),
+        mobilenet_dw(),
+    ]
+}
+
+/// The paper's original four benchmark networks only (Table 2).
+pub fn paper_networks() -> Vec<Network> {
     vec![alexnet(), googlenet(), vgg16(), nin()]
 }
 
@@ -38,6 +57,8 @@ pub fn by_name(name: &str) -> Option<Network> {
         "googlenet" | "gnet" | "google net" => Some(googlenet()),
         "vgg" | "vgg16" => Some(vgg16()),
         "nin" => Some(nin()),
+        "resnet" | "resnet18" => Some(resnet18()),
+        "mobilenet" | "mobilenet_dw" | "mobilenet-dw" => Some(mobilenet_dw()),
         _ => None,
     }
 }
@@ -47,11 +68,30 @@ mod tests {
     use super::*;
 
     #[test]
-    fn all_four_networks() {
+    fn all_six_networks() {
         let nets = all();
-        assert_eq!(nets.len(), 4);
+        assert_eq!(nets.len(), 6);
         let names: Vec<_> = nets.iter().map(|n| n.name().to_owned()).collect();
-        assert_eq!(names, ["alexnet", "googlenet", "vgg16", "nin"]);
+        assert_eq!(
+            names,
+            [
+                "alexnet",
+                "googlenet",
+                "vgg16",
+                "nin",
+                "resnet18",
+                "mobilenet_dw"
+            ]
+        );
+    }
+
+    #[test]
+    fn paper_networks_are_a_prefix_of_all() {
+        let paper = paper_networks();
+        assert_eq!(paper.len(), 4);
+        for (a, b) in paper.iter().zip(all().iter()) {
+            assert_eq!(a.name(), b.name());
+        }
     }
 
     #[test]
@@ -59,6 +99,8 @@ mod tests {
         assert_eq!(by_name("Anet").unwrap().name(), "alexnet");
         assert_eq!(by_name("GNET").unwrap().name(), "googlenet");
         assert_eq!(by_name("vgg").unwrap().name(), "vgg16");
+        assert_eq!(by_name("resnet").unwrap().name(), "resnet18");
+        assert_eq!(by_name("MobileNet").unwrap().name(), "mobilenet_dw");
         assert!(by_name("lenet").is_none());
     }
 
@@ -69,6 +111,9 @@ mod tests {
         assert_eq!(googlenet().conv_layers().count(), 57);
         assert_eq!(vgg16().conv_layers().count(), 13);
         assert_eq!(nin().conv_layers().count(), 12);
+        // Out-of-paper extensions.
+        assert_eq!(resnet18().conv_layers().count(), 14);
+        assert_eq!(mobilenet_dw().conv_layers().count(), 17);
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! ResNet-18-style residual network (He et al., 2015), reduced to one
+//! residual block per stage past conv2 so the layer table stays compact.
+//! This network is *not* part of the paper's Table 2 corpus; it widens the
+//! zoo with elementwise-add (shortcut) layers, which exercise the
+//! non-convolutional execution path end to end.
+//!
+//! All shortcuts are identity skips: stage transitions downsample with a
+//! plain stride-2 convolution *before* the residual block instead of a
+//! projection branch, which keeps the network strictly sequential (each
+//! layer's input is the previous layer's output) while still merging with
+//! a stored earlier activation.
+
+use crate::network::{Network, NetworkBuilder};
+use crate::shape::TensorShape;
+
+/// One identity residual block: two 3x3 convolutions followed by an
+/// elementwise add with the block's input (the output of `skip`).
+fn block(b: NetworkBuilder, name: &str, maps: usize, skip: &str) -> NetworkBuilder {
+    b.conv(&format!("{name}_1"), maps, 3, 1, 1)
+        .conv(&format!("{name}_2"), maps, 3, 1, 1)
+        .eltwise_add(name, skip)
+}
+
+/// Builds the reduced ResNet-18 for a 3x224x224 input: 14 convolutions and
+/// 5 residual adds.
+///
+/// # Panics
+///
+/// Never panics; the layer table is statically consistent (checked by
+/// tests).
+pub fn resnet18() -> Network {
+    let b = NetworkBuilder::new("resnet18", TensorShape::new(3, 224, 224))
+        .conv("conv1", 64, 7, 2, 3)
+        .pool_max_ceil("pool1", 3, 2);
+    let b = block(b, "res2a", 64, "pool1");
+    let b = block(b, "res2b", 64, "res2a");
+    let b = block(b.conv("res3_down", 128, 3, 2, 1), "res3a", 128, "res3_down");
+    let b = block(b.conv("res4_down", 256, 3, 2, 1), "res4a", 256, "res4_down");
+    let b = block(b.conv("res5_down", 512, 3, 2, 1), "res5a", 512, "res5_down");
+    b.pool_average("pool5", 7, 7)
+        .fully_connected("fc", 1000)
+        .build()
+        .expect("resnet18 layer table is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    #[test]
+    fn layer_counts() {
+        let net = resnet18();
+        assert_eq!(net.conv_layers().count(), 14);
+        let adds = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind, LayerKind::Eltwise(_)))
+            .count();
+        assert_eq!(adds, 5);
+    }
+
+    #[test]
+    fn is_valid_and_sequential() {
+        let net = resnet18();
+        net.validate().unwrap();
+        // Strictly sequential: each layer's input is the previous output.
+        let mut cursor = net.input();
+        for layer in net.layers() {
+            assert_eq!(layer.input, cursor, "{}", layer.name);
+            cursor = layer.output_shape().unwrap();
+        }
+    }
+
+    #[test]
+    fn stage_shapes() {
+        let net = resnet18();
+        assert_eq!(
+            net.layer("res2a").unwrap().input,
+            TensorShape::new(64, 56, 56)
+        );
+        assert_eq!(
+            net.layer("res3a").unwrap().input,
+            TensorShape::new(128, 28, 28)
+        );
+        assert_eq!(
+            net.layer("res5a").unwrap().input,
+            TensorShape::new(512, 7, 7)
+        );
+        assert_eq!(
+            net.layer("pool5").unwrap().output_shape().unwrap(),
+            TensorShape::new(512, 1, 1)
+        );
+    }
+
+    #[test]
+    fn every_add_skips_to_block_input() {
+        let net = resnet18();
+        for layer in net.layers() {
+            if let (LayerKind::Eltwise(_), Some(skip)) = (&layer.kind, &layer.skip) {
+                let src = net.layer(skip).expect("skip source exists");
+                assert_eq!(src.output_shape().unwrap(), layer.input, "{}", layer.name);
+            }
+        }
+    }
+
+    #[test]
+    fn macs_in_resnet18_ballpark() {
+        // Full ResNet-18 is ~1.8 GMACs; the reduced variant keeps the stem
+        // and one block per stage, landing above 1 GMAC.
+        let macs = resnet18().conv_macs().unwrap();
+        assert!(macs > 1_000_000_000 && macs < 2_000_000_000, "{macs}");
+    }
+}

@@ -64,6 +64,17 @@ pub enum MacroOp {
         /// Elements read.
         elems: u64,
     },
+    /// A run of elementwise-merge issues (residual add): each burst reads
+    /// both operand slices from the input buffer, combines them through the
+    /// adder trees and writes the result. No weights, no partial sums.
+    EltwiseBurst {
+        /// Issue slots.
+        bursts: u64,
+        /// Input elements read per burst (both operands).
+        input_reads: u32,
+        /// Output elements written per burst.
+        output_writes: u32,
+    },
 }
 
 impl MacroOp {
@@ -100,6 +111,15 @@ impl MacroOp {
             MacroOp::AddStore { .. } | MacroOp::OutputWrite { .. } => 0,
             MacroOp::PoolBurst { bursts, .. } => bursts,
             MacroOp::BiasLoad { .. } => 0,
+            MacroOp::EltwiseBurst {
+                bursts,
+                input_reads,
+                ..
+            } => {
+                // Both operand slices stream through the input port.
+                let in_port = cfg.in_port_elems() as u64;
+                bursts * (input_reads as u64).div_ceil(in_port).max(1)
+            }
         }
     }
 }

@@ -130,6 +130,15 @@ impl Machine {
             MacroOp::BiasLoad { elems } => {
                 stats.bias_buf.loads += elems;
             }
+            MacroOp::EltwiseBurst {
+                bursts,
+                input_reads,
+                output_writes,
+            } => {
+                stats.eltwise_ops += bursts * output_writes as u64;
+                stats.input_buf.loads += bursts * input_reads as u64;
+                stats.output_buf.stores += bursts * output_writes as u64;
+            }
         }
         cycles
     }
@@ -243,6 +252,7 @@ fn describe_op(op: &MacroOp) -> (&'static str, String) {
         MacroOp::OutputWrite { elems } => ("store", format!("elems={elems}")),
         MacroOp::PoolBurst { bursts, .. } => ("pool", format!("bursts={bursts}")),
         MacroOp::BiasLoad { elems } => ("bias", format!("elems={elems}")),
+        MacroOp::EltwiseBurst { bursts, .. } => ("eltwise", format!("bursts={bursts}")),
     }
 }
 

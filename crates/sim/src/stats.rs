@@ -60,6 +60,8 @@ pub struct Stats {
     pub lane_slots: u64,
     /// Add-and-store partial-sum accumulations in the output buffer.
     pub add_store_ops: u64,
+    /// Elementwise-merge operations (residual adds) executed.
+    pub eltwise_ops: u64,
     /// Input-data buffer traffic.
     pub input_buf: BufferTraffic,
     /// Output-data buffer traffic.
@@ -114,6 +116,7 @@ impl Add for Stats {
             mac_ops: self.mac_ops + rhs.mac_ops,
             lane_slots: self.lane_slots + rhs.lane_slots,
             add_store_ops: self.add_store_ops + rhs.add_store_ops,
+            eltwise_ops: self.eltwise_ops + rhs.eltwise_ops,
             input_buf: self.input_buf + rhs.input_buf,
             output_buf: self.output_buf + rhs.output_buf,
             weight_buf: self.weight_buf + rhs.weight_buf,

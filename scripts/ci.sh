@@ -19,6 +19,10 @@ cargo clippy --workspace --all-targets -- -D warnings
 if [[ $quick -eq 0 ]]; then
     echo "==> cargo build --release (tier-1)"
     cargo build --release
+    # The root package does not depend on the cli/bench crates, so a bare
+    # release build leaves their binaries stale; build the whole workspace.
+    echo "==> cargo build --release --workspace (cli + bench binaries)"
+    cargo build --release --workspace
 fi
 
 echo "==> cargo test --workspace -q"
@@ -26,5 +30,18 @@ cargo test --workspace -q
 
 echo "==> cargo test --workspace --doc -q"
 cargo test --workspace --doc -q
+
+echo "==> conformance suite must have no ignored tests"
+if grep -n '#\[ignore' tests/conformance.rs; then
+    echo "error: tests/conformance.rs contains #[ignore]d tests" >&2
+    exit 1
+fi
+
+echo "==> cargo test --release --test conformance (scheme-conformance matrix)"
+if [[ $quick -eq 0 ]]; then
+    cargo test --release --test conformance -q -- --include-ignored
+else
+    cargo test --test conformance -q -- --include-ignored
+fi
 
 echo "CI gate passed."

@@ -74,12 +74,15 @@ fn conv1_inter_kernel_utilization_is_3_of_16() {
 
 /// Fig. 8 average: adaptive speedup over inter across the four networks
 /// lands in the paper's regime (paper: 1.43x average, 1.83x AlexNet).
+/// Pinned to the paper's Table 2 corpus: the out-of-paper zoo extensions
+/// (depthwise MobileNet especially) speed up far more and would skew the
+/// figure's average.
 #[test]
 fn whole_network_average_speedup_in_regime() {
     let r = runner16();
     let mut product = 1.0f64;
     let mut alexnet_speedup = 0.0;
-    for net in zoo::all() {
+    for net in zoo::paper_networks() {
         let reports = r.run_paper_arms(&net).expect("runs");
         let s = reports[4].speedup_over(&reports[0]);
         if net.name() == "alexnet" {
@@ -101,7 +104,7 @@ fn whole_network_average_speedup_in_regime() {
 fn vgg_is_the_weakest_win() {
     let r = runner16();
     let mut speedups = Vec::new();
-    for net in zoo::all() {
+    for net in zoo::paper_networks() {
         let reports = r.run_paper_arms(&net).expect("runs");
         speedups.push((net.name().to_owned(), reports[4].speedup_over(&reports[0])));
     }
@@ -124,7 +127,7 @@ fn buffer_traffic_reductions_match_paper_shape() {
     let r = runner16();
     let mut vs_adpa1 = Vec::new();
     let mut vs_intra = Vec::new();
-    for net in zoo::all() {
+    for net in zoo::paper_networks() {
         let reports = r.run_paper_arms(&net).expect("runs");
         let bits = |i: usize| reports[i].totals.buffer_access_bits() as f64;
         vs_adpa1.push(1.0 - bits(4) / bits(3));

@@ -93,6 +93,93 @@ fn schemes_agree_with_each_other() {
     }
 }
 
+/// One random depthwise geometry: groups == in_maps == out_maps, so the
+/// per-group input depth is exactly 1 — the geometry that forces
+/// Algorithm 2 down the kernel-partition path.
+fn random_depthwise(rng: &mut XorShift64) -> (ConvParams, TensorShape, u64) {
+    let maps = rng.range_usize(2, 10);
+    let k = rng.range_usize(1, 5);
+    let s = rng.range_usize(1, k);
+    let pad = rng.range_usize(0, 2);
+    let extra = rng.range_usize(0, 8);
+    let seed = rng.next_u64();
+    let params = ConvParams::depthwise(maps, k, s, pad);
+    let extent = k + extra;
+    (params, TensorShape::new(maps, extent, extent), seed)
+}
+
+/// Every scheme executor handles depthwise (`Din_group = 1`) geometries
+/// and agrees with the reference.
+#[test]
+fn depthwise_schemes_equal_reference() {
+    let mut rng = XorShift64::seed_from_u64(0xD3_971);
+    for _ in 0..64 {
+        let (params, shape, seed) = random_depthwise(&mut rng);
+        assert_eq!(params.in_maps_per_group(), 1);
+        for f in [partition_forward, unrolled_forward, improved_inter_forward] {
+            let diff = max_diff(&params, shape, seed, f);
+            assert!(diff < 1e-3, "diff={diff} params={params:?}");
+        }
+    }
+}
+
+/// Eq. 2 over random depthwise/grouped geometries: `g = ceil(k / s)`, and
+/// the sub-kernel grid tiles the kernel with every weight position claimed
+/// by exactly one sub-kernel (no overlap, no hole).
+#[test]
+fn partition_subkernels_tile_the_kernel_without_overlap() {
+    use cbrain::partition_math::partition;
+    let mut rng = XorShift64::seed_from_u64(0xE92_711);
+    for _ in 0..256 {
+        let k = rng.range_usize(1, 16);
+        let s = rng.range_usize(1, k);
+        let (g, ks) = partition(k, s);
+        assert_eq!(g, k.div_ceil(s), "k={k} s={s}");
+        let mut claimed = vec![0u32; k * k];
+        for gy in 0..g {
+            for gx in 0..g {
+                for ky in 0..ks {
+                    for kx in 0..ks {
+                        let (wy, wx) = (gy * ks + ky, gx * ks + kx);
+                        if wy < k && wx < k {
+                            claimed[wy * k + wx] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        for (pos, &count) in claimed.iter().enumerate() {
+            assert_eq!(count, 1, "k={k} s={s} pos={pos}");
+        }
+    }
+}
+
+/// Eq. 1 over random depthwise geometries: the analytical duplication
+/// factor matches the actual unrolled-buffer footprint the intra scheme
+/// materializes.
+#[test]
+fn unroll_inflation_matches_materialized_footprint() {
+    use cbrain::partition_math::unroll_duplication;
+    let mut rng = XorShift64::seed_from_u64(0xF007);
+    for _ in 0..64 {
+        let (params, shape, seed) = random_depthwise(&mut rng);
+        if params.pad != 0 {
+            continue; // Eq. 1 is stated for unpadded maps
+        }
+        let input = Tensor3::random(shape, seed);
+        let (buf, wy, wx) =
+            reference::unroll_windows(&input, params.kernel, params.stride, 0).expect("unrolls");
+        let k2 = params.kernel * params.kernel;
+        assert_eq!(buf.len(), shape.maps * wy * wx * k2);
+        let t = unroll_duplication(shape.width, shape.height, params.kernel, params.stride);
+        let measured = buf.len() as f64 / shape.elems() as f64;
+        assert!(
+            (t - measured).abs() < 1e-9,
+            "t={t} measured={measured} params={params:?}"
+        );
+    }
+}
+
 /// The PE-level partitioned execution (segmented adder trees, packed
 /// windows, add-and-store accumulation) matches the reference too.
 #[test]

@@ -30,6 +30,46 @@ fn partition_covers_and_is_tight() {
     }
 }
 
+/// Regression (Algorithm 2 edge cases): `k = 1` pointwise layers and raw
+/// `s > k` geometries must flow through scheme selection and Eq. 2
+/// without panicking, and the partition they get must be usable.
+#[test]
+fn select_scheme_is_total_on_degenerate_geometries() {
+    use cbrain::adaptive::select_scheme;
+    let cfg = AcceleratorConfig::paper_16_16();
+
+    // Pointwise, shallow input: Algorithm 2 line 1 skips intra (k = 1),
+    // line 2 picks partition — which degenerates to a single piece.
+    let shallow_pw = ConvParams::new(3, 64, 1, 1, 0);
+    assert_eq!(select_scheme(&shallow_pw, &cfg, false), Scheme::Partition);
+    assert_eq!(partition(1, 1), (1, 1));
+
+    // The degenerate partition still compiles and conserves MACs exactly:
+    // a 1-piece split has no zero-padded lanes to inflate.
+    let layer = Layer::conv("pw", TensorShape::new(3, 8, 8), shallow_pw);
+    let compiled = compile_conv(&layer, Scheme::Partition, &cfg).expect("compiles");
+    let stats = Machine::new(cfg).run(&compiled.program);
+    assert_eq!(stats.mac_ops, layer.macs().expect("valid"));
+
+    // Pointwise, deep input: inter, never intra.
+    let deep_pw = ConvParams::new(64, 64, 1, 1, 0);
+    assert_eq!(select_scheme(&deep_pw, &cfg, false), Scheme::Inter);
+    assert_eq!(select_scheme(&deep_pw, &cfg, true), Scheme::InterImproved);
+
+    // Raw s > k parameters (rejected by layer validation, but Algorithm 2
+    // and Eq. 2 can still be probed with them): total, no panic, and the
+    // split is one full-size piece with no slack.
+    let mut rng = XorShift64::seed_from_u64(0xDE6E);
+    for _ in 0..256 {
+        let k = rng.range_usize(1, 8);
+        let s = rng.range_usize(k + 1, k + 6);
+        assert_eq!(partition(k, s), (1, k), "k={k} s={s}");
+        let raw = ConvParams::new(3, 16, k, s, 0);
+        let scheme = select_scheme(&raw, &cfg, true);
+        assert_ne!(scheme, Scheme::Intra, "k={k} s={s}: k != s can't be intra");
+    }
+}
+
 /// Eq. 1: duplication is bounded by (k/s)^2 and equals 1 when windows
 /// tile exactly.
 #[test]

@@ -36,6 +36,49 @@ fn shipped_specs_are_canonical_serialization() {
     }
 }
 
+/// The two out-of-paper zoo extensions round-trip through the spec
+/// format: parse -> emit -> parse is a fixed point, and the directives
+/// that carry the new layer kinds survive serialization.
+#[test]
+fn extension_specs_round_trip_stably() {
+    for name in ["resnet18", "mobilenet_dw"] {
+        let text = std::fs::read_to_string(spec_path(name)).expect("spec readable");
+        let parsed = spec::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let emitted = spec::to_text(&parsed);
+        assert_eq!(text, emitted, "{name}: emit is not a parse fixed point");
+        let reparsed = spec::parse(&emitted).unwrap_or_else(|e| panic!("{name} reparse: {e}"));
+        assert_eq!(parsed, reparsed, "{name}: reparse changed the network");
+    }
+}
+
+#[test]
+fn resnet_spec_carries_residual_adds() {
+    let text = std::fs::read_to_string(spec_path("resnet18")).expect("spec readable");
+    let net = spec::parse(&text).expect("parses");
+    let adds: Vec<_> = net
+        .layers()
+        .iter()
+        .filter(|l| matches!(l.kind, cbrain_model::LayerKind::Eltwise(_)))
+        .collect();
+    assert_eq!(adds.len(), 5);
+    for add in adds {
+        assert!(add.skip.is_some(), "{}", add.name);
+    }
+    assert!(text.contains("add res2a @64x56x56 from=pool1"));
+}
+
+#[test]
+fn mobilenet_spec_carries_depthwise_groups() {
+    let text = std::fs::read_to_string(spec_path("mobilenet_dw")).expect("spec readable");
+    let net = spec::parse(&text).expect("parses");
+    let dw = net
+        .conv_layers()
+        .filter(|l| l.as_conv().unwrap().is_depthwise())
+        .count();
+    assert_eq!(dw, 8);
+    assert!(text.contains("groups=512"));
+}
+
 #[test]
 fn spec_driven_run_matches_zoo_run() {
     use cbrain::{Policy, Runner};
