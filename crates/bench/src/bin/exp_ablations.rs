@@ -1,43 +1,8 @@
 //! Ablation studies for the design choices DESIGN.md flags: DMA overlap,
 //! add-and-store placement, layout planning, and the Eq. 2 sub-kernel size.
 
-use cbrain::report::render_table;
-use cbrain_bench::experiments::{ablate_addstore, ablate_ks, ablate_layout, ablate_overlap};
-
-fn print(title: &str, rows: Vec<cbrain_bench::experiments::AblationRow>) {
-    println!("{title}");
-    let table: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.arm.clone(),
-                r.cycles.to_string(),
-                format!("{:.2e}", r.buffer_bits as f64),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(&["arm", "cycles", "buffer bits"], &table)
-    );
-}
-
 fn main() {
     let jobs = cbrain_bench::args::jobs_from_args();
-    print(
-        "Ablation: double-buffered DMA overlap (VGG-16, adpa-2, 16-16)\n",
-        ablate_overlap(jobs),
-    );
-    print(
-        "Ablation: add-and-store off/on the critical path (AlexNet, adpa-2)\n",
-        ablate_addstore(jobs),
-    );
-    print(
-        "Ablation: Algorithm 2 layout planning vs explicit transforms (AlexNet)\n",
-        ablate_layout(jobs),
-    );
-    print(
-        "Ablation: Eq. 2 sub-kernel size ks=s vs ks=2s (AlexNet conv1)\n",
-        ablate_ks(),
-    );
+    let _cache = cbrain_bench::cache::init_for_binary();
+    print!("{}", cbrain_bench::drivers::ablations_report(jobs));
 }

@@ -1,40 +1,21 @@
 //! Runs every experiment in paper order — the one-shot reproduction
-//! driver. Equivalent to running each `exp_*` binary in sequence.
+//! driver. One process, one shared compiled-layer cache: layers that
+//! recur across experiments (the conv+pool grid dominates) compile
+//! once instead of once per child binary, and the persisted cache makes
+//! a second invocation start warm (`CBRAIN_CACHE=off` disables).
 //!
-//! Accepts `--jobs N` (default: all cores) and forwards it to every
-//! child, so the whole reproduction fans out while keeping
-//! byte-identical output.
-
-use std::process::Command;
+//! Accepts `--jobs N` (default: all cores); each experiment fans its
+//! cells over the pool and its output is buffered whole before
+//! printing, so the report is byte-identical for every `N`.
 
 fn main() {
-    // Validate the flag here for a clear error, then forward it.
     let jobs = cbrain_bench::args::jobs_from_args();
-    let exps = [
-        "exp_table2",
-        "exp_table3",
-        "exp_fig3",
-        "exp_fig7",
-        "exp_fig8",
-        "exp_fig9",
-        "exp_table4",
-        "exp_table5",
-        "exp_fig10",
-        "exp_sweep",
-        "exp_batch",
-        "exp_ablations",
-    ];
-    let me = std::env::current_exe().expect("current exe path");
-    let dir = me.parent().expect("exe dir");
-    for exp in exps {
+    let _cache = cbrain_bench::cache::init_for_binary();
+    for (name, report) in cbrain_bench::drivers::all_reports(jobs) {
         println!("{}", "=".repeat(78));
-        let bin = dir.join(exp);
-        let status = Command::new(&bin)
-            .arg("--jobs")
-            .arg(jobs.to_string())
-            .status()
-            .unwrap_or_else(|e| panic!("failed to spawn {}: {e}", bin.display()));
-        assert!(status.success(), "{exp} failed");
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(report))
+            .unwrap_or_else(|_| panic!("{name} failed"));
+        print!("{out}");
         println!();
     }
 }

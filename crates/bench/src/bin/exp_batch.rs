@@ -2,38 +2,8 @@
 //! (FC layers included). Shows the weight-chunk-outer batching dividing
 //! the classifier's weight stream across the batch.
 
-use cbrain::report::render_table;
-use cbrain_bench::experiments::batch_scaling;
-
 fn main() {
     let jobs = cbrain_bench::args::jobs_from_args();
-    println!("Batch scaling (AlexNet, full network incl. FC, adpa-2, 16-16)\n");
-    let rows_data = batch_scaling(jobs);
-    let base = rows_data[0].clone();
-    let rows: Vec<Vec<String>> = rows_data
-        .iter()
-        .map(|r| {
-            vec![
-                r.batch.to_string(),
-                format!("{:.3e}", r.cycles_per_image),
-                format!("{:.3e}", r.dram_per_image),
-                format!("{:.3}", r.energy_per_image_mj),
-                format!("{:.2}x", base.cycles_per_image / r.cycles_per_image),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            &[
-                "batch",
-                "cycles/img",
-                "DRAM B/img",
-                "energy mJ/img",
-                "throughput gain"
-            ],
-            &rows
-        )
-    );
-    println!("The FC weight stream (>100 MB/image at batch 1) amortizes across the batch.");
+    let _cache = cbrain_bench::cache::init_for_binary();
+    print!("{}", cbrain_bench::drivers::batch_report(jobs));
 }

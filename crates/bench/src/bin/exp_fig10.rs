@@ -1,39 +1,8 @@
 //! Regenerates Fig. 10: on-chip buffer access counts (bits) under the
 //! five arms, 4 networks x 2 PE configs.
 
-use cbrain::report::render_table;
-use cbrain_bench::experiments::fig10;
-
 fn main() {
     let jobs = cbrain_bench::args::jobs_from_args();
-    println!("Fig. 10 — buffer traffic (access bits, conv+pool)\n");
-    let rows: Vec<Vec<String>> = fig10(jobs)
-        .into_iter()
-        .map(|r| {
-            let mut row = vec![r.network.clone(), r.pe.clone()];
-            row.extend(r.access_bits.iter().map(|b| format!("{:.2e}", *b as f64)));
-            row.push(format!(
-                "{:.1}%",
-                (1.0 - r.access_bits[4] as f64 / r.access_bits[3] as f64) * 100.0
-            ));
-            row
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            &[
-                "network",
-                "PE",
-                "inter",
-                "intra",
-                "partition",
-                "adpa-1",
-                "adpa-2",
-                "adpa-2 vs adpa-1"
-            ],
-            &rows
-        )
-    );
-    println!("Paper: adap-2 cuts 90.13% vs adap-1, 73.7% vs intra on average.");
+    let _cache = cbrain_bench::cache::init_for_binary();
+    print!("{}", cbrain_bench::drivers::fig10_report(jobs));
 }

@@ -1,24 +1,5 @@
 //! Regenerates Fig. 3: raw vs unrolled data size of early conv layers.
 
-use cbrain::report::render_table;
-use cbrain_bench::experiments::fig3;
-
 fn main() {
-    println!("Fig. 3 — data unrolling blow-up (Eq. 1), 16-bit elements\n");
-    let rows: Vec<Vec<String>> = fig3()
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.layer.clone(),
-                format!("{:.3e}", r.raw_bits as f64),
-                format!("{:.3e}", r.unrolled_bits as f64),
-                format!("{:.1}x", r.unrolled_bits as f64 / r.raw_bits as f64),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(&["layer", "raw bits", "unrolled bits", "blow-up"], &rows)
-    );
-    println!("Paper: unrolled data grows to 9x-18.9x of the raw input.");
+    print!("{}", cbrain_bench::drivers::fig3_report());
 }

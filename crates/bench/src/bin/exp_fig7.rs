@@ -1,42 +1,8 @@
 //! Regenerates Fig. 7: conv1 execution cycles under inter / intra /
 //! partition vs the ideal bound, 4 networks x 2 PE configs.
 
-use cbrain::report::{format_cycles, render_table};
-use cbrain_bench::experiments::fig7;
-
 fn main() {
     let jobs = cbrain_bench::args::jobs_from_args();
-    println!("Fig. 7 — conv1 execution time (cycles)\n");
-    let rows: Vec<Vec<String>> = fig7(jobs)
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.network.clone(),
-                r.pe.clone(),
-                format_cycles(r.ideal),
-                format_cycles(r.inter),
-                format_cycles(r.intra),
-                format_cycles(r.partition),
-                format!("{:.1}x", r.inter as f64 / r.partition as f64),
-                format!("{:.1}x", r.intra as f64 / r.partition as f64),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            &[
-                "network",
-                "PE",
-                "ideal",
-                "inter",
-                "intra",
-                "partition",
-                "part/inter",
-                "part/intra"
-            ],
-            &rows
-        )
-    );
-    println!("Paper: partition outperforms inter by 5.8x and intra by 2.1x on average.");
+    let _cache = cbrain_bench::cache::init_for_binary();
+    print!("{}", cbrain_bench::drivers::fig7_report(jobs));
 }

@@ -1,47 +1,8 @@
 //! Regenerates Fig. 8: whole-network cycles under the five arms
 //! (inter, intra, partition, adpa-1, adpa-2), 4 networks x 2 PE configs.
 
-use cbrain::report::{format_cycles, log_bars, render_table};
-use cbrain_bench::experiments::fig8;
-
 fn main() {
     let jobs = cbrain_bench::args::jobs_from_args();
-    println!("Fig. 8 — whole-network performance (cycles, conv+pool)\n");
-    let rows: Vec<Vec<String>> = fig8(jobs)
-        .into_iter()
-        .map(|r| {
-            let mut row = vec![r.network.clone(), r.pe.clone()];
-            row.extend(r.cycles.iter().map(|c| format_cycles(*c)));
-            row.push(format!("{:.2}x", r.cycles[0] as f64 / r.cycles[4] as f64));
-            row
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            &[
-                "network",
-                "PE",
-                "inter",
-                "intra",
-                "partition",
-                "adpa-1",
-                "adpa-2",
-                "adpa-2 speedup"
-            ],
-            &rows
-        )
-    );
-    println!("Paper: adpa outperforms inter by 1.83x on AlexNet, 1.43x on average.");
-
-    // The figure itself, log scale like the paper's.
-    println!("\nAlexNet @16-16 (log-scale bars):");
-    let rows = fig8(jobs);
-    let alexnet = rows
-        .iter()
-        .find(|r| r.network == "alexnet" && r.pe == "16-16")
-        .expect("alexnet row present");
-    let labels = ["inter", "intra", "partition", "adpa-1", "adpa-2"];
-    let bars: Vec<(&str, u64)> = labels.iter().copied().zip(alexnet.cycles).collect();
-    print!("{}", log_bars(&bars, 46));
+    let _cache = cbrain_bench::cache::init_for_binary();
+    print!("{}", cbrain_bench::drivers::fig8_report(jobs));
 }

@@ -1,38 +1,8 @@
 //! Regenerates Fig. 9: AlexNet at 100 MHz vs the Zhang FPGA'15 design
 //! (zhang-7-64) and three adaptive configurations.
 
-use cbrain::report::render_table;
-use cbrain_bench::experiments::fig9;
-
 fn main() {
     let jobs = cbrain_bench::args::jobs_from_args();
-    println!("Fig. 9 — comparison with Zhang et al. FPGA'15 at 100 MHz (AlexNet, ms)\n");
-    let rows_data = fig9(jobs);
-    let zhang = rows_data[0].clone();
-    let rows: Vec<Vec<String>> = rows_data
-        .iter()
-        .map(|r| {
-            vec![
-                r.design.clone(),
-                format!("{:.2}", r.conv1_ms),
-                format!("{:.2}", r.whole_ms),
-                format!("{:.2}x", zhang.conv1_ms / r.conv1_ms),
-                format!("{:.2}x", zhang.whole_ms / r.whole_ms),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            &[
-                "design",
-                "conv1 ms",
-                "whole NN ms",
-                "conv1 speedup",
-                "whole speedup"
-            ],
-            &rows
-        )
-    );
-    println!("Paper: zhang 7.4/21.6 ms; adpa-16-28 3.3/18.1 ms (2.22x / 1.20x).");
+    let _cache = cbrain_bench::cache::init_for_binary();
+    print!("{}", cbrain_bench::drivers::fig9_report(jobs));
 }

@@ -2,57 +2,8 @@
 //! scalability sweep (quantifying Sec. 4.1.1's scalability warning) and
 //! the Algorithm-2-vs-oracle gap.
 
-use cbrain::report::{format_cycles, render_table};
-use cbrain_bench::experiments::{oracle_gap, sweep_pe_width};
-
 fn main() {
     let jobs = cbrain_bench::args::jobs_from_args();
-    println!("PE-width scalability sweep (AlexNet, conv+pool)\n");
-    let rows: Vec<Vec<String>> = sweep_pe_width(jobs)
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.pe.clone(),
-                r.multipliers.to_string(),
-                format_cycles(r.inter_cycles),
-                format!("{:.1}%", r.inter_util * 100.0),
-                format_cycles(r.adaptive_cycles),
-                format!("{:.1}%", r.adaptive_util * 100.0),
-                format!("{:.2}x", r.inter_cycles as f64 / r.adaptive_cycles as f64),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            &[
-                "PE",
-                "muls",
-                "inter cycles",
-                "inter util",
-                "adpa-2 cycles",
-                "adpa-2 util",
-                "speedup"
-            ],
-            &rows
-        )
-    );
-
-    println!("Algorithm 2 vs exhaustive per-layer oracle (16-16)\n");
-    let rows: Vec<Vec<String>> = oracle_gap(jobs)
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.network.clone(),
-                format_cycles(r.adaptive_cycles),
-                format_cycles(r.oracle_cycles),
-                format!("{:.3}", r.gap),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(&["network", "adpa-2", "oracle", "gap"], &rows)
-    );
-    println!("gap = adpa-2 cycles / oracle cycles; 1.0 means the O(1) heuristic is optimal.");
+    let _cache = cbrain_bench::cache::init_for_binary();
+    print!("{}", cbrain_bench::drivers::sweep_report(jobs));
 }

@@ -1,44 +1,5 @@
 //! Regenerates Table 2: the benchmark networks' characteristics.
 
-use cbrain::report::render_table;
-use cbrain_bench::experiments::{forward_macs, table2};
-use cbrain_model::zoo;
-
 fn main() {
-    println!("Table 2 — benchmark networks\n");
-    let rows: Vec<Vec<String>> = table2()
-        .into_iter()
-        .map(|r| {
-            let (din, k, s, dout) = r.conv1;
-            let macs = zoo::by_name(&r.network)
-                .map(|n| forward_macs(&n))
-                .unwrap_or(0);
-            vec![
-                r.network.clone(),
-                format!("{din},{k},{s},{dout}"),
-                r.conv_layers.to_string(),
-                r.kernel_types
-                    .iter()
-                    .map(usize::to_string)
-                    .collect::<Vec<_>>()
-                    .join(","),
-                format!("{:.2e}", macs as f64),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            &[
-                "network",
-                "conv1 (Din,k,s,Dout)",
-                "#conv layers",
-                "kernel types",
-                "conv+pool MACs"
-            ],
-            &rows
-        )
-    );
-    println!("Paper Table 2: AlexNet 3,11,4,96 / 5 / 11,5,3; GoogLeNet 3,7,2,64 / 57 / 7,5,3,1;");
-    println!("              VGG 3,3,1,64 / 16 weight layers (13 conv) / 3; NiN 3,11,4,96 / 12 / 11,5,3,1.");
+    print!("{}", cbrain_bench::drivers::table2_report());
 }

@@ -1,44 +1,5 @@
 //! Regenerates Table 3: the accelerator configurations under test.
 
-use cbrain::report::render_table;
-use cbrain_sim::AcceleratorConfig;
-
 fn main() {
-    println!("Table 3 — accelerator parameters\n");
-    let rows: Vec<Vec<String>> = [
-        AcceleratorConfig::paper_16_16(),
-        AcceleratorConfig::paper_32_32(),
-    ]
-    .iter()
-    .map(|c| {
-        vec![
-            c.pe.to_string(),
-            c.pe.multipliers().to_string(),
-            format!("{} KB", c.inout_buf_bytes / 1024),
-            format!("{} KB", c.weight_buf_bytes / 1024),
-            format!("{} KB", c.bias_buf_bytes / 1024),
-            format!("{} elems/cyc", c.weight_port_elems()),
-            format!("{} B/cyc", c.dram_bytes_per_cycle),
-            format!("{} MHz", c.freq_mhz),
-        ]
-    })
-    .collect();
-    println!(
-        "{}",
-        render_table(
-            &[
-                "PE",
-                "multipliers",
-                "in/out buf",
-                "weight buf",
-                "bias buf",
-                "weight port",
-                "DRAM BW",
-                "clock"
-            ],
-            &rows
-        )
-    );
-    println!("Paper Table 3: PE 16-16/32-32, 2 MB in/out, 1 MB weight, 4 KB bias,");
-    println!("all of mul/add/load/store are single-cycle (modelled per macro-op).");
+    print!("{}", cbrain_bench::drivers::table3_report());
 }

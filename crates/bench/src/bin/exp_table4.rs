@@ -8,50 +8,8 @@
 //! run-to-run; set `CBRAIN_MAC_RATE` (MACs/s, e.g. `5.7e8`) to pin it
 //! for reproducible output (determinism checks, CI diffs).
 
-use cbrain::report::render_table;
-use cbrain_baselines::cpu::calibrate_mac_rate;
-use cbrain_bench::experiments::table4;
-
 fn main() {
     let jobs = cbrain_bench::args::jobs_from_args();
-    let rate = match std::env::var("CBRAIN_MAC_RATE") {
-        Ok(v) => v
-            .parse::<f64>()
-            .ok()
-            .filter(|r| r.is_finite() && *r > 0.0)
-            .unwrap_or_else(|| panic!("CBRAIN_MAC_RATE must be a positive number, got `{v}`")),
-        Err(_) => calibrate_mac_rate(),
-    };
-    println!(
-        "Table 4 — CPU vs adaptive accelerator (host MAC rate {:.2e}/s)\n",
-        rate
-    );
-    let rows: Vec<Vec<String>> = table4(rate, jobs)
-        .into_iter()
-        .map(|r| {
-            vec![
-                r.network.clone(),
-                format!("{:.2}", r.cpu_ms),
-                format!("{:.2}", r.adap_16_ms),
-                format!("{:.1}x", r.speedup_16),
-                format!("{:.2}", r.adap_32_ms),
-                format!("{:.1}x", r.speedup_32),
-            ]
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            &[
-                "network",
-                "CPU ms",
-                "adap-16-16 ms",
-                "speedup",
-                "adap-32-32 ms",
-                "speedup"
-            ],
-            &rows
-        )
-    );
-    println!("Paper: 82x-212x for adap-16-16, 270x-697x for adap-32-32 (avg 139x / 469x).");
+    let _cache = cbrain_bench::cache::init_for_binary();
+    print!("{}", cbrain_bench::drivers::table4_report(jobs));
 }

@@ -1,26 +1,7 @@
 //! Regenerates Table 5: PE energy reduction of each arm vs inter-kernel.
 
-use cbrain::report::render_table;
-use cbrain_bench::experiments::table5;
-
 fn main() {
     let jobs = cbrain_bench::args::jobs_from_args();
-    println!("Table 5 — PE energy reduction vs inter (%, 16-16)\n");
-    let rows: Vec<Vec<String>> = table5(jobs)
-        .into_iter()
-        .map(|r| {
-            let mut row = vec![r.network.clone()];
-            row.extend(r.reduction_percent.iter().map(|p| format!("{p:.2}")));
-            row
-        })
-        .collect();
-    println!(
-        "{}",
-        render_table(
-            &["network", "intra", "partition", "adap-1", "adap-2"],
-            &rows
-        )
-    );
-    println!("Paper Table 5: AlexNet 32.85/40.23/47.77/47.71; GoogLeNet 9.66/22.77/31.48/31.40;");
-    println!("              VGG -44.72/-8.61/3.00/2.89.");
+    let _cache = cbrain_bench::cache::init_for_binary();
+    print!("{}", cbrain_bench::drivers::table5_report(jobs));
 }

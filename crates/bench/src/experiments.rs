@@ -7,10 +7,11 @@
 //!
 //! The heavy functions take a `jobs` argument and fan their independent
 //! experiment cells — (network, config, arm) triples and sweep points —
-//! over [`cbrain::pool::parallel_map`]. Each cell builds its own
-//! [`Runner`] (and therefore its own compiled-layer cache), and the pool
-//! merges results in submission order, so the rows are byte-identical
-//! for every `jobs` value.
+//! over [`cbrain::pool::parallel_map`]. Every cell's [`Runner`] sits on
+//! the process-wide compiled-layer cache ([`crate::cache`]), so layers
+//! recurring across cells and experiments compile once; the pool merges
+//! results in submission order, so the rows are byte-identical for
+//! every `jobs` value.
 
 use cbrain::partition_math::unrolled_bits;
 use cbrain::pool::parallel_map;
@@ -41,7 +42,7 @@ pub fn paper_configs() -> [AcceleratorConfig; 2] {
 }
 
 fn conv1_runner(cfg: AcceleratorConfig) -> Runner {
-    Runner::with_options(
+    crate::cache::runner_with(
         cfg,
         RunOptions {
             workload: Workload::Conv1Only,
@@ -161,7 +162,7 @@ pub struct Fig8Row {
 /// Fig. 8: whole-network (conv+pool) performance of the five arms.
 pub fn fig8(jobs: usize) -> Vec<Fig8Row> {
     parallel_map(jobs, config_network_cells(), |(cfg, net)| {
-        let runner = Runner::new(cfg);
+        let runner = crate::cache::runner(cfg);
         let reports = runner.run_paper_arms(&net).expect("zoo layers compile");
         let mut cycles = [0u64; 5];
         for (c, r) in cycles.iter_mut().zip(&reports) {
@@ -212,7 +213,7 @@ pub fn fig9(jobs: usize) -> Vec<Fig9Row> {
         let conv1 = conv1_runner(cfg)
             .run_network(&net, adaptive)
             .expect("compiles");
-        let whole = Runner::with_options(
+        let whole = crate::cache::runner_with(
             cfg,
             RunOptions {
                 workload: Workload::ConvLayers,
@@ -246,7 +247,7 @@ pub struct Fig10Row {
 /// Fig. 10: on-chip buffer traffic of the five arms.
 pub fn fig10(jobs: usize) -> Vec<Fig10Row> {
     parallel_map(jobs, config_network_cells(), |(cfg, net)| {
-        let runner = Runner::new(cfg);
+        let runner = crate::cache::runner(cfg);
         let reports = runner.run_paper_arms(&net).expect("zoo layers compile");
         let mut bits = [0u64; 5];
         for (b, r) in bits.iter_mut().zip(&reports) {
@@ -321,11 +322,11 @@ pub fn table4(mac_rate: f64, jobs: usize) -> Vec<Table4Row> {
     };
     parallel_map(jobs, zoo::all(), |net| {
         let cpu = cbrain_baselines::cpu::estimate_forward_ms(&net, mac_rate);
-        let ms16 = Runner::new(AcceleratorConfig::paper_16_16())
+        let ms16 = crate::cache::runner(AcceleratorConfig::paper_16_16())
             .run_network(&net, adaptive)
             .expect("compiles")
             .ms();
-        let ms32 = Runner::new(AcceleratorConfig::paper_32_32())
+        let ms32 = crate::cache::runner(AcceleratorConfig::paper_32_32())
             .run_network(&net, adaptive)
             .expect("compiles")
             .ms();
@@ -358,7 +359,7 @@ pub fn table5(jobs: usize) -> Vec<Table5Row> {
     // The paper's Table 5 lists AlexNet, GoogLeNet and VGG.
     let nets = vec![zoo::alexnet(), zoo::googlenet(), zoo::vgg16()];
     parallel_map(jobs, nets, |net| {
-        let runner = Runner::new(AcceleratorConfig::paper_16_16());
+        let runner = crate::cache::runner(AcceleratorConfig::paper_16_16());
         let reports = runner.run_paper_arms(&net).expect("zoo layers compile");
         let base = &reports[0].totals;
         let mut red = [0.0; 4];
@@ -395,7 +396,7 @@ pub fn ablate_overlap(jobs: usize) -> Vec<AblationRow> {
         jobs,
         vec![("overlap", true), ("serial", false)],
         |(label, overlap)| {
-            let r = Runner::with_options(
+            let r = crate::cache::runner_with(
                 AcceleratorConfig::paper_16_16(),
                 RunOptions {
                     machine: MachineOptions {
@@ -427,7 +428,7 @@ pub fn ablate_addstore(jobs: usize) -> Vec<AblationRow> {
         jobs,
         vec![("hidden", false), ("on-critical-path", true)],
         |(label, charged)| {
-            let r = Runner::with_options(
+            let r = crate::cache::runner_with(
                 AcceleratorConfig::paper_16_16(),
                 RunOptions {
                     machine: MachineOptions {
@@ -459,7 +460,7 @@ pub fn ablate_layout(jobs: usize) -> Vec<AblationRow> {
         jobs,
         vec![("planned", true), ("transforms", false)],
         |(label, planning)| {
-            let r = Runner::with_options(
+            let r = crate::cache::runner_with(
                 AcceleratorConfig::paper_16_16(),
                 RunOptions {
                     layout_planning: planning,
@@ -565,7 +566,7 @@ pub fn sweep_pe_width(jobs: usize) -> Vec<SweepRow> {
     let net = zoo::alexnet();
     parallel_map(jobs, vec![8usize, 16, 24, 32, 48, 64], |t| {
         let cfg = AcceleratorConfig::with_pe(PeConfig::new(t, t));
-        let runner = Runner::new(cfg);
+        let runner = crate::cache::runner(cfg);
         let inter = runner
             .run_network(&net, Policy::Fixed(Scheme::Inter))
             .expect("compiles");
@@ -609,7 +610,7 @@ pub struct OracleRow {
 /// adaptive run after it compiles almost nothing.
 pub fn oracle_gap(jobs: usize) -> Vec<OracleRow> {
     parallel_map(jobs, zoo::all(), |net| {
-        let runner = Runner::new(AcceleratorConfig::paper_16_16());
+        let runner = crate::cache::runner(AcceleratorConfig::paper_16_16());
         let oracle = runner.run_network(&net, Policy::Oracle).expect("compiles");
         let adaptive = runner
             .run_network(
@@ -650,7 +651,7 @@ pub struct BatchRow {
 pub fn batch_scaling(jobs: usize) -> Vec<BatchRow> {
     let net = zoo::alexnet();
     parallel_map(jobs, vec![1usize, 2, 4, 8, 16, 32], |batch| {
-        let runner = Runner::with_options(
+        let runner = crate::cache::runner_with(
             AcceleratorConfig::paper_16_16(),
             RunOptions {
                 workload: Workload::FullNetwork,

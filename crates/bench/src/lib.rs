@@ -17,4 +17,6 @@
 #![warn(missing_debug_implementations)]
 
 pub mod args;
+pub mod cache;
+pub mod drivers;
 pub mod experiments;

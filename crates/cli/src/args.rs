@@ -1,7 +1,7 @@
 //! Argument parsing for the `cbrain` binary (hand-rolled; the project
 //! deliberately keeps its dependency set to the offline-sanctioned crates).
 
-use cbrain::{Policy, Scheme, Workload};
+use cbrain::{Policy, Workload};
 use cbrain_sim::{AcceleratorConfig, PeConfig};
 use std::fmt;
 
@@ -21,8 +21,35 @@ pub enum Command {
     },
     /// `cbrain zoo` — list the built-in benchmark networks.
     Zoo,
+    /// `cbrain cbrand-client ...` — submit a run to a `cbrand` daemon.
+    Client(ClientArgs),
     /// `cbrain help` or `--help`.
     Help,
+}
+
+/// Arguments of `cbrain cbrand-client`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientArgs {
+    /// Daemon address (`host:port`).
+    pub connect: String,
+    /// Network to submit (`None` when only `--stats`/`--shutdown`).
+    pub network: Option<NetworkRef>,
+    /// Parallelization policy.
+    pub policy: Policy,
+    /// PE array shape.
+    pub pe: PeConfig,
+    /// Clock in MHz.
+    pub mhz: u64,
+    /// Layer subset.
+    pub workload: Workload,
+    /// Images per run.
+    pub batch: usize,
+    /// Print the per-layer breakdown table.
+    pub breakdown: bool,
+    /// Query daemon cache counters after the run (or alone).
+    pub stats: bool,
+    /// Ask the daemon to save its cache and exit.
+    pub shutdown: bool,
 }
 
 /// Arguments of `cbrain run`.
@@ -42,6 +69,11 @@ pub struct RunArgs {
     pub jobs: usize,
     /// Print the per-layer breakdown table.
     pub breakdown: bool,
+    /// Compiled-layer cache persistence: `None` (flag absent) keeps the
+    /// run self-contained; `Some("auto")` uses the resolved user cache
+    /// file; `Some(path)` an explicit file; `Some("off")` is explicit
+    /// no-persistence.
+    pub cache: Option<String>,
 }
 
 /// Arguments of `cbrain schedule`.
@@ -112,34 +144,28 @@ pub fn parse_pe(s: &str) -> Result<PeConfig, ArgError> {
 }
 
 /// Parses a policy name (`inter`, `intra`, `partition`, `inter-improved`,
-/// `adpa-1`, `adpa-2`, `oracle`).
+/// `adpa-1`, `adpa-2`, `oracle`, `oracle-pruned`), plus this CLI's
+/// historical aliases (`adap-1`, `adap-2`, `adaptive`). The canonical
+/// vocabulary is [`Policy`]'s `FromStr`, shared with the wire protocol.
 pub fn parse_policy(s: &str) -> Result<Policy, ArgError> {
     match s {
-        "adpa-1" | "adap-1" => Ok(Policy::Adaptive {
+        "adap-1" => Ok(Policy::Adaptive {
             improved_inter: false,
         }),
-        "adpa-2" | "adap-2" | "adaptive" => Ok(Policy::Adaptive {
+        "adap-2" | "adaptive" => Ok(Policy::Adaptive {
             improved_inter: true,
         }),
-        "oracle" => Ok(Policy::Oracle),
-        other => other
-            .parse::<Scheme>()
-            .map(Policy::Fixed)
-            .map_err(|_| ArgError(format!("unknown policy `{other}`"))),
+        other => other.parse::<Policy>().map_err(|e| ArgError(e.to_string())),
     }
 }
 
-/// Parses a workload name.
+/// Parses a workload name via [`Workload`]'s `FromStr`.
 pub fn parse_workload(s: &str) -> Result<Workload, ArgError> {
-    match s {
-        "conv1" => Ok(Workload::Conv1Only),
-        "conv" => Ok(Workload::ConvLayers),
-        "conv+pool" => Ok(Workload::ConvAndPool),
-        "full" => Ok(Workload::FullNetwork),
-        other => fail(format!(
-            "unknown workload `{other}` (conv1|conv|conv+pool|full)"
-        )),
-    }
+    s.parse::<Workload>().map_err(|_| {
+        ArgError(format!(
+            "unknown workload `{s}` (conv1|conv|conv+pool|full)"
+        ))
+    })
 }
 
 struct Flags<'a> {
@@ -165,6 +191,7 @@ type CommonArgs = (
     usize,
     usize,
     bool,
+    Option<String>,
 );
 
 fn parse_common(tokens: &[String]) -> Result<CommonArgs, ArgError> {
@@ -178,6 +205,7 @@ fn parse_common(tokens: &[String]) -> Result<CommonArgs, ArgError> {
     let mut batch = 1usize;
     let mut jobs = 0usize; // 0 = auto-detect at execution time
     let mut breakdown = false;
+    let mut cache = None;
 
     let mut f = Flags { tokens, index: 0 };
     while f.index < tokens.len() {
@@ -212,12 +240,67 @@ fn parse_common(tokens: &[String]) -> Result<CommonArgs, ArgError> {
                 }
             }
             "--breakdown" => breakdown = true,
+            "--cache" => cache = Some(f.value("--cache")?.to_owned()),
             other => return fail(format!("unknown flag `{other}`")),
         }
         f.index += 1;
     }
     let config = AcceleratorConfig::with_pe(pe).at_mhz(mhz);
-    Ok((network, policy, config, workload, batch, jobs, breakdown))
+    Ok((
+        network, policy, config, workload, batch, jobs, breakdown, cache,
+    ))
+}
+
+fn parse_client(tokens: &[String]) -> Result<ClientArgs, ArgError> {
+    let mut args = ClientArgs {
+        connect: "127.0.0.1:7227".to_owned(),
+        network: None,
+        policy: Policy::Adaptive {
+            improved_inter: true,
+        },
+        pe: PeConfig::new(16, 16),
+        mhz: 1000,
+        workload: Workload::ConvAndPool,
+        batch: 1,
+        breakdown: false,
+        stats: false,
+        shutdown: false,
+    };
+    let mut f = Flags { tokens, index: 0 };
+    while f.index < tokens.len() {
+        match tokens[f.index].as_str() {
+            "--connect" => args.connect = f.value("--connect")?.to_owned(),
+            "--network" => args.network = Some(NetworkRef::Zoo(f.value("--network")?.to_owned())),
+            "--spec" => args.network = Some(NetworkRef::SpecFile(f.value("--spec")?.to_owned())),
+            "--policy" => args.policy = parse_policy(f.value("--policy")?)?,
+            "--pe" => args.pe = parse_pe(f.value("--pe")?)?,
+            "--mhz" => {
+                let v = f.value("--mhz")?;
+                args.mhz = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad --mhz `{v}`")))?;
+            }
+            "--workload" => args.workload = parse_workload(f.value("--workload")?)?,
+            "--batch" => {
+                let v = f.value("--batch")?;
+                args.batch = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad --batch `{v}`")))?;
+                if args.batch == 0 {
+                    return fail("--batch must be at least 1");
+                }
+            }
+            "--breakdown" => args.breakdown = true,
+            "--stats" => args.stats = true,
+            "--shutdown" => args.shutdown = true,
+            other => return fail(format!("unknown flag `{other}`")),
+        }
+        f.index += 1;
+    }
+    if args.network.is_none() && !args.stats && !args.shutdown {
+        return fail("cbrand-client needs --network/--spec, --stats, or --shutdown");
+    }
+    Ok(args)
 }
 
 /// Parses a full command line (without the program name).
@@ -233,7 +316,7 @@ pub fn parse(tokens: &[String]) -> Result<Command, ArgError> {
     match sub.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "run" => {
-            let (network, policy, config, workload, batch, jobs, breakdown) =
+            let (network, policy, config, workload, batch, jobs, breakdown, cache) =
                 parse_common(&tokens[1..])?;
             let network =
                 network.ok_or_else(|| ArgError("run needs --network or --spec".into()))?;
@@ -245,11 +328,13 @@ pub fn parse(tokens: &[String]) -> Result<Command, ArgError> {
                 batch,
                 jobs,
                 breakdown,
+                cache,
             }))
         }
         "zoo" => Ok(Command::Zoo),
+        "cbrand-client" => Ok(Command::Client(parse_client(&tokens[1..])?)),
         "schedule" => {
-            let (network, policy, config, _, _, _, _) = parse_common(&tokens[1..])?;
+            let (network, policy, config, _, _, _, _, _) = parse_common(&tokens[1..])?;
             let network =
                 network.ok_or_else(|| ArgError("schedule needs --network or --spec".into()))?;
             Ok(Command::Schedule(ScheduleArgs {
@@ -315,19 +400,28 @@ cbrain — C-Brain (DAC 2016) accelerator reproduction
 
 USAGE:
   cbrain run      --network <alexnet|googlenet|vgg|nin|resnet18|mobilenet_dw> | --spec <file>
-                  [--policy inter|intra|partition|inter-improved|adpa-1|adpa-2|oracle]
+                  [--policy inter|intra|partition|inter-improved|adpa-1|adpa-2|oracle|oracle-pruned]
                   [--pe TinxTout] [--mhz N] [--workload conv1|conv|conv+pool|full]
-                  [--batch N] [--jobs N] [--breakdown]
+                  [--batch N] [--jobs N] [--breakdown] [--cache auto|off|PATH]
   cbrain schedule --network <name> | --spec <file> [--policy ...] [--pe TinxTout]
   cbrain scheme   --din N --k K --s S [--pe TinxTout]
   cbrain spec-check <file>
   cbrain zoo
+  cbrain cbrand-client [--connect HOST:PORT] --network <name> | --spec <file>
+                  [--policy ...] [--pe TinxTout] [--mhz N] [--workload ...]
+                  [--batch N] [--breakdown] [--stats] [--shutdown]
   cbrain help
+
+`run --cache` persists compiled layers across invocations (auto = the
+user cache file, also honoured by the cbrand daemon). `cbrand-client`
+submits the run to a cbrand daemon instead of simulating in-process;
+the printed report is byte-identical to the equivalent `cbrain run`.
 ";
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cbrain::Scheme;
 
     fn toks(s: &str) -> Vec<String> {
         s.split_whitespace().map(str::to_owned).collect()
@@ -435,6 +529,51 @@ mod tests {
             }
         );
         assert!(parse(&toks("spec-check")).is_err());
+    }
+
+    #[test]
+    fn cache_flag() {
+        let Command::Run(args) = parse(&toks("run --network vgg")).unwrap() else {
+            panic!("run expected")
+        };
+        assert_eq!(args.cache, None);
+        let Command::Run(args) = parse(&toks("run --network vgg --cache auto")).unwrap() else {
+            panic!("run expected")
+        };
+        assert_eq!(args.cache.as_deref(), Some("auto"));
+        let Command::Run(args) = parse(&toks("run --network vgg --cache /tmp/c.bin")).unwrap()
+        else {
+            panic!("run expected")
+        };
+        assert_eq!(args.cache.as_deref(), Some("/tmp/c.bin"));
+    }
+
+    #[test]
+    fn pruned_oracle_policy_parses() {
+        assert_eq!(parse_policy("oracle-pruned").unwrap(), Policy::OraclePruned);
+    }
+
+    #[test]
+    fn client_command() {
+        let Command::Client(args) = parse(&toks(
+            "cbrand-client --connect 127.0.0.1:9000 --network nin --batch 4 --stats",
+        ))
+        .unwrap() else {
+            panic!("client expected")
+        };
+        assert_eq!(args.connect, "127.0.0.1:9000");
+        assert_eq!(args.network, Some(NetworkRef::Zoo("nin".into())));
+        assert_eq!(args.batch, 4);
+        assert!(args.stats);
+        assert!(!args.shutdown);
+        // A pure control connection needs no network.
+        let Command::Client(args) = parse(&toks("cbrand-client --shutdown")).unwrap() else {
+            panic!("client expected")
+        };
+        assert!(args.shutdown);
+        // But doing nothing at all is an error.
+        assert!(parse(&toks("cbrand-client")).is_err());
+        assert!(parse(&toks("cbrand-client --jobs 2")).is_err());
     }
 
     #[test]

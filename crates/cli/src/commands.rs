@@ -1,13 +1,17 @@
 //! Command implementations. Each returns its output as a `String` so the
 //! logic is unit-testable; `main` only prints.
 
-use crate::args::{NetworkRef, RunArgs, ScheduleArgs, SchemeArgs};
+use crate::args::{ClientArgs, NetworkRef, RunArgs, ScheduleArgs, SchemeArgs};
 use cbrain::partition_math::{partition, unroll_duplication};
-use cbrain::report::{format_cycles, layer_breakdown, render_table, summarize};
+use cbrain::persist::{self, LoadOutcome};
+use cbrain::report::{render_run_report, render_table};
 use cbrain::schedule::plan_network;
 use cbrain::{select_scheme, RunOptions, Runner, Scheme};
 use cbrain_model::{spec, ConvParams, Network};
+use cbrain_serve::wire::{Event, NetworkSource, Request, RunRequest};
+use cbrain_serve::Client;
 use std::fmt;
+use std::path::PathBuf;
 
 /// Error from executing a command.
 #[derive(Debug)]
@@ -16,6 +20,8 @@ pub enum CommandError {
     Network(String),
     /// Simulation error.
     Run(cbrain::RunError),
+    /// Failure talking to a `cbrand` daemon.
+    Serve(String),
 }
 
 impl fmt::Display for CommandError {
@@ -23,6 +29,7 @@ impl fmt::Display for CommandError {
         match self {
             CommandError::Network(m) => write!(f, "{m}"),
             CommandError::Run(e) => write!(f, "{e}"),
+            CommandError::Serve(m) => write!(f, "{m}"),
         }
     }
 }
@@ -56,11 +63,27 @@ pub fn resolve_network(net: &NetworkRef) -> Result<Network, CommandError> {
     }
 }
 
+/// Resolves a `--cache` flag value to a file path, if persistence is on.
+fn cache_file(mode: Option<&str>) -> Option<PathBuf> {
+    match mode {
+        None | Some("off") => None,
+        Some("auto") => persist::resolved_cache_file(),
+        Some(path) => Some(PathBuf::from(path)),
+    }
+}
+
 /// `cbrain run`.
+///
+/// Without `--cache` the run is self-contained (fresh in-memory cache).
+/// With it, compiled layers are loaded from / saved to the cache file,
+/// so a repeated run reports hits on every previously compiled layer.
+/// Persistence notices go to stderr; stdout carries only the report.
 ///
 /// # Errors
 ///
-/// Propagates network-resolution and simulation errors.
+/// Propagates network-resolution and simulation errors. Cache-file
+/// problems are downgraded to stderr warnings — a stale or corrupt
+/// cache must never fail a run.
 pub fn run(args: &RunArgs) -> Result<String, CommandError> {
     let net = resolve_network(&args.network)?;
     let jobs = if args.jobs == 0 {
@@ -77,29 +100,93 @@ pub fn run(args: &RunArgs) -> Result<String, CommandError> {
             ..RunOptions::default()
         },
     );
-    let report = runner.run_network(&net, args.policy)?;
-    let mut out = String::new();
-    out.push_str(&format!("{}\n", args.config));
-    out.push_str(&summarize(&report));
-    out.push('\n');
-    if args.batch > 1 {
-        out.push_str(&format!(
-            "batch {}: {:.3e} cycles/image, {:.3e} DRAM B/image\n",
-            args.batch,
-            report.cycles_per_image(),
-            report.dram_bytes_per_image(),
-        ));
+    let path = cache_file(args.cache.as_deref());
+    if let Some(path) = &path {
+        match persist::load_into(runner.cache(), path) {
+            Ok(LoadOutcome::Loaded { entries }) => {
+                eprintln!("cache: loaded {entries} entries from {}", path.display());
+            }
+            Ok(LoadOutcome::Missing) => {}
+            Ok(LoadOutcome::VersionMismatch { found }) => {
+                eprintln!(
+                    "cache: ignoring {} (format v{found}, expected v{})",
+                    path.display(),
+                    persist::FORMAT_VERSION
+                );
+            }
+            Err(e) => eprintln!("cache: ignoring {}: {e}", path.display()),
+        }
     }
-    out.push_str(&format!(
-        "ideal bound {} cycles | PE {:.3} mJ, buffers {:.3} mJ, DRAM {:.3} mJ\n",
-        format_cycles(report.ideal_cycles()),
-        report.energy.pe_pj * 1e-9,
-        report.energy.buffer_pj * 1e-9,
-        report.energy.dram_pj * 1e-9,
-    ));
-    if args.breakdown {
-        out.push('\n');
-        out.push_str(&layer_breakdown(&report));
+    let report = runner.run_network(&net, args.policy)?;
+    if let Some(path) = &path {
+        match persist::save(runner.cache(), path) {
+            Ok(entries) => {
+                eprintln!("cache: saved {entries} entries to {}", path.display());
+            }
+            Err(e) => eprintln!("cache: save to {} failed: {e}", path.display()),
+        }
+    }
+    Ok(render_run_report(&report, args.breakdown))
+}
+
+/// `cbrain cbrand-client`: submit a run to a `cbrand` daemon and print
+/// the streamed report. Per-layer progress goes to stderr as lines
+/// arrive; stdout is the reconstructed report, byte-identical to the
+/// `cbrain run` of the same request.
+///
+/// # Errors
+///
+/// Returns [`CommandError::Serve`] for connect/protocol/daemon errors
+/// and [`CommandError::Network`] for an unreadable spec file.
+pub fn client(args: &ClientArgs) -> Result<String, CommandError> {
+    let mut client = Client::connect(&args.connect)
+        .map_err(|e| CommandError::Serve(format!("cannot connect to {}: {e}", args.connect)))?;
+    let mut out = String::new();
+    if let Some(network) = &args.network {
+        let source = match network {
+            NetworkRef::Zoo(name) => NetworkSource::Zoo(name.clone()),
+            NetworkRef::SpecFile(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CommandError::Network(format!("cannot read `{path}`: {e}")))?;
+                NetworkSource::Spec(text)
+            }
+        };
+        let run = RunRequest {
+            network: source,
+            policy: args.policy,
+            workload: args.workload,
+            batch: args.batch,
+            pe: (args.pe.tin, args.pe.tout),
+            mhz: Some(args.mhz),
+        };
+        let report = client
+            .simulate(&run, |layer| {
+                eprintln!("layer {:<12} {:>14} cycles", layer.name, layer.stats.cycles);
+            })
+            .map_err(|e| CommandError::Serve(e.to_string()))?;
+        out.push_str(&render_run_report(&report, args.breakdown));
+    }
+    if args.stats {
+        let terminal = client
+            .submit(&Request::Stats, |_| {})
+            .map_err(|e| CommandError::Serve(e.to_string()))?;
+        if let Event::Stats {
+            entries,
+            hits,
+            misses,
+            requests,
+        } = terminal
+        {
+            out.push_str(&format!(
+                "daemon: {entries} cached layers, {hits} hits / {misses} misses, {requests} requests served\n"
+            ));
+        }
+    }
+    if args.shutdown {
+        client
+            .submit(&Request::Shutdown, |_| {})
+            .map_err(|e| CommandError::Serve(e.to_string()))?;
+        out.push_str("daemon shut down\n");
     }
     Ok(out)
 }

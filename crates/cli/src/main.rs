@@ -24,6 +24,7 @@ fn main() -> ExitCode {
         Command::Scheme(a) => Ok(commands::scheme(&a)),
         Command::SpecCheck { path } => commands::spec_check(&path),
         Command::Zoo => Ok(commands::zoo_list()),
+        Command::Client(a) => commands::client(&a),
     };
     match result {
         Ok(out) => {

@@ -38,6 +38,14 @@ pub enum Policy {
     /// heuristic can achieve). Not in the paper; used to quantify how
     /// close Algorithm 2 gets to optimal.
     Oracle,
+    /// The Oracle search pruned by the analytic cost model
+    /// ([`cbrain_compiler::cost`]): schemes are visited in ascending
+    /// order of their closed-form compute-cycle lower bound, and any
+    /// scheme whose bound already exceeds the best *simulated* candidate
+    /// is skipped without compiling. Picks the exact same per-layer
+    /// schemes as [`Policy::Oracle`] (the bound is sound: total cycles
+    /// can never undercut compute cycles) while compiling fewer of them.
+    OraclePruned,
 }
 
 impl Policy {
@@ -69,6 +77,7 @@ impl Policy {
                 improved_inter: true,
             } => "adpa-2",
             Policy::Oracle => "oracle",
+            Policy::OraclePruned => "oracle-pruned",
         }
     }
 }
@@ -76,6 +85,42 @@ impl Policy {
 impl fmt::Display for Policy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+/// Error from parsing a policy label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError(pub String);
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown policy `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl std::str::FromStr for Policy {
+    type Err = ParsePolicyError;
+
+    /// Parses the labels [`Policy::label`] produces, plus the scheme
+    /// names as `Fixed` shorthands (the CLI's historical aliases live in
+    /// the CLI, not here).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "adpa-1" => Ok(Policy::Adaptive {
+                improved_inter: false,
+            }),
+            "adpa-2" => Ok(Policy::Adaptive {
+                improved_inter: true,
+            }),
+            "oracle" => Ok(Policy::Oracle),
+            "oracle-pruned" => Ok(Policy::OraclePruned),
+            other => other
+                .parse::<Scheme>()
+                .map(Policy::Fixed)
+                .map_err(|_| ParsePolicyError(other.to_owned())),
+        }
     }
 }
 
@@ -124,7 +169,7 @@ pub fn scheme_for(policy: Policy, conv: &ConvParams, cfg: &AcceleratorConfig) ->
     match policy {
         Policy::Fixed(s) => s,
         Policy::Adaptive { improved_inter } => select_scheme(conv, cfg, improved_inter),
-        Policy::Oracle => select_scheme(conv, cfg, true),
+        Policy::Oracle | Policy::OraclePruned => select_scheme(conv, cfg, true),
     }
 }
 

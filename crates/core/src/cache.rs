@@ -197,6 +197,18 @@ impl CompiledLayerCache {
         Ok((self.insert(key, value), false))
     }
 
+    /// A point-in-time copy of every entry (cheap: values are `Arc`s).
+    /// Iteration order is the map's; consumers needing determinism (the
+    /// [`crate::persist`] serializer) sort the result themselves.
+    pub fn snapshot(&self) -> Vec<(LayerKey, Arc<CachedLayer>)> {
+        self.entries
+            .read()
+            .expect("cache lock")
+            .iter()
+            .map(|(k, v)| (*k, Arc::clone(v)))
+            .collect()
+    }
+
     /// Number of cached entries.
     pub fn len(&self) -> usize {
         self.entries.read().expect("cache lock").len()

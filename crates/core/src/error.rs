@@ -20,6 +20,10 @@ pub enum RunError {
         /// Network name.
         network: String,
     },
+    /// An external [`crate::CompileBackend`] failed to execute the
+    /// work-list (the message carries the backend's own diagnosis,
+    /// possibly relayed from another thread or process).
+    Backend(String),
 }
 
 impl fmt::Display for RunError {
@@ -30,6 +34,7 @@ impl fmt::Display for RunError {
             RunError::EmptyWorkload { network } => {
                 write!(f, "workload selected no layers of network `{network}`")
             }
+            RunError::Backend(message) => write!(f, "compile backend failed: {message}"),
         }
     }
 }

@@ -48,17 +48,21 @@ mod error;
 pub mod forward;
 pub mod functional;
 pub mod partition_math;
+pub mod persist;
 pub mod pool;
 pub mod quantized;
 pub mod report;
 mod runner;
 pub mod schedule;
 
-pub use adaptive::{select_scheme, Policy};
+pub use adaptive::{select_scheme, ParsePolicyError, Policy};
 pub use cache::{CachedLayer, CompiledLayerCache, LayerKey};
 pub use error::RunError;
 pub use pool::{available_jobs, parallel_map, try_parallel_map};
-pub use runner::{LayerReport, NetworkReport, RunOptions, Runner, Workload};
+pub use runner::{
+    compile_cache_entry, CompileBackend, LayerReport, NetworkReport, ParseWorkloadError,
+    RunOptions, Runner, Workload,
+};
 
 // Re-export the substrate crates so downstream users need a single
 // dependency.

@@ -1,0 +1,939 @@
+//! On-disk persistence for the [`CompiledLayerCache`].
+//!
+//! Compiled layers are pure functions of their [`LayerKey`], so a cache
+//! file written by one process is valid input for any other — repeated
+//! `exp_*` invocations, the `cbrand` daemon across restarts, and the CLI
+//! all share one warm store under `~/.cache/cbrain` (overridable, see
+//! [`resolved_cache_file`]).
+//!
+//! The format is an in-tree binary serialization (the workspace builds
+//! offline with no serde):
+//!
+//! ```text
+//! magic   b"CBLC"          4 bytes
+//! version u32 LE           bumped on any layout change
+//! length  u64 LE           payload byte count
+//! check   u64 LE           FNV-1a 64 over the payload
+//! payload entry count u64 LE, then (LayerKey, CachedLayer) pairs
+//! ```
+//!
+//! Failure modes are deliberately split:
+//!
+//! * **missing file** — a normal cold start ([`LoadOutcome::Missing`]);
+//! * **version mismatch** — an old/newer writer; the reader falls back to
+//!   a cold cache ([`LoadOutcome::VersionMismatch`]) rather than guessing
+//!   at a foreign layout;
+//! * **truncation / corruption** — magic, length or checksum disagree, or
+//!   the payload fails to decode; the file is *rejected* with
+//!   [`PersistError::Corrupt`] so the caller can surface it (silently
+//!   reusing a damaged cache could poison every later report).
+//!
+//! Saves are atomic: the file is written to a `.tmp` sibling and renamed
+//! over the destination, so a crash mid-write never leaves a torn file at
+//! the published path.
+
+use crate::cache::{CachedLayer, CompiledLayerCache, LayerKey};
+use cbrain_compiler::{CompiledLayer, DataLayout, Scheme, TilePlan};
+use cbrain_model::{
+    ConvParams, EltwiseOp, EltwiseParams, FcParams, LayerKind, PoolKind, PoolParams, TensorShape,
+};
+use cbrain_sim::{
+    AcceleratorConfig, BufferTraffic, MachineOptions, MacroOp, PeConfig, Program, Stats, Tile,
+};
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// File magic: "C-Brain Layer Cache".
+pub const MAGIC: [u8; 4] = *b"CBLC";
+
+/// Current format version. Bump whenever any serialized struct changes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// File name used inside the resolved cache directory.
+pub const CACHE_FILE_NAME: &str = "compiled-layers.bin";
+
+/// Environment variable that disables persistence entirely (`off` or `0`).
+pub const ENV_SWITCH: &str = "CBRAIN_CACHE";
+
+/// Environment variable overriding the cache *directory*.
+pub const ENV_DIR: &str = "CBRAIN_CACHE_DIR";
+
+/// Error from saving or loading a cache file.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The file exists but is not a valid cache file (bad magic, short
+    /// header, length/checksum mismatch, undecodable payload, trailing
+    /// garbage).
+    Corrupt(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "cache file I/O error: {e}"),
+            PersistError::Corrupt(why) => write!(f, "corrupt cache file: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// What a [`load_into`] call found.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadOutcome {
+    /// Entries were decoded and inserted.
+    Loaded {
+        /// Number of entries inserted into the cache.
+        entries: usize,
+    },
+    /// The file was written by a different format version; the cache is
+    /// left cold (no guessing at foreign layouts).
+    VersionMismatch {
+        /// Version found in the file header.
+        found: u32,
+    },
+    /// No file at the path; a normal cold start.
+    Missing,
+}
+
+// ---------------------------------------------------------------------
+// Primitive encoding: little-endian, length-prefixed strings, u8 tags.
+// ---------------------------------------------------------------------
+
+fn put_u8(out: &mut Vec<u8>, v: u8) {
+    out.push(v);
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_usize(out: &mut Vec<u8>, v: usize) {
+    put_u64(out, v as u64);
+}
+
+fn put_bool(out: &mut Vec<u8>, v: bool) {
+    put_u8(out, u8::from(v));
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Decode cursor over the payload. Every read is bounds-checked; running
+/// off the end is a corruption, not a panic.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+type Decoded<T> = Result<T, PersistError>;
+
+fn corrupt<T>(why: impl Into<String>) -> Decoded<T> {
+    Err(PersistError::Corrupt(why.into()))
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Decoded<&'a [u8]> {
+        match self.buf.get(self.pos..self.pos + n) {
+            Some(s) => {
+                self.pos += n;
+                Ok(s)
+            }
+            None => corrupt(format!(
+                "payload truncated at byte {} (wanted {n} more)",
+                self.pos
+            )),
+        }
+    }
+
+    fn u8(&mut self) -> Decoded<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Decoded<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Decoded<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn usize(&mut self) -> Decoded<usize> {
+        let v = self.u64()?;
+        usize::try_from(v).or_else(|_| corrupt(format!("value {v} exceeds usize")))
+    }
+
+    fn bool(&mut self) -> Decoded<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => corrupt(format!("invalid bool byte {b:#x}")),
+        }
+    }
+
+    fn str(&mut self) -> Decoded<String> {
+        let len = self.usize()?;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).or_else(|_| corrupt("string payload is not valid UTF-8"))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Struct encoding. Field order here *is* the file format; any change
+// must bump FORMAT_VERSION.
+// ---------------------------------------------------------------------
+
+fn put_shape(out: &mut Vec<u8>, s: TensorShape) {
+    put_usize(out, s.maps);
+    put_usize(out, s.height);
+    put_usize(out, s.width);
+}
+
+fn get_shape(c: &mut Cursor) -> Decoded<TensorShape> {
+    Ok(TensorShape::new(c.usize()?, c.usize()?, c.usize()?))
+}
+
+fn scheme_tag(s: Scheme) -> u8 {
+    match s {
+        Scheme::Inter => 0,
+        Scheme::Intra => 1,
+        Scheme::Partition => 2,
+        Scheme::InterImproved => 3,
+    }
+}
+
+fn scheme_from_tag(t: u8) -> Decoded<Scheme> {
+    match t {
+        0 => Ok(Scheme::Inter),
+        1 => Ok(Scheme::Intra),
+        2 => Ok(Scheme::Partition),
+        3 => Ok(Scheme::InterImproved),
+        _ => corrupt(format!("invalid scheme tag {t}")),
+    }
+}
+
+fn layout_tag(l: DataLayout) -> u8 {
+    match l {
+        DataLayout::InterOrder => 0,
+        DataLayout::IntraOrder => 1,
+    }
+}
+
+fn layout_from_tag(t: u8) -> Decoded<DataLayout> {
+    match t {
+        0 => Ok(DataLayout::InterOrder),
+        1 => Ok(DataLayout::IntraOrder),
+        _ => corrupt(format!("invalid layout tag {t}")),
+    }
+}
+
+fn put_kind(out: &mut Vec<u8>, kind: &LayerKind) {
+    match kind {
+        LayerKind::Conv(p) => {
+            put_u8(out, 0);
+            put_usize(out, p.in_maps);
+            put_usize(out, p.out_maps);
+            put_usize(out, p.kernel);
+            put_usize(out, p.stride);
+            put_usize(out, p.pad);
+            put_usize(out, p.groups);
+        }
+        LayerKind::Pool(p) => {
+            put_u8(out, 1);
+            put_usize(out, p.kernel);
+            put_usize(out, p.stride);
+            put_u8(out, matches!(p.kind, PoolKind::Average).into());
+            put_bool(out, p.ceil_mode);
+        }
+        LayerKind::FullyConnected(p) => {
+            put_u8(out, 2);
+            put_usize(out, p.in_features);
+            put_usize(out, p.out_features);
+        }
+        LayerKind::Eltwise(p) => {
+            put_u8(out, 3);
+            // EltwiseOp currently has one variant; the tag keeps room.
+            put_u8(
+                out,
+                match p.op {
+                    EltwiseOp::Add => 0,
+                },
+            );
+        }
+    }
+}
+
+fn get_kind(c: &mut Cursor) -> Decoded<LayerKind> {
+    match c.u8()? {
+        0 => {
+            let mut p = ConvParams::new(c.usize()?, c.usize()?, c.usize()?, c.usize()?, c.usize()?);
+            p.groups = c.usize()?;
+            Ok(LayerKind::Conv(p))
+        }
+        1 => {
+            let kernel = c.usize()?;
+            let stride = c.usize()?;
+            let kind = match c.u8()? {
+                0 => PoolKind::Max,
+                1 => PoolKind::Average,
+                t => return corrupt(format!("invalid pool-kind tag {t}")),
+            };
+            let ceil_mode = c.bool()?;
+            Ok(LayerKind::Pool(PoolParams {
+                kernel,
+                stride,
+                kind,
+                ceil_mode,
+            }))
+        }
+        2 => Ok(LayerKind::FullyConnected(FcParams::new(
+            c.usize()?,
+            c.usize()?,
+        ))),
+        3 => match c.u8()? {
+            0 => Ok(LayerKind::Eltwise(EltwiseParams::add())),
+            t => corrupt(format!("invalid eltwise-op tag {t}")),
+        },
+        t => corrupt(format!("invalid layer-kind tag {t}")),
+    }
+}
+
+fn put_config(out: &mut Vec<u8>, cfg: &AcceleratorConfig) {
+    put_usize(out, cfg.pe.tin);
+    put_usize(out, cfg.pe.tout);
+    put_usize(out, cfg.inout_buf_bytes);
+    put_usize(out, cfg.weight_buf_bytes);
+    put_usize(out, cfg.bias_buf_bytes);
+    put_usize(out, cfg.dram_bytes_per_cycle);
+    put_u64(out, cfg.freq_mhz);
+}
+
+fn get_config(c: &mut Cursor) -> Decoded<AcceleratorConfig> {
+    Ok(AcceleratorConfig {
+        pe: PeConfig::new(c.usize()?, c.usize()?),
+        inout_buf_bytes: c.usize()?,
+        weight_buf_bytes: c.usize()?,
+        bias_buf_bytes: c.usize()?,
+        dram_bytes_per_cycle: c.usize()?,
+        freq_mhz: c.u64()?,
+    })
+}
+
+fn put_key(out: &mut Vec<u8>, key: &LayerKey) {
+    put_kind(out, &key.kind);
+    put_shape(out, key.input);
+    put_u8(out, scheme_tag(key.scheme));
+    put_config(out, &key.cfg);
+    put_bool(out, key.machine.overlap_dma);
+    put_bool(out, key.machine.add_store_on_critical_path);
+    put_usize(out, key.batch);
+}
+
+fn get_key(c: &mut Cursor) -> Decoded<LayerKey> {
+    let kind = get_kind(c)?;
+    let input = get_shape(c)?;
+    let scheme = scheme_from_tag(c.u8()?)?;
+    let cfg = get_config(c)?;
+    let machine = MachineOptions {
+        overlap_dma: c.bool()?,
+        add_store_on_critical_path: c.bool()?,
+    };
+    let batch = c.usize()?;
+    Ok(LayerKey {
+        kind,
+        input,
+        scheme,
+        cfg,
+        machine,
+        batch,
+    })
+}
+
+fn put_op(out: &mut Vec<u8>, op: &MacroOp) {
+    match *op {
+        MacroOp::MacBurst {
+            bursts,
+            active_lanes,
+            input_reads,
+            input_requests,
+            weight_reads,
+            psum_reads,
+            output_writes,
+        } => {
+            put_u8(out, 0);
+            put_u64(out, bursts);
+            put_u32(out, active_lanes);
+            put_u32(out, input_reads);
+            put_u32(out, input_requests);
+            put_u32(out, weight_reads);
+            put_u32(out, psum_reads);
+            put_u32(out, output_writes);
+        }
+        MacroOp::AddStore { count } => {
+            put_u8(out, 1);
+            put_u64(out, count);
+        }
+        MacroOp::OutputWrite { elems } => {
+            put_u8(out, 2);
+            put_u64(out, elems);
+        }
+        MacroOp::PoolBurst {
+            bursts,
+            input_reads,
+            output_writes,
+        } => {
+            put_u8(out, 3);
+            put_u64(out, bursts);
+            put_u32(out, input_reads);
+            put_u32(out, output_writes);
+        }
+        MacroOp::BiasLoad { elems } => {
+            put_u8(out, 4);
+            put_u64(out, elems);
+        }
+        MacroOp::EltwiseBurst {
+            bursts,
+            input_reads,
+            output_writes,
+        } => {
+            put_u8(out, 5);
+            put_u64(out, bursts);
+            put_u32(out, input_reads);
+            put_u32(out, output_writes);
+        }
+    }
+}
+
+fn get_op(c: &mut Cursor) -> Decoded<MacroOp> {
+    match c.u8()? {
+        0 => Ok(MacroOp::MacBurst {
+            bursts: c.u64()?,
+            active_lanes: c.u32()?,
+            input_reads: c.u32()?,
+            input_requests: c.u32()?,
+            weight_reads: c.u32()?,
+            psum_reads: c.u32()?,
+            output_writes: c.u32()?,
+        }),
+        1 => Ok(MacroOp::AddStore { count: c.u64()? }),
+        2 => Ok(MacroOp::OutputWrite { elems: c.u64()? }),
+        3 => Ok(MacroOp::PoolBurst {
+            bursts: c.u64()?,
+            input_reads: c.u32()?,
+            output_writes: c.u32()?,
+        }),
+        4 => Ok(MacroOp::BiasLoad { elems: c.u64()? }),
+        5 => Ok(MacroOp::EltwiseBurst {
+            bursts: c.u64()?,
+            input_reads: c.u32()?,
+            output_writes: c.u32()?,
+        }),
+        t => corrupt(format!("invalid macro-op tag {t}")),
+    }
+}
+
+fn put_program(out: &mut Vec<u8>, p: &Program) {
+    put_str(out, &p.label);
+    put_usize(out, p.tiles.len());
+    for tile in &p.tiles {
+        put_u64(out, tile.dram_read_bytes);
+        put_u64(out, tile.dram_write_bytes);
+        put_usize(out, tile.ops.len());
+        for op in &tile.ops {
+            put_op(out, op);
+        }
+    }
+}
+
+fn get_program(c: &mut Cursor) -> Decoded<Program> {
+    let label = c.str()?;
+    let n_tiles = c.usize()?;
+    // Cap pre-allocation by what the remaining payload could possibly
+    // hold, so a corrupt length cannot trigger a huge allocation.
+    let mut tiles = Vec::with_capacity(n_tiles.min(c.buf.len() - c.pos));
+    for _ in 0..n_tiles {
+        let dram_read_bytes = c.u64()?;
+        let dram_write_bytes = c.u64()?;
+        let n_ops = c.usize()?;
+        let mut ops = Vec::with_capacity(n_ops.min(c.buf.len() - c.pos));
+        for _ in 0..n_ops {
+            ops.push(get_op(c)?);
+        }
+        tiles.push(Tile {
+            dram_read_bytes,
+            dram_write_bytes,
+            ops,
+        });
+    }
+    Ok(Program { label, tiles })
+}
+
+fn put_tile_plan(out: &mut Vec<u8>, t: &TilePlan) {
+    put_usize(out, t.spatial_tiles);
+    put_usize(out, t.weight_chunks);
+    put_usize(out, t.groups);
+    put_u64(out, t.input_tile_bytes);
+    put_u64(out, t.output_tile_bytes);
+    put_u64(out, t.weight_chunk_bytes);
+    put_bool(out, t.weights_resident);
+    put_u64(out, t.output_group_bytes);
+    put_usize(out, t.max_weight_outer_batch);
+}
+
+fn get_tile_plan(c: &mut Cursor) -> Decoded<TilePlan> {
+    Ok(TilePlan {
+        spatial_tiles: c.usize()?,
+        weight_chunks: c.usize()?,
+        groups: c.usize()?,
+        input_tile_bytes: c.u64()?,
+        output_tile_bytes: c.u64()?,
+        weight_chunk_bytes: c.u64()?,
+        weights_resident: c.bool()?,
+        output_group_bytes: c.u64()?,
+        max_weight_outer_batch: c.usize()?,
+    })
+}
+
+fn put_traffic(out: &mut Vec<u8>, t: BufferTraffic) {
+    put_u64(out, t.loads);
+    put_u64(out, t.stores);
+}
+
+fn get_traffic(c: &mut Cursor) -> Decoded<BufferTraffic> {
+    Ok(BufferTraffic {
+        loads: c.u64()?,
+        stores: c.u64()?,
+    })
+}
+
+fn put_stats(out: &mut Vec<u8>, s: &Stats) {
+    put_u64(out, s.cycles);
+    put_u64(out, s.compute_cycles);
+    put_u64(out, s.dram_stall_cycles);
+    put_u64(out, s.mac_ops);
+    put_u64(out, s.lane_slots);
+    put_u64(out, s.add_store_ops);
+    put_u64(out, s.eltwise_ops);
+    put_traffic(out, s.input_buf);
+    put_traffic(out, s.output_buf);
+    put_traffic(out, s.weight_buf);
+    put_traffic(out, s.bias_buf);
+    put_u64(out, s.dram_read_bytes);
+    put_u64(out, s.dram_write_bytes);
+}
+
+fn get_stats(c: &mut Cursor) -> Decoded<Stats> {
+    let mut s = Stats::new();
+    s.cycles = c.u64()?;
+    s.compute_cycles = c.u64()?;
+    s.dram_stall_cycles = c.u64()?;
+    s.mac_ops = c.u64()?;
+    s.lane_slots = c.u64()?;
+    s.add_store_ops = c.u64()?;
+    s.eltwise_ops = c.u64()?;
+    s.input_buf = get_traffic(c)?;
+    s.output_buf = get_traffic(c)?;
+    s.weight_buf = get_traffic(c)?;
+    s.bias_buf = get_traffic(c)?;
+    s.dram_read_bytes = c.u64()?;
+    s.dram_write_bytes = c.u64()?;
+    Ok(s)
+}
+
+fn put_entry(out: &mut Vec<u8>, key: &LayerKey, value: &CachedLayer) {
+    put_key(out, key);
+    put_program(out, &value.compiled.program);
+    match value.compiled.scheme {
+        None => put_u8(out, 0),
+        Some(s) => {
+            put_u8(out, 1);
+            put_u8(out, scheme_tag(s));
+        }
+    }
+    put_u8(out, layout_tag(value.compiled.wants_input_layout));
+    put_u8(out, layout_tag(value.compiled.output_layout));
+    put_tile_plan(out, &value.compiled.tiles);
+    put_stats(out, &value.stats);
+}
+
+fn get_entry(c: &mut Cursor) -> Decoded<(LayerKey, CachedLayer)> {
+    let key = get_key(c)?;
+    let program = get_program(c)?;
+    let scheme = match c.u8()? {
+        0 => None,
+        1 => Some(scheme_from_tag(c.u8()?)?),
+        t => return corrupt(format!("invalid option tag {t}")),
+    };
+    let wants_input_layout = layout_from_tag(c.u8()?)?;
+    let output_layout = layout_from_tag(c.u8()?)?;
+    let tiles = get_tile_plan(c)?;
+    let stats = get_stats(c)?;
+    Ok((
+        key,
+        CachedLayer {
+            compiled: CompiledLayer {
+                program,
+                scheme,
+                wants_input_layout,
+                output_layout,
+                tiles,
+            },
+            stats,
+        },
+    ))
+}
+
+/// FNV-1a 64-bit, the checksum of the payload.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Save / load.
+// ---------------------------------------------------------------------
+
+/// Serializes the cache's current entries.
+///
+/// Entries are sorted by their encoded key bytes so the same cache
+/// contents always produce the same file, regardless of hash-map
+/// iteration order.
+fn encode(cache: &CompiledLayerCache) -> Vec<u8> {
+    let snapshot = cache.snapshot();
+    let mut by_key: Vec<(Vec<u8>, &LayerKey, &Arc<CachedLayer>)> = snapshot
+        .iter()
+        .map(|(key, value)| {
+            let mut kb = Vec::new();
+            put_key(&mut kb, key);
+            (kb, key, value)
+        })
+        .collect();
+    by_key.sort_by(|a, b| a.0.cmp(&b.0));
+
+    let mut payload = Vec::new();
+    put_usize(&mut payload, by_key.len());
+    for (_, key, value) in &by_key {
+        put_entry(&mut payload, key, value);
+    }
+
+    let mut file = Vec::with_capacity(payload.len() + 24);
+    file.extend_from_slice(&MAGIC);
+    put_u32(&mut file, FORMAT_VERSION);
+    put_u64(&mut file, payload.len() as u64);
+    put_u64(&mut file, fnv1a(&payload));
+    file.extend_from_slice(&payload);
+    file
+}
+
+/// Saves every cache entry to `path`, creating parent directories.
+/// Returns the number of entries written.
+///
+/// The write is atomic (temp file + rename), so readers never observe a
+/// half-written file at `path`.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on filesystem failures.
+pub fn save(cache: &CompiledLayerCache, path: &Path) -> Result<usize, PersistError> {
+    let bytes = encode(cache);
+    let entries = cache.len();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &bytes)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(entries)
+}
+
+/// Loads a cache file into `cache` (merging with whatever it holds).
+///
+/// Missing files and version mismatches are *outcomes*, not errors —
+/// both leave the cache usable (cold) and are reported in the returned
+/// [`LoadOutcome`] so callers can log them.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Corrupt`] if the file exists at the current
+/// version but fails validation (truncation, checksum mismatch, bad
+/// tags, trailing bytes), and [`PersistError::Io`] on read failures.
+pub fn load_into(cache: &CompiledLayerCache, path: &Path) -> Result<LoadOutcome, PersistError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(LoadOutcome::Missing),
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() < 24 {
+        return corrupt(format!("file is {} bytes, header needs 24", bytes.len()));
+    }
+    if bytes[..4] != MAGIC {
+        return corrupt("bad magic (not a cbrain cache file)");
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().unwrap());
+    if version != FORMAT_VERSION {
+        return Ok(LoadOutcome::VersionMismatch { found: version });
+    }
+    let length = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+    let checksum = u64::from_le_bytes(bytes[16..24].try_into().unwrap());
+    let payload = &bytes[24..];
+    if payload.len() as u64 != length {
+        return corrupt(format!(
+            "payload is {} bytes but header claims {length}",
+            payload.len()
+        ));
+    }
+    if fnv1a(payload) != checksum {
+        return corrupt("checksum mismatch");
+    }
+    let mut c = Cursor::new(payload);
+    let count = c.usize()?;
+    let mut decoded = Vec::with_capacity(count.min(payload.len()));
+    for _ in 0..count {
+        decoded.push(get_entry(&mut c)?);
+    }
+    if !c.done() {
+        return corrupt(format!(
+            "{} trailing bytes after the last entry",
+            payload.len() - c.pos
+        ));
+    }
+    let entries = decoded.len();
+    for (key, value) in decoded {
+        cache.insert(key, value);
+    }
+    Ok(LoadOutcome::Loaded { entries })
+}
+
+/// The cache file the environment selects, or `None` when persistence is
+/// disabled (`CBRAIN_CACHE=off|0`) or no cache directory can be derived.
+///
+/// Resolution order for the directory: `$CBRAIN_CACHE_DIR`, then
+/// `$XDG_CACHE_HOME/cbrain`, then `$HOME/.cache/cbrain`.
+pub fn resolved_cache_file() -> Option<PathBuf> {
+    if let Ok(v) = std::env::var(ENV_SWITCH) {
+        if v == "off" || v == "0" {
+            return None;
+        }
+    }
+    let dir = if let Ok(d) = std::env::var(ENV_DIR) {
+        PathBuf::from(d)
+    } else if let Ok(d) = std::env::var("XDG_CACHE_HOME") {
+        PathBuf::from(d).join("cbrain")
+    } else if let Ok(h) = std::env::var("HOME") {
+        PathBuf::from(h).join(".cache").join("cbrain")
+    } else {
+        return None;
+    };
+    Some(dir.join(CACHE_FILE_NAME))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adaptive::Policy;
+    use crate::runner::Runner;
+    use cbrain_model::zoo;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("cbrain_persist_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn warm_cache() -> Arc<CompiledLayerCache> {
+        let runner = Runner::new(AcceleratorConfig::paper_16_16());
+        runner.run_network(&zoo::alexnet(), Policy::Oracle).unwrap();
+        Arc::clone(runner.cache())
+    }
+
+    fn sorted_debug(cache: &CompiledLayerCache) -> Vec<String> {
+        let mut v: Vec<String> = cache
+            .snapshot()
+            .into_iter()
+            .map(|(k, e)| format!("{k:?} => {:?} {:?}", e.compiled, e.stats))
+            .collect();
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn round_trip_preserves_every_entry() {
+        let cache = warm_cache();
+        let path = tmpdir("rt").join(CACHE_FILE_NAME);
+        let written = save(&cache, &path).unwrap();
+        assert_eq!(written, cache.len());
+        assert!(written > 0);
+
+        let restored = CompiledLayerCache::new();
+        let outcome = load_into(&restored, &path).unwrap();
+        assert_eq!(
+            outcome,
+            LoadOutcome::Loaded {
+                entries: cache.len()
+            }
+        );
+        assert_eq!(sorted_debug(&cache), sorted_debug(&restored));
+    }
+
+    #[test]
+    fn save_is_deterministic() {
+        let cache = warm_cache();
+        assert_eq!(encode(&cache), encode(&cache));
+    }
+
+    #[test]
+    fn missing_file_is_a_cold_start() {
+        let cache = CompiledLayerCache::new();
+        let out = load_into(&cache, Path::new("/nonexistent/cbrain/cache.bin")).unwrap();
+        assert_eq!(out, LoadOutcome::Missing);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn version_mismatch_falls_back_cold() {
+        let cache = warm_cache();
+        let path = tmpdir("ver").join(CACHE_FILE_NAME);
+        save(&cache, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+
+        let restored = CompiledLayerCache::new();
+        let out = load_into(&restored, &path).unwrap();
+        assert_eq!(
+            out,
+            LoadOutcome::VersionMismatch {
+                found: FORMAT_VERSION + 1
+            }
+        );
+        assert!(restored.is_empty());
+    }
+
+    #[test]
+    fn truncation_is_rejected_at_every_length() {
+        let cache = warm_cache();
+        let path = tmpdir("trunc").join(CACHE_FILE_NAME);
+        save(&cache, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Sample cut points across the whole file, including inside the
+        // header and mid-entry.
+        for cut in (0..bytes.len()).step_by(bytes.len() / 37 + 1) {
+            let path = path.with_extension(format!("cut{cut}"));
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            let restored = CompiledLayerCache::new();
+            let res = load_into(&restored, &path);
+            assert!(
+                matches!(res, Err(PersistError::Corrupt(_))),
+                "cut at {cut} was not rejected: {res:?}"
+            );
+            assert!(restored.is_empty());
+        }
+    }
+
+    #[test]
+    fn corruption_is_rejected() {
+        let cache = warm_cache();
+        let path = tmpdir("corrupt").join(CACHE_FILE_NAME);
+        save(&cache, &path).unwrap();
+        let good = std::fs::read(&path).unwrap();
+
+        // Flip one bit in the payload: the checksum catches it.
+        let mut bad = good.clone();
+        let mid = 24 + (bad.len() - 24) / 2;
+        bad[mid] ^= 0x40;
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            load_into(&CompiledLayerCache::new(), &path),
+            Err(PersistError::Corrupt(_))
+        ));
+
+        // Garbage magic.
+        let mut bad = good.clone();
+        bad[0] = b'X';
+        std::fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            load_into(&CompiledLayerCache::new(), &path),
+            Err(PersistError::Corrupt(_))
+        ));
+
+        // Trailing garbage after a valid payload (header length updated,
+        // checksum recomputed — only the cursor-exhaustion check fires).
+        let mut bad = good.clone();
+        bad.push(0xAB);
+        let plen = (bad.len() - 24) as u64;
+        bad[8..16].copy_from_slice(&plen.to_le_bytes());
+        let ck = fnv1a(&bad[24..]);
+        bad[16..24].copy_from_slice(&ck.to_le_bytes());
+        std::fs::write(&path, &bad).unwrap();
+        let res = load_into(&CompiledLayerCache::new(), &path);
+        match res {
+            Err(PersistError::Corrupt(why)) => assert!(why.contains("trailing"), "{why}"),
+            other => panic!("expected trailing-bytes rejection, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_load_skips_recompilation() {
+        let cache = warm_cache();
+        let path = tmpdir("warm").join(CACHE_FILE_NAME);
+        save(&cache, &path).unwrap();
+
+        let restored = CompiledLayerCache::shared();
+        load_into(&restored, &path).unwrap();
+        let runner = Runner::new(AcceleratorConfig::paper_16_16()).with_cache(restored);
+        let report = runner.run_network(&zoo::alexnet(), Policy::Oracle).unwrap();
+        assert_eq!(report.cache_misses, 0);
+        assert!(report.cache_hits > 0);
+    }
+
+    #[test]
+    fn env_resolution() {
+        // Note: env vars are process-global; this test only exercises the
+        // explicit-dir branch to stay independent of the host environment.
+        let file = resolved_cache_file();
+        // Whatever the host env, the result is either disabled or a path
+        // ending in the canonical file name.
+        if let Some(p) = file {
+            assert!(
+                p.ends_with(Path::new("cbrain").join(CACHE_FILE_NAME)) || p.file_name().is_some()
+            );
+        }
+    }
+}

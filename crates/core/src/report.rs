@@ -115,6 +115,39 @@ pub fn summarize(report: &NetworkReport) -> String {
     )
 }
 
+/// The full plain-text report for one network run — the body `cbrain
+/// run` prints and the serving daemon's client reproduces. Keeping the
+/// rendering here is what makes the two byte-identical: both sides feed
+/// a [`NetworkReport`] through this one function.
+pub fn render_run_report(report: &NetworkReport, breakdown: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", report.config);
+    out.push_str(&summarize(report));
+    out.push('\n');
+    if report.batch > 1 {
+        let _ = writeln!(
+            out,
+            "batch {}: {:.3e} cycles/image, {:.3e} DRAM B/image",
+            report.batch,
+            report.cycles_per_image(),
+            report.dram_bytes_per_image(),
+        );
+    }
+    let _ = writeln!(
+        out,
+        "ideal bound {} cycles | PE {:.3} mJ, buffers {:.3} mJ, DRAM {:.3} mJ",
+        format_cycles(report.ideal_cycles()),
+        report.energy.pe_pj * 1e-9,
+        report.energy.buffer_pj * 1e-9,
+        report.energy.dram_pj * 1e-9,
+    );
+    if breakdown {
+        out.push('\n');
+        out.push_str(&layer_breakdown(report));
+    }
+    out
+}
+
 /// Per-layer breakdown of a run.
 pub fn layer_breakdown(report: &NetworkReport) -> String {
     let rows: Vec<Vec<String>> = report

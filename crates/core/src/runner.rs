@@ -10,12 +10,14 @@ use crate::adaptive::{scheme_for, Policy};
 use crate::cache::{CachedLayer, CompiledLayerCache, LayerKey};
 use crate::error::RunError;
 use crate::pool::try_parallel_map;
+use cbrain_compiler::cost::analytic_cost;
 use cbrain_compiler::{
-    compile_layer_batched, ideal_cycles, layout_transform_program, DataLayout, Scheme,
+    compile_layer_batched, ideal_cycles, layout_transform_program, ConvGeometry, DataLayout, Scheme,
 };
 use cbrain_model::{Layer, LayerKind, Network};
 use cbrain_sim::{AcceleratorConfig, EnergyBreakdown, EnergyModel, Machine, MachineOptions, Stats};
 use std::collections::HashSet;
+use std::fmt;
 use std::sync::Arc;
 
 /// Which layers of the network a run covers.
@@ -40,6 +42,17 @@ pub enum Workload {
 }
 
 impl Workload {
+    /// The canonical name (`conv1`, `conv`, `conv+pool`, `full`) — the
+    /// vocabulary shared by the CLI and the serving wire protocol.
+    pub const fn label(&self) -> &'static str {
+        match self {
+            Workload::Conv1Only => "conv1",
+            Workload::ConvLayers => "conv",
+            Workload::ConvAndPool => "conv+pool",
+            Workload::FullNetwork => "full",
+        }
+    }
+
     fn selects(&self, layer: &Layer) -> bool {
         match (self, &layer.kind) {
             (Workload::Conv1Only, _) => unreachable!("handled by caller"),
@@ -75,6 +88,38 @@ pub struct RunOptions {
     /// single run has parallelism to exploit). The report is identical
     /// for every value; `1` (the default) stays on the calling thread.
     pub jobs: usize,
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Error from parsing a workload label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseWorkloadError(pub String);
+
+impl fmt::Display for ParseWorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown workload `{}`", self.0)
+    }
+}
+
+impl std::error::Error for ParseWorkloadError {}
+
+impl std::str::FromStr for Workload {
+    type Err = ParseWorkloadError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "conv1" => Ok(Workload::Conv1Only),
+            "conv" => Ok(Workload::ConvLayers),
+            "conv+pool" => Ok(Workload::ConvAndPool),
+            "full" => Ok(Workload::FullNetwork),
+            other => Err(ParseWorkloadError(other.to_owned())),
+        }
+    }
 }
 
 impl Default for RunOptions {
@@ -176,6 +221,44 @@ impl NetworkReport {
     }
 }
 
+/// Compiles and simulates one cache key's worth of work. Everything the
+/// result depends on is inside the key (scheme, hardware, machine knobs,
+/// batch), so any process with the layer geometry can produce — or
+/// reuse — the identical entry. This is the unit of work a
+/// [`CompileBackend`] executes.
+///
+/// # Errors
+///
+/// Returns a [`RunError`] if the layer fails to compile.
+pub fn compile_cache_entry(layer: &Layer, key: &LayerKey) -> Result<CachedLayer, RunError> {
+    let compiled = compile_layer_batched(layer, key.scheme, &key.cfg, key.batch)?;
+    let stats = Machine::with_options(key.cfg, key.machine).run(&compiled.program);
+    Ok(CachedLayer { compiled, stats })
+}
+
+/// How a [`Runner`] executes its compile work-list.
+///
+/// The default (no backend installed) fans the list over the in-process
+/// [`crate::pool`] with [`RunOptions::jobs`] workers. A serving daemon
+/// substitutes a backend that funnels work-lists from many concurrent
+/// connections into shared batches — entries are pure functions of their
+/// [`LayerKey`] (see [`compile_cache_entry`]), so any merging or
+/// reordering yields the same cache contents.
+pub trait CompileBackend: Send + Sync + fmt::Debug {
+    /// Compiles every `(key, layer)` pair and makes each key present in
+    /// `cache` before returning.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] if any compile fails; keys whose compiles
+    /// succeeded may or may not have been inserted.
+    fn compile_batch(
+        &self,
+        cache: &CompiledLayerCache,
+        worklist: Vec<(LayerKey, Layer)>,
+    ) -> Result<(), RunError>;
+}
+
 /// The network runner: compiles each selected layer under the policy and
 /// executes it on the simulated machine.
 ///
@@ -187,6 +270,7 @@ pub struct Runner {
     cfg: AcceleratorConfig,
     opts: RunOptions,
     cache: Arc<CompiledLayerCache>,
+    backend: Option<Arc<dyn CompileBackend>>,
 }
 
 impl Runner {
@@ -201,6 +285,7 @@ impl Runner {
             cfg,
             opts,
             cache: CompiledLayerCache::shared(),
+            backend: None,
         }
     }
 
@@ -212,6 +297,14 @@ impl Runner {
     #[must_use]
     pub fn with_cache(mut self, cache: Arc<CompiledLayerCache>) -> Self {
         self.cache = cache;
+        self
+    }
+
+    /// Routes the runner's compile work-lists through an external
+    /// backend instead of the in-process pool (see [`CompileBackend`]).
+    #[must_use]
+    pub fn with_compile_backend(mut self, backend: Arc<dyn CompileBackend>) -> Self {
+        self.backend = Some(backend);
         self
     }
 
@@ -242,6 +335,9 @@ impl Runner {
                     .into_iter()
                     .map(|s| LayerKey::new(layer, s, &self.cfg, &self.opts))
                     .collect(),
+                Policy::OraclePruned => {
+                    unreachable!("the pruned oracle has its own plan/resolve path")
+                }
                 _ => vec![LayerKey::new(
                     layer,
                     scheme_for(policy, conv, &self.cfg),
@@ -252,11 +348,94 @@ impl Runner {
         }
     }
 
-    /// Compiles and simulates one cache key's worth of work.
-    fn compile_key(&self, layer: &Layer, key: &LayerKey) -> Result<CachedLayer, RunError> {
-        let compiled = compile_layer_batched(layer, key.scheme, &self.cfg, self.opts.batch)?;
-        let stats = Machine::with_options(self.cfg, self.opts.machine).run(&compiled.program);
-        Ok(CachedLayer { compiled, stats })
+    /// Executes a compile work-list: through the installed
+    /// [`CompileBackend`] if one is present, else over the in-process
+    /// pool with [`RunOptions::jobs`] workers. On success every key in
+    /// the list is present in the cache.
+    fn compile_worklist(&self, worklist: Vec<(LayerKey, &Layer)>) -> Result<(), RunError> {
+        if let Some(backend) = &self.backend {
+            let owned = worklist
+                .into_iter()
+                .map(|(key, layer)| (key, layer.clone()))
+                .collect();
+            return backend.compile_batch(&self.cache, owned);
+        }
+        let compiled = try_parallel_map(self.opts.jobs, worklist, |(key, layer)| {
+            compile_cache_entry(layer, &key).map(|entry| (key, entry))
+        })?;
+        for (key, entry) in compiled {
+            self.cache.insert(key, entry);
+        }
+        Ok(())
+    }
+
+    /// The pruned oracle's per-layer visit order: every scheme paired
+    /// with its analytic compute-cycle lower bound (scaled to the run's
+    /// batch), sorted ascending. The sort is stable, so ties keep
+    /// `Scheme::ALL` order — the same tie-break the exhaustive Oracle's
+    /// strict-`<` minimum applies.
+    fn pruned_scheme_order(&self, layer: &Layer) -> Result<Vec<(u64, Scheme)>, RunError> {
+        let geom = ConvGeometry::from_layer(layer)?;
+        let mut order: Vec<(u64, Scheme)> = Scheme::ALL
+            .into_iter()
+            .map(|s| {
+                let bound = analytic_cost(&geom, s, &self.cfg)
+                    .compute_cycles
+                    .saturating_mul(self.opts.batch as u64);
+                (bound, s)
+            })
+            .collect();
+        order.sort_by_key(|&(bound, _)| bound);
+        Ok(order)
+    }
+
+    /// The pruned oracle's phase 1+2: visit schemes cheapest-bound-first
+    /// and skip any whose analytic lower bound already exceeds the best
+    /// simulated candidate. Sound because the machine's total can never
+    /// undercut its compute cycles (`stats.cycles >= compute_cycles`):
+    /// a skipped scheme's true cycle count exceeds the running best, so
+    /// it can be neither the minimum nor a `Scheme::ALL`-order tie for
+    /// it. Compilation is inherently serial here (each result tightens
+    /// the bound for the next), so this path ignores [`RunOptions::jobs`]
+    /// and any [`CompileBackend`].
+    fn plan_and_compile_pruned(&self, layers: &[&Layer]) -> Result<(u64, u64), RunError> {
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        for layer in layers {
+            if layer.as_conv().is_none() {
+                let key = LayerKey::new(layer, Scheme::Inter, &self.cfg, &self.opts);
+                if self.cache.contains(&key) {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                    self.cache.insert(key, compile_cache_entry(layer, &key)?);
+                }
+                continue;
+            }
+            let mut best: Option<u64> = None;
+            for (bound, scheme) in self.pruned_scheme_order(layer)? {
+                if best.is_some_and(|b| bound > b) {
+                    continue;
+                }
+                let key = LayerKey::new(layer, scheme, &self.cfg, &self.opts);
+                let entry = match self.cache.peek(&key) {
+                    Some(entry) => {
+                        hits += 1;
+                        entry
+                    }
+                    None => {
+                        misses += 1;
+                        self.cache.insert(key, compile_cache_entry(layer, &key)?)
+                    }
+                };
+                best = Some(best.map_or(entry.stats.cycles, |b| b.min(entry.stats.cycles)));
+            }
+            // Winner re-fetch, mirroring the exhaustive Oracle's
+            // accounting convention.
+            hits += 1;
+        }
+        self.cache.record(hits, misses);
+        Ok((hits, misses))
     }
 
     /// Phase 1+2 of a run: serial hit/miss accounting over every probe
@@ -269,6 +448,9 @@ impl Runner {
     /// on the layer sequence and prior cache contents, never on how the
     /// compile work-list is scheduled across threads.
     fn plan_and_compile(&self, layers: &[&Layer], policy: Policy) -> Result<(u64, u64), RunError> {
+        if policy == Policy::OraclePruned {
+            return self.plan_and_compile_pruned(layers);
+        }
         let mut seen: HashSet<LayerKey> = HashSet::new();
         let mut hits = 0u64;
         let mut misses = 0u64;
@@ -289,12 +471,7 @@ impl Runner {
                 hits += 1;
             }
         }
-        let compiled = try_parallel_map(self.opts.jobs, worklist, |(key, layer)| {
-            self.compile_key(layer, &key).map(|entry| (key, entry))
-        })?;
-        for (key, entry) in compiled {
-            self.cache.insert(key, entry);
-        }
+        self.compile_worklist(worklist)?;
         self.cache.record(hits, misses);
         Ok((hits, misses))
     }
@@ -303,6 +480,9 @@ impl Runner {
     /// Oracle that is the cheapest scheme (ties broken in `Scheme::ALL`
     /// order). Every key must already be cached (see `plan_and_compile`).
     fn resolve(&self, layer: &Layer, policy: Policy) -> Arc<CachedLayer> {
+        if policy == Policy::OraclePruned {
+            return self.resolve_pruned(layer);
+        }
         let mut best: Option<Arc<CachedLayer>> = None;
         for key in self.probe_keys(layer, policy) {
             let entry = self
@@ -317,6 +497,54 @@ impl Runner {
             }
         }
         best.expect("probe_keys is non-empty")
+    }
+
+    /// The pruned oracle's resolve: replay the bound-ordered visit with
+    /// the same skip rule (everything visited is cached by
+    /// `plan_and_compile_pruned`), then pick the winner among the
+    /// simulated candidates in `Scheme::ALL` order with a strict `<` —
+    /// exactly the exhaustive Oracle's selection. A pruned scheme's true
+    /// cycle count strictly exceeds the final minimum, so every minimum
+    /// (and every `Scheme::ALL`-order tie for it) was simulated.
+    fn resolve_pruned(&self, layer: &Layer) -> Arc<CachedLayer> {
+        if layer.as_conv().is_none() {
+            let key = LayerKey::new(layer, Scheme::Inter, &self.cfg, &self.opts);
+            return self
+                .cache
+                .peek(&key)
+                .expect("plan_and_compile_pruned cached every non-conv key");
+        }
+        let order = self
+            .pruned_scheme_order(layer)
+            .expect("plan_and_compile_pruned already computed this order");
+        let mut best_cycles: Option<u64> = None;
+        let mut simulated: Vec<(Scheme, Arc<CachedLayer>)> = Vec::new();
+        for (bound, scheme) in order {
+            if best_cycles.is_some_and(|b| bound > b) {
+                continue;
+            }
+            let key = LayerKey::new(layer, scheme, &self.cfg, &self.opts);
+            let entry = self
+                .cache
+                .peek(&key)
+                .expect("plan_and_compile_pruned cached every visited key");
+            best_cycles =
+                Some(best_cycles.map_or(entry.stats.cycles, |b| b.min(entry.stats.cycles)));
+            simulated.push((scheme, entry));
+        }
+        let mut best: Option<Arc<CachedLayer>> = None;
+        for scheme in Scheme::ALL {
+            let Some((_, entry)) = simulated.iter().find(|(s, _)| *s == scheme) else {
+                continue;
+            };
+            if best
+                .as_ref()
+                .is_none_or(|b| entry.stats.cycles < b.stats.cycles)
+            {
+                best = Some(Arc::clone(entry));
+            }
+        }
+        best.expect("at least one scheme is always simulated")
     }
 
     /// Runs one layer in isolation (no layout-transform accounting).
@@ -357,6 +585,24 @@ impl Runner {
     /// # Ok::<(), cbrain::RunError>(())
     /// ```
     pub fn run_network(&self, net: &Network, policy: Policy) -> Result<NetworkReport, RunError> {
+        self.run_network_streamed(net, policy, |_| {})
+    }
+
+    /// [`Runner::run_network`] with a per-layer callback: `on_layer` is
+    /// invoked with each [`LayerReport`] as the serial merge pass
+    /// finishes it, in execution order. The serving daemon streams these
+    /// to clients while the run is still in flight; the final
+    /// [`NetworkReport`] contains the same reports in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RunError`] on compile failure or an empty selection.
+    pub fn run_network_streamed(
+        &self,
+        net: &Network,
+        policy: Policy,
+        mut on_layer: impl FnMut(&LayerReport),
+    ) -> Result<NetworkReport, RunError> {
         let machine = Machine::with_options(self.cfg, self.opts.machine);
         let selected: Vec<&Layer> = match self.opts.workload {
             Workload::Conv1Only => net.conv_layers().take(1).collect(),
@@ -411,6 +657,7 @@ impl Runner {
                 ideal_cycles: ideal_cycles(layer, &self.cfg)? * self.opts.batch as u64,
                 layout_transform_cycles: transform_cycles,
             });
+            on_layer(layers.last().expect("just pushed"));
         }
 
         let energy = self.opts.energy.evaluate(&totals);

@@ -1,0 +1,198 @@
+//! Client side of the `cbrand` protocol.
+//!
+//! The client reconstructs a full [`NetworkReport`] from the streamed
+//! layer events, so rendering it through
+//! [`cbrain::report::render_run_report`] yields output byte-identical to
+//! a single-process `cbrain run` of the same request.
+
+use crate::wire::{Event, Request, RunRequest, WireError};
+use cbrain::{LayerReport, NetworkReport, RunOptions};
+use cbrain_sim::Stats;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+/// Error from a client exchange.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket failure.
+    Io(io::Error),
+    /// The daemon sent a line the protocol does not recognize.
+    Wire(WireError),
+    /// The daemon reported a request failure.
+    Remote(String),
+    /// The stream violated the protocol (e.g. totals mismatch, missing
+    /// terminal event).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Wire(e) => write!(f, "{e}"),
+            ClientError::Remote(m) => write!(f, "daemon error: {m}"),
+            ClientError::Protocol(m) => write!(f, "protocol violation: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        ClientError::Wire(e)
+    }
+}
+
+/// A connection to a `cbrand` daemon.
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a daemon at `addr` (`host:port`).
+    ///
+    /// # Errors
+    ///
+    /// Returns the connect error, if any.
+    pub fn connect(addr: &str) -> io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Self { reader, writer })
+    }
+
+    /// Sends one request and streams its response: `on_event` sees every
+    /// non-terminal event in arrival order; the terminal event is
+    /// returned ([`Event::Error`] becomes [`ClientError::Remote`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns socket, decode, or daemon-reported errors.
+    pub fn submit(
+        &mut self,
+        request: &Request,
+        mut on_event: impl FnMut(&Event),
+    ) -> Result<Event, ClientError> {
+        self.writer.write_all(request.encode().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(ClientError::Protocol(
+                    "connection closed before a terminal event".into(),
+                ));
+            }
+            if line.trim().is_empty() {
+                continue;
+            }
+            let event = Event::decode(line.trim_end_matches(['\r', '\n']))?;
+            if let Event::Error { message } = event {
+                return Err(ClientError::Remote(message));
+            }
+            if event.is_terminal() {
+                return Ok(event);
+            }
+            on_event(&event);
+        }
+    }
+
+    /// Runs a `simulate` request and reconstructs the [`NetworkReport`]
+    /// from the stream. `on_layer` fires per layer as lines arrive (for
+    /// live progress); the report is complete when this returns.
+    ///
+    /// # Errors
+    ///
+    /// Returns transport errors, daemon errors, or a
+    /// [`ClientError::Protocol`] if the reconstructed totals disagree
+    /// with the daemon's `done` line.
+    pub fn simulate(
+        &mut self,
+        run: &RunRequest,
+        mut on_layer: impl FnMut(&LayerReport),
+    ) -> Result<NetworkReport, ClientError> {
+        let mut layers: Vec<LayerReport> = Vec::new();
+        let terminal = self.submit(&Request::Simulate(run.clone()), |event| {
+            if let Event::Layer {
+                name,
+                scheme,
+                stats,
+                ideal_cycles,
+                transform_cycles,
+            } = event
+            {
+                let layer = LayerReport {
+                    name: name.clone(),
+                    scheme: *scheme,
+                    stats: *stats,
+                    ideal_cycles: *ideal_cycles,
+                    layout_transform_cycles: *transform_cycles,
+                };
+                on_layer(&layer);
+                layers.push(layer);
+            }
+        })?;
+        let Event::Done {
+            network,
+            batch,
+            cycles,
+            hits,
+            misses,
+            ..
+        } = terminal
+        else {
+            return Err(ClientError::Protocol(format!(
+                "expected a `done` event, got {terminal:?}"
+            )));
+        };
+        let report = assemble_report(run, network, batch, &layers, hits, misses);
+        if report.cycles() != cycles {
+            return Err(ClientError::Protocol(format!(
+                "summed layer cycles {} disagree with daemon total {cycles}",
+                report.cycles()
+            )));
+        }
+        Ok(NetworkReport { layers, ..report })
+    }
+}
+
+/// Rebuilds a [`NetworkReport`] from streamed layers plus the request
+/// that produced them. The daemon runs with default options (layout
+/// planning on), so totals are exactly the per-layer sums and the energy
+/// model is the default — the same arithmetic `Runner::run_network`
+/// performs, applied to the same numbers.
+fn assemble_report(
+    run: &RunRequest,
+    network: String,
+    batch: u64,
+    layers: &[LayerReport],
+    hits: u64,
+    misses: u64,
+) -> NetworkReport {
+    let mut totals = Stats::new();
+    for layer in layers {
+        totals += layer.stats;
+    }
+    let energy = RunOptions::default().energy.evaluate(&totals);
+    NetworkReport {
+        network,
+        batch: batch as usize,
+        policy: run.policy,
+        config: run.config(),
+        layers: Vec::new(),
+        totals,
+        energy,
+        cache_hits: hits,
+        cache_misses: misses,
+    }
+}

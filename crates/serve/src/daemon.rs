@@ -1,0 +1,330 @@
+//! The `cbrand` TCP daemon.
+//!
+//! One process owns one [`CompiledLayerCache`]; every client connection
+//! gets a thread, a [`Runner`] wired to the shared cache, and a
+//! [`CompileBatcher`] that merges concurrent compile work-lists into
+//! deterministic pool batches. Per-layer report lines stream back as the
+//! serial merge pass finishes them.
+//!
+//! On startup the daemon warms the cache from a persisted file (if one
+//! is configured); on `shutdown` it saves the cache back before the
+//! accept loop returns.
+
+use crate::batch::CompileBatcher;
+use crate::wire::{Event, NetworkSource, Request, RunRequest};
+use cbrain::forward::{forward, NetworkWeights};
+use cbrain::persist::{self, LoadOutcome};
+use cbrain::{CompiledLayerCache, RunOptions, Runner};
+use cbrain_model::{spec, zoo, Network, Tensor3};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Daemon construction options.
+#[derive(Debug, Clone, Default)]
+pub struct DaemonOptions {
+    /// Pool workers per compile batch (`0` means one).
+    pub jobs: usize,
+    /// Cache file to load on startup and save on shutdown (`None`
+    /// disables persistence).
+    pub cache_path: Option<PathBuf>,
+}
+
+struct ServerState {
+    cache: Arc<CompiledLayerCache>,
+    batcher: Arc<CompileBatcher>,
+    stop: AtomicBool,
+    requests: AtomicU64,
+}
+
+/// A bound, not-yet-running daemon.
+pub struct Daemon {
+    listener: TcpListener,
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    cache_path: Option<PathBuf>,
+    load_note: String,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("addr", &self.addr)
+            .field("cache_path", &self.cache_path)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Daemon {
+    /// Binds the daemon to `addr` (use port 0 for an ephemeral port) and
+    /// warm-loads the cache file if one is configured. A corrupt or
+    /// version-mismatched file degrades to a cold start, never an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error, if any.
+    pub fn bind(addr: &str, opts: DaemonOptions) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let cache = CompiledLayerCache::shared();
+        let load_note = match &opts.cache_path {
+            None => "cache persistence disabled".to_owned(),
+            Some(path) => match persist::load_into(&cache, path) {
+                Ok(LoadOutcome::Loaded { entries }) => {
+                    format!("loaded {entries} cached layers from {}", path.display())
+                }
+                Ok(LoadOutcome::Missing) => {
+                    format!("no cache file at {} (cold start)", path.display())
+                }
+                Ok(LoadOutcome::VersionMismatch { found }) => format!(
+                    "cache file {} is format v{found} (want v{}); cold start",
+                    path.display(),
+                    persist::FORMAT_VERSION
+                ),
+                Err(e) => format!("cache file {} unusable ({e}); cold start", path.display()),
+            },
+        };
+        let state = Arc::new(ServerState {
+            cache,
+            batcher: Arc::new(CompileBatcher::new(opts.jobs)),
+            stop: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+        });
+        Ok(Self {
+            listener,
+            addr,
+            state,
+            cache_path: opts.cache_path,
+            load_note,
+        })
+    }
+
+    /// The bound address (read the port from here when binding to 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// One line describing what the startup cache load did.
+    pub fn load_note(&self) -> &str {
+        &self.load_note
+    }
+
+    /// The daemon's shared cache handle.
+    pub fn cache(&self) -> &Arc<CompiledLayerCache> {
+        &self.state.cache
+    }
+
+    /// Runs the accept loop until a client sends `shutdown`, then saves
+    /// the cache (if persistence is on). Each connection is served on
+    /// its own thread; requests on one connection are sequential.
+    ///
+    /// Returns a note describing the final cache save.
+    ///
+    /// # Errors
+    ///
+    /// Returns accept-loop I/O errors. Per-connection errors only drop
+    /// that connection.
+    pub fn run(self) -> io::Result<String> {
+        for conn in self.listener.incoming() {
+            if self.state.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match conn {
+                Ok(stream) => stream,
+                Err(_) => continue,
+            };
+            let state = Arc::clone(&self.state);
+            let addr = self.addr;
+            std::thread::spawn(move || {
+                // Connection errors are the client's problem, not ours.
+                let _ = serve_connection(stream, &state, addr);
+            });
+        }
+        let note = match &self.cache_path {
+            None => "cache persistence disabled; nothing saved".to_owned(),
+            Some(path) => match persist::save(&self.state.cache, path) {
+                Ok(entries) => {
+                    format!("saved {entries} cached layers to {}", path.display())
+                }
+                Err(e) => format!("cache save to {} failed: {e}", path.display()),
+            },
+        };
+        Ok(note)
+    }
+}
+
+fn resolve_network(source: &NetworkSource) -> Result<Network, String> {
+    match source {
+        NetworkSource::Zoo(name) => {
+            zoo::by_name(name).ok_or_else(|| format!("unknown zoo network `{name}`"))
+        }
+        NetworkSource::Spec(text) => spec::parse(text).map_err(|e| format!("bad spec: {e}")),
+    }
+}
+
+fn runner_for(state: &ServerState, run: &RunRequest) -> Runner {
+    Runner::with_options(
+        run.config(),
+        RunOptions {
+            workload: run.workload,
+            batch: run.batch,
+            // The daemon's parallelism lives in the batcher; the
+            // runner's own pool is bypassed by the backend.
+            jobs: 1,
+            ..RunOptions::default()
+        },
+    )
+    .with_cache(Arc::clone(&state.cache))
+    .with_compile_backend(Arc::clone(&state.batcher) as Arc<dyn cbrain::CompileBackend>)
+}
+
+fn write_event(out: &mut BufWriter<TcpStream>, event: &Event) -> io::Result<()> {
+    out.write_all(event.encode().as_bytes())?;
+    out.write_all(b"\n")?;
+    // Flush per line: streaming is the point.
+    out.flush()
+}
+
+fn handle_run(
+    state: &ServerState,
+    run: &RunRequest,
+    full_stats: bool,
+    out: &mut BufWriter<TcpStream>,
+) -> io::Result<()> {
+    let net = match resolve_network(&run.network) {
+        Ok(net) => net,
+        Err(message) => return write_event(out, &Event::Error { message }),
+    };
+    let runner = runner_for(state, run);
+    // Layer lines stream from inside the run; an I/O failure mid-stream
+    // is remembered and the (already nearly-finished) run completes.
+    let mut io_err: Option<io::Error> = None;
+    let result = runner.run_network_streamed(&net, run.policy, |layer| {
+        if io_err.is_some() {
+            return;
+        }
+        let event = if full_stats {
+            Event::Layer {
+                name: layer.name.clone(),
+                scheme: layer.scheme,
+                stats: layer.stats,
+                ideal_cycles: layer.ideal_cycles,
+                transform_cycles: layer.layout_transform_cycles,
+            }
+        } else {
+            Event::Compiled {
+                name: layer.name.clone(),
+                scheme: layer.scheme,
+                cycles: layer.stats.cycles,
+            }
+        };
+        if let Err(e) = write_event(out, &event) {
+            io_err = Some(e);
+        }
+    });
+    if let Some(e) = io_err {
+        return Err(e);
+    }
+    match result {
+        Ok(report) => write_event(
+            out,
+            &Event::Done {
+                network: report.network.clone(),
+                batch: report.batch as u64,
+                policy: report.policy.label().to_owned(),
+                cycles: report.cycles(),
+                hits: report.cache_hits,
+                misses: report.cache_misses,
+                entries: state.cache.len() as u64,
+            },
+        ),
+        Err(e) => write_event(
+            out,
+            &Event::Error {
+                message: e.to_string(),
+            },
+        ),
+    }
+}
+
+fn handle_forward(run: &RunRequest, seed: u64, out: &mut BufWriter<TcpStream>) -> io::Result<()> {
+    let net = match resolve_network(&run.network) {
+        Ok(net) => net,
+        Err(message) => return write_event(out, &Event::Error { message }),
+    };
+    let input = Tensor3::random(net.input(), seed);
+    let weights = NetworkWeights::random(&net, seed.wrapping_add(1));
+    match forward(&net, &input, &weights, run.policy, &run.config()) {
+        Ok(result) => {
+            let checksum = result.output.iter().map(|v| f64::from(*v)).sum();
+            let head = result
+                .output
+                .iter()
+                .take(8)
+                .map(|v| f64::from(*v))
+                .collect();
+            write_event(
+                out,
+                &Event::Forward {
+                    output_len: result.output.len() as u64,
+                    checksum,
+                    head,
+                },
+            )
+        }
+        Err(e) => write_event(
+            out,
+            &Event::Error {
+                message: e.to_string(),
+            },
+        ),
+    }
+}
+
+fn serve_connection(stream: TcpStream, state: &ServerState, addr: SocketAddr) -> io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut out = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        state.requests.fetch_add(1, Ordering::Relaxed);
+        let request = match Request::decode(&line) {
+            Ok(request) => request,
+            Err(e) => {
+                write_event(
+                    &mut out,
+                    &Event::Error {
+                        message: e.to_string(),
+                    },
+                )?;
+                continue;
+            }
+        };
+        match request {
+            Request::Compile(run) => handle_run(state, &run, false, &mut out)?,
+            Request::Simulate(run) => handle_run(state, &run, true, &mut out)?,
+            Request::Forward { run, seed } => handle_forward(&run, seed, &mut out)?,
+            Request::Stats => write_event(
+                &mut out,
+                &Event::Stats {
+                    entries: state.cache.len() as u64,
+                    hits: state.cache.hits(),
+                    misses: state.cache.misses(),
+                    requests: state.requests.load(Ordering::Relaxed),
+                },
+            )?,
+            Request::Shutdown => {
+                write_event(&mut out, &Event::Ok)?;
+                state.stop.store(true, Ordering::SeqCst);
+                // Unblock the accept loop so `run` can save and return.
+                let _ = TcpStream::connect(addr);
+                return Ok(());
+            }
+        }
+    }
+    Ok(())
+}

@@ -28,6 +28,9 @@ fi
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> serving daemon e2e (loopback concurrency + persisted-cache restart)"
+cargo test --test serving -q
+
 echo "==> cargo test --workspace --doc -q"
 cargo test --workspace --doc -q
 
@@ -42,6 +45,33 @@ if [[ $quick -eq 0 ]]; then
     cargo test --release --test conformance -q -- --include-ignored
 else
     cargo test --test conformance -q -- --include-ignored
+fi
+
+if [[ $quick -eq 0 ]]; then
+    echo "==> cbrand smoke: client report must match cbrain run byte-for-byte"
+    smoke_dir="$(mktemp -d)"
+    daemon_out="$smoke_dir/daemon.out"
+    trap 'kill "$daemon_pid" 2>/dev/null || true; rm -rf "$smoke_dir"' EXIT
+    ./target/release/cbrand --port 0 --cache off >"$daemon_out" 2>"$smoke_dir/daemon.err" &
+    daemon_pid=$!
+    addr=""
+    for _ in $(seq 1 50); do
+        addr="$(sed -n 's/^cbrand listening on //p' "$daemon_out")"
+        [[ -n "$addr" ]] && break
+        sleep 0.1
+    done
+    [[ -n "$addr" ]] || { echo "error: cbrand never reported its address" >&2; cat "$smoke_dir/daemon.err" >&2; exit 1; }
+    ./target/release/cbrain cbrand-client --connect "$addr" \
+        --spec specs/alexnet.spec >"$smoke_dir/client.txt" 2>/dev/null
+    ./target/release/cbrain run --spec specs/alexnet.spec >"$smoke_dir/direct.txt"
+    if ! diff -u "$smoke_dir/direct.txt" "$smoke_dir/client.txt"; then
+        echo "error: streamed cbrand report differs from cbrain run" >&2
+        exit 1
+    fi
+    ./target/release/cbrain cbrand-client --connect "$addr" --shutdown >/dev/null
+    wait "$daemon_pid"
+    trap - EXIT
+    rm -rf "$smoke_dir"
 fi
 
 echo "CI gate passed."

@@ -1,0 +1,75 @@
+//! The pruned oracle must be indistinguishable from the exhaustive one
+//! in every report field except the compile counters — and must actually
+//! compile less.
+
+use cbrain::{Policy, RunOptions, Runner, Workload};
+use cbrain_model::zoo;
+use cbrain_sim::AcceleratorConfig;
+
+fn fresh(workload: Workload) -> Runner {
+    Runner::with_options(
+        AcceleratorConfig::paper_16_16(),
+        RunOptions {
+            workload,
+            ..RunOptions::default()
+        },
+    )
+}
+
+#[test]
+fn pruned_oracle_picks_identical_schemes_on_every_zoo_network() {
+    for net in zoo::all() {
+        // Fresh runners: neither policy may lean on the other's cache.
+        let oracle = fresh(Workload::ConvAndPool)
+            .run_network(&net, Policy::Oracle)
+            .unwrap();
+        let pruned = fresh(Workload::ConvAndPool)
+            .run_network(&net, Policy::OraclePruned)
+            .unwrap();
+        assert_eq!(oracle.layers.len(), pruned.layers.len(), "{}", net.name());
+        for (a, b) in oracle.layers.iter().zip(&pruned.layers) {
+            assert_eq!(a.name, b.name, "{}", net.name());
+            assert_eq!(a.scheme, b.scheme, "{}/{}", net.name(), a.name);
+            assert_eq!(a.stats, b.stats, "{}/{}", net.name(), a.name);
+        }
+        assert_eq!(oracle.totals, pruned.totals, "{}", net.name());
+        assert_eq!(oracle.cycles(), pruned.cycles(), "{}", net.name());
+    }
+}
+
+#[test]
+fn pruning_compiles_strictly_less_than_the_exhaustive_sweep() {
+    let mut any_pruned = false;
+    for net in zoo::all() {
+        let oracle = fresh(Workload::ConvAndPool)
+            .run_network(&net, Policy::Oracle)
+            .unwrap();
+        let pruned = fresh(Workload::ConvAndPool)
+            .run_network(&net, Policy::OraclePruned)
+            .unwrap();
+        assert!(
+            pruned.cache_misses <= oracle.cache_misses,
+            "{}: pruned {} vs oracle {}",
+            net.name(),
+            pruned.cache_misses,
+            oracle.cache_misses
+        );
+        if pruned.cache_misses < oracle.cache_misses {
+            any_pruned = true;
+        }
+    }
+    // The bound must bite somewhere across the zoo, or the "pruned"
+    // oracle is just the slow one with extra steps.
+    assert!(any_pruned, "analytic bound never pruned a single compile");
+}
+
+#[test]
+fn pruned_oracle_repeat_run_is_all_hits() {
+    let r = fresh(Workload::ConvAndPool);
+    let net = zoo::alexnet();
+    let first = r.run_network(&net, Policy::OraclePruned).unwrap();
+    let second = r.run_network(&net, Policy::OraclePruned).unwrap();
+    assert!(first.cache_misses > 0);
+    assert_eq!(second.cache_misses, 0);
+    assert_eq!(second.cycles(), first.cycles());
+}

@@ -1,0 +1,141 @@
+//! End-to-end tests of the `cbrand` serving daemon over loopback TCP:
+//! streamed client reports must be byte-identical to a single-process
+//! [`Runner`], and the persisted cache must make a daemon restart warm.
+
+use cbrain::report::render_run_report;
+use cbrain::{RunOptions, Runner};
+use cbrain_serve::daemon::{Daemon, DaemonOptions};
+use cbrain_serve::wire::{Event, NetworkSource, Request, RunRequest};
+use cbrain_serve::Client;
+use std::thread;
+
+/// The report a fresh single-process runner renders for `run`.
+fn direct_report(run: &RunRequest, breakdown: bool) -> String {
+    let net = match &run.network {
+        NetworkSource::Zoo(name) => cbrain::model::zoo::by_name(name).expect("zoo network"),
+        NetworkSource::Spec(text) => cbrain::model::spec::parse(text).expect("valid spec"),
+    };
+    let runner = Runner::with_options(
+        run.config(),
+        RunOptions {
+            workload: run.workload,
+            batch: run.batch,
+            jobs: 1,
+            ..RunOptions::default()
+        },
+    );
+    let report = runner.run_network(&net, run.policy).expect("compiles");
+    render_run_report(&report, breakdown)
+}
+
+#[test]
+fn two_concurrent_clients_render_byte_identical_reports() {
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        DaemonOptions {
+            jobs: 2,
+            cache_path: None,
+        },
+    )
+    .expect("bind loopback");
+    let addr = daemon.local_addr().to_string();
+    let server = thread::spawn(move || daemon.run());
+
+    // Two different (network, PE) pairs, so the requests share no layer
+    // key: each client's hit/miss line — part of the rendered report —
+    // must then match a fresh single-process run exactly, no matter how
+    // the daemon interleaves them.
+    let runs = [
+        RunRequest {
+            network: NetworkSource::Zoo("alexnet".into()),
+            ..RunRequest::default()
+        },
+        RunRequest {
+            network: NetworkSource::Zoo("nin".into()),
+            pe: (32, 32),
+            ..RunRequest::default()
+        },
+    ];
+    thread::scope(|scope| {
+        let handles: Vec<_> = runs
+            .iter()
+            .map(|run| {
+                let addr = addr.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("connect");
+                    let mut streamed_layers = 0usize;
+                    let report = client
+                        .simulate(run, |_layer| streamed_layers += 1)
+                        .expect("simulate");
+                    assert!(streamed_layers > 0, "layer events should stream");
+                    assert_eq!(streamed_layers, report.layers.len());
+                    render_run_report(&report, true)
+                })
+            })
+            .collect();
+        for (run, handle) in runs.iter().zip(handles) {
+            let remote = handle.join().expect("client thread");
+            assert_eq!(remote, direct_report(run, true));
+        }
+    });
+
+    let mut client = Client::connect(&addr).expect("connect");
+    client.submit(&Request::Shutdown, |_| {}).expect("shutdown");
+    server.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn daemon_restart_serves_from_persisted_cache() {
+    let dir = std::env::temp_dir().join(format!("cbrand_e2e_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let cache_file = dir.join("compiled-layers.bin");
+    let run = Request::Simulate(RunRequest {
+        network: NetworkSource::Zoo("alexnet".into()),
+        ..RunRequest::default()
+    });
+    let opts = DaemonOptions {
+        jobs: 2,
+        cache_path: Some(cache_file.clone()),
+    };
+
+    let done = |addr: &str| {
+        let mut client = Client::connect(addr).expect("connect");
+        let terminal = client.submit(&run, |_| {}).expect("simulate");
+        client.submit(&Request::Shutdown, |_| {}).expect("shutdown");
+        let Event::Done { hits, misses, .. } = terminal else {
+            panic!("expected done, got {terminal:?}");
+        };
+        (hits, misses)
+    };
+
+    // Cold daemon: every layer compiles.
+    let daemon = Daemon::bind("127.0.0.1:0", opts.clone()).expect("bind");
+    assert!(
+        daemon.load_note().contains("cold start"),
+        "{}",
+        daemon.load_note()
+    );
+    let addr = daemon.local_addr().to_string();
+    let server = thread::spawn(move || daemon.run());
+    let (_, cold_misses) = done(&addr);
+    assert!(cold_misses > 0, "cold run must compile");
+    let note = server.join().expect("server thread").expect("clean exit");
+    assert!(note.contains("saved"), "{note}");
+    assert!(cache_file.exists());
+
+    // Restarted daemon: the persisted file answers everything.
+    let daemon = Daemon::bind("127.0.0.1:0", opts).expect("bind");
+    assert!(
+        daemon.load_note().contains("loaded"),
+        "{}",
+        daemon.load_note()
+    );
+    let addr = daemon.local_addr().to_string();
+    let server = thread::spawn(move || daemon.run());
+    let (warm_hits, warm_misses) = done(&addr);
+    assert_eq!(warm_misses, 0, "warm restart must not recompile");
+    assert!(warm_hits > 0);
+    server.join().expect("server thread").expect("clean exit");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
