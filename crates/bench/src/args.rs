@@ -32,12 +32,80 @@ fn jobs_from(args: impl Iterator<Item = String>) -> usize {
     cbrain::available_jobs()
 }
 
+/// Parses `--shards a:p,b:p` (or `--shards=...`) from the process
+/// arguments, falling back to the `CBRAIN_SHARDS` environment variable.
+/// Returns `None` when neither is present — the harness then compiles
+/// locally as before.
+///
+/// # Panics
+///
+/// Panics with a usage message if the flag is present but its value is
+/// missing or empty.
+pub fn shards_from_args() -> Option<Vec<String>> {
+    shards_from(
+        std::env::args().skip(1),
+        std::env::var("CBRAIN_SHARDS").ok(),
+    )
+}
+
+fn shards_from(args: impl Iterator<Item = String>, env: Option<String>) -> Option<Vec<String>> {
+    let mut args = args.peekable();
+    let mut raw = None;
+    while let Some(arg) = args.next() {
+        if arg == "--shards" {
+            raw = Some(
+                args.next()
+                    .unwrap_or_else(|| panic!("--shards expects HOST:PORT[,HOST:PORT...]")),
+            );
+        } else if let Some(v) = arg.strip_prefix("--shards=") {
+            raw = Some(v.to_owned());
+        }
+    }
+    let raw = raw.or(env)?;
+    let shards: Vec<String> = raw
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect();
+    if shards.is_empty() {
+        panic!("--shards expects HOST:PORT[,HOST:PORT...], got {raw:?}");
+    }
+    Some(shards)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn of(args: &[&str]) -> usize {
         jobs_from(args.iter().map(|s| (*s).to_owned()))
+    }
+
+    fn shards_of(args: &[&str], env: Option<&str>) -> Option<Vec<String>> {
+        shards_from(args.iter().map(|s| (*s).to_owned()), env.map(str::to_owned))
+    }
+
+    #[test]
+    fn parses_shard_lists() {
+        assert_eq!(shards_of(&[], None), None);
+        assert_eq!(
+            shards_of(&["--shards", "a:1,b:2"], None),
+            Some(vec!["a:1".into(), "b:2".into()])
+        );
+        assert_eq!(shards_of(&["--shards=a:1"], None), Some(vec!["a:1".into()]));
+        // Flag beats environment; environment beats nothing.
+        assert_eq!(
+            shards_of(&["--shards", "a:1"], Some("b:2")),
+            Some(vec!["a:1".into()])
+        );
+        assert_eq!(shards_of(&[], Some("b:2")), Some(vec!["b:2".into()]));
+    }
+
+    #[test]
+    #[should_panic(expected = "HOST:PORT")]
+    fn rejects_empty_shard_list() {
+        shards_of(&["--shards", ","], None);
     }
 
     #[test]

@@ -7,9 +7,28 @@
 //! Accepts `--jobs N` (default: all cores); each experiment fans its
 //! cells over the pool and its output is buffered whole before
 //! printing, so the report is byte-identical for every `N`.
+//!
+//! With `--shards HOST:PORT[,HOST:PORT...]` (or `CBRAIN_SHARDS`),
+//! compile misses scatter over a fleet of `cbrand` daemons instead of
+//! the local pool — same report, remote compilation.
 
 fn main() {
     let jobs = cbrain_bench::args::jobs_from_args();
+    if let Some(shards) = cbrain_bench::args::shards_from_args() {
+        let router = std::sync::Arc::new(cbrain_fleet::FleetRouter::with_policy(
+            shards,
+            0,
+            cbrain_fleet::RetryPolicy::default(),
+            jobs,
+        ));
+        for (addr, outcome) in router.probe_shards() {
+            match outcome {
+                Ok(entries) => eprintln!("fleet: {addr} up ({entries} cached layers)"),
+                Err(e) => eprintln!("fleet: {addr} down: {e}"),
+            }
+        }
+        cbrain_bench::cache::install_fleet(router);
+    }
     let _cache = cbrain_bench::cache::init_for_binary();
     for (name, report) in cbrain_bench::drivers::all_reports(jobs) {
         println!("{}", "=".repeat(78));

@@ -23,8 +23,36 @@ pub enum Command {
     Zoo,
     /// `cbrain cbrand-client ...` — submit a run to a `cbrand` daemon.
     Client(ClientArgs),
+    /// `cbrain fleet-client ...` — run locally with compile misses
+    /// scattered over a fleet of `cbrand` shards.
+    FleetClient(FleetArgs),
     /// `cbrain help` or `--help`.
     Help,
+}
+
+/// Arguments of `cbrain fleet-client`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetArgs {
+    /// Shard addresses (`host:port`), in ring order.
+    pub shards: Vec<String>,
+    /// Ring seed for the rendezvous weights.
+    pub seed: u64,
+    /// Network to run.
+    pub network: NetworkRef,
+    /// Parallelization policy.
+    pub policy: Policy,
+    /// PE array shape.
+    pub pe: PeConfig,
+    /// Clock in MHz.
+    pub mhz: u64,
+    /// Layer subset.
+    pub workload: Workload,
+    /// Images per run.
+    pub batch: usize,
+    /// Worker threads for locally recomputed keys (0 = auto-detect).
+    pub jobs: usize,
+    /// Print the per-layer breakdown table.
+    pub breakdown: bool,
 }
 
 /// Arguments of `cbrain cbrand-client`.
@@ -48,6 +76,9 @@ pub struct ClientArgs {
     pub breakdown: bool,
     /// Query daemon cache counters after the run (or alone).
     pub stats: bool,
+    /// Ask the daemon to evict down to this many cached layers
+    /// (least-recently-used first).
+    pub evict: Option<u64>,
     /// Ask the daemon to save its cache and exit.
     pub shutdown: bool,
 }
@@ -264,6 +295,7 @@ fn parse_client(tokens: &[String]) -> Result<ClientArgs, ArgError> {
         batch: 1,
         breakdown: false,
         stats: false,
+        evict: None,
         shutdown: false,
     };
     let mut f = Flags { tokens, index: 0 };
@@ -292,15 +324,107 @@ fn parse_client(tokens: &[String]) -> Result<ClientArgs, ArgError> {
             }
             "--breakdown" => args.breakdown = true,
             "--stats" => args.stats = true,
+            "--evict" => {
+                let v = f.value("--evict")?;
+                args.evict = Some(
+                    v.parse()
+                        .map_err(|_| ArgError(format!("bad --evict `{v}`")))?,
+                );
+            }
             "--shutdown" => args.shutdown = true,
             other => return fail(format!("unknown flag `{other}`")),
         }
         f.index += 1;
     }
-    if args.network.is_none() && !args.stats && !args.shutdown {
-        return fail("cbrand-client needs --network/--spec, --stats, or --shutdown");
+    if args.network.is_none() && !args.stats && args.evict.is_none() && !args.shutdown {
+        return fail("cbrand-client needs --network/--spec, --stats, --evict, or --shutdown");
     }
     Ok(args)
+}
+
+fn parse_fleet(tokens: &[String]) -> Result<FleetArgs, ArgError> {
+    let mut shards: Vec<String> = Vec::new();
+    let mut seed = 0u64;
+    let mut network = None;
+    let mut policy = Policy::Adaptive {
+        improved_inter: true,
+    };
+    let mut pe = PeConfig::new(16, 16);
+    let mut mhz = 1000u64;
+    let mut workload = Workload::ConvAndPool;
+    let mut batch = 1usize;
+    let mut jobs = 0usize;
+    let mut breakdown = false;
+
+    let mut f = Flags { tokens, index: 0 };
+    while f.index < tokens.len() {
+        match tokens[f.index].as_str() {
+            "--shards" => {
+                shards = f
+                    .value("--shards")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_owned)
+                    .collect();
+            }
+            "--seed" => {
+                let v = f.value("--seed")?;
+                seed = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad --seed `{v}`")))?;
+            }
+            "--network" => network = Some(NetworkRef::Zoo(f.value("--network")?.to_owned())),
+            "--spec" => network = Some(NetworkRef::SpecFile(f.value("--spec")?.to_owned())),
+            "--policy" => policy = parse_policy(f.value("--policy")?)?,
+            "--pe" => pe = parse_pe(f.value("--pe")?)?,
+            "--mhz" => {
+                let v = f.value("--mhz")?;
+                mhz = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad --mhz `{v}`")))?;
+            }
+            "--workload" => workload = parse_workload(f.value("--workload")?)?,
+            "--batch" => {
+                let v = f.value("--batch")?;
+                batch = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad --batch `{v}`")))?;
+                if batch == 0 {
+                    return fail("--batch must be at least 1");
+                }
+            }
+            "--jobs" => {
+                let v = f.value("--jobs")?;
+                jobs = v
+                    .parse()
+                    .map_err(|_| ArgError(format!("bad --jobs `{v}`")))?;
+                if jobs == 0 {
+                    return fail("--jobs must be at least 1");
+                }
+            }
+            "--breakdown" => breakdown = true,
+            other => return fail(format!("unknown flag `{other}`")),
+        }
+        f.index += 1;
+    }
+    if shards.is_empty() {
+        return fail("fleet-client needs --shards HOST:PORT[,HOST:PORT...]");
+    }
+    let network =
+        network.ok_or_else(|| ArgError("fleet-client needs --network or --spec".into()))?;
+    Ok(FleetArgs {
+        shards,
+        seed,
+        network,
+        policy,
+        pe,
+        mhz,
+        workload,
+        batch,
+        jobs,
+        breakdown,
+    })
 }
 
 /// Parses a full command line (without the program name).
@@ -333,6 +457,7 @@ pub fn parse(tokens: &[String]) -> Result<Command, ArgError> {
         }
         "zoo" => Ok(Command::Zoo),
         "cbrand-client" => Ok(Command::Client(parse_client(&tokens[1..])?)),
+        "fleet-client" => Ok(Command::FleetClient(parse_fleet(&tokens[1..])?)),
         "schedule" => {
             let (network, policy, config, _, _, _, _, _) = parse_common(&tokens[1..])?;
             let network =
@@ -409,13 +534,22 @@ USAGE:
   cbrain zoo
   cbrain cbrand-client [--connect HOST:PORT] --network <name> | --spec <file>
                   [--policy ...] [--pe TinxTout] [--mhz N] [--workload ...]
-                  [--batch N] [--breakdown] [--stats] [--shutdown]
+                  [--batch N] [--breakdown] [--stats] [--evict N] [--shutdown]
+  cbrain fleet-client --shards HOST:PORT[,HOST:PORT...] [--seed N]
+                  --network <name> | --spec <file>
+                  [--policy ...] [--pe TinxTout] [--mhz N] [--workload ...]
+                  [--batch N] [--jobs N] [--breakdown]
   cbrain help
 
 `run --cache` persists compiled layers across invocations (auto = the
 user cache file, also honoured by the cbrand daemon). `cbrand-client`
 submits the run to a cbrand daemon instead of simulating in-process;
 the printed report is byte-identical to the equivalent `cbrain run`.
+`cbrand-client --evict N` asks the daemon to drop least-recently-used
+cached layers until at most N remain. `fleet-client` simulates locally
+but scatters compile misses over a fleet of cbrand shards (rendezvous
+hashing on the layer key); dead shards reroute or fall back to local
+compilation, and the report stays byte-identical to `cbrain run`.
 ";
 
 #[cfg(test)]
@@ -574,6 +708,43 @@ mod tests {
         // But doing nothing at all is an error.
         assert!(parse(&toks("cbrand-client")).is_err());
         assert!(parse(&toks("cbrand-client --jobs 2")).is_err());
+    }
+
+    #[test]
+    fn evict_flag() {
+        let Command::Client(args) = parse(&toks("cbrand-client --evict 64")).unwrap() else {
+            panic!("client expected")
+        };
+        assert_eq!(args.evict, Some(64));
+        assert!(args.network.is_none());
+        assert!(parse(&toks("cbrand-client --evict many")).is_err());
+    }
+
+    #[test]
+    fn fleet_client_command() {
+        let Command::FleetClient(args) = parse(&toks(
+            "fleet-client --shards 127.0.0.1:9000,127.0.0.1:9001 --network vgg --seed 7 --jobs 2",
+        ))
+        .unwrap() else {
+            panic!("fleet-client expected")
+        };
+        assert_eq!(args.shards, vec!["127.0.0.1:9000", "127.0.0.1:9001"]);
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.network, NetworkRef::Zoo("vgg".into()));
+        assert_eq!(args.jobs, 2);
+        // Defaults must match `cbrain run` for byte-identity.
+        assert_eq!(
+            args.policy,
+            Policy::Adaptive {
+                improved_inter: true
+            }
+        );
+        assert_eq!(args.pe, PeConfig::new(16, 16));
+        assert_eq!(args.batch, 1);
+        // Both the shard list and a network are mandatory.
+        assert!(parse(&toks("fleet-client --network vgg")).is_err());
+        assert!(parse(&toks("fleet-client --shards 127.0.0.1:9000")).is_err());
+        assert!(parse(&toks("fleet-client --shards , --network vgg")).is_err());
     }
 
     #[test]

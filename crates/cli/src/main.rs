@@ -25,6 +25,7 @@ fn main() -> ExitCode {
         Command::SpecCheck { path } => commands::spec_check(&path),
         Command::Zoo => Ok(commands::zoo_list()),
         Command::Client(a) => commands::client(&a),
+        Command::FleetClient(a) => commands::fleet_client(&a),
     };
     match result {
         Ok(out) => {

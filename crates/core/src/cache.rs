@@ -99,6 +99,14 @@ pub struct CachedLayer {
     pub stats: Stats,
 }
 
+/// A cache entry plus the logical clock of its last lookup, so
+/// [`CompiledLayerCache::evict_lru`] can drop the coldest entries first.
+#[derive(Debug)]
+struct Slot {
+    value: Arc<CachedLayer>,
+    last_used: AtomicU64,
+}
+
 /// Thread-safe map from [`LayerKey`] to compiled+simulated layers.
 ///
 /// # Examples
@@ -120,9 +128,11 @@ pub struct CachedLayer {
 /// ```
 #[derive(Debug, Default)]
 pub struct CompiledLayerCache {
-    entries: RwLock<HashMap<LayerKey, Arc<CachedLayer>>>,
+    entries: RwLock<HashMap<LayerKey, Slot>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Logical clock stamping every lookup/insert; drives LRU eviction.
+    tick: AtomicU64,
 }
 
 impl CompiledLayerCache {
@@ -136,16 +146,29 @@ impl CompiledLayerCache {
         Arc::new(Self::new())
     }
 
-    /// Whether the key is already cached (does not touch the counters).
+    /// Whether the key is already cached (does not touch the counters
+    /// or the entry's recency).
     pub fn contains(&self, key: &LayerKey) -> bool {
         self.entries.read().expect("cache lock").contains_key(key)
     }
 
-    /// Looks up a key without touching the counters. The runner uses
-    /// this for its merge pass, whose hits were already accounted by the
-    /// serial pre-pass (see [`crate::Runner::run_network`]).
+    /// Stamps a slot with the next logical-clock tick. Recency updates
+    /// happen under the read lock: `last_used` is atomic, so concurrent
+    /// readers race only over which recent tick wins — either keeps the
+    /// entry hot.
+    fn touch(&self, slot: &Slot) -> Arc<CachedLayer> {
+        let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        slot.last_used.store(now, Ordering::Relaxed);
+        Arc::clone(&slot.value)
+    }
+
+    /// Looks up a key without touching the counters (the entry's LRU
+    /// recency is still refreshed). The runner uses this for its merge
+    /// pass, whose hits were already accounted by the serial pre-pass
+    /// (see [`crate::Runner::run_network`]).
     pub fn peek(&self, key: &LayerKey) -> Option<Arc<CachedLayer>> {
-        self.entries.read().expect("cache lock").get(key).cloned()
+        let map = self.entries.read().expect("cache lock");
+        map.get(key).map(|slot| self.touch(slot))
     }
 
     /// Adds externally-accounted lookups to the global counters (the
@@ -158,7 +181,10 @@ impl CompiledLayerCache {
 
     /// Looks up a key, counting a global hit or miss.
     pub fn get(&self, key: &LayerKey) -> Option<Arc<CachedLayer>> {
-        let found = self.entries.read().expect("cache lock").get(key).cloned();
+        let found = {
+            let map = self.entries.read().expect("cache lock");
+            map.get(key).map(|slot| self.touch(slot))
+        };
         match found {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -175,8 +201,42 @@ impl CompiledLayerCache {
     /// in the cache (the existing one if another thread got there first,
     /// so concurrent same-key compiles converge on one allocation).
     pub fn insert(&self, key: LayerKey, value: CachedLayer) -> Arc<CachedLayer> {
+        let now = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         let mut map = self.entries.write().expect("cache lock");
-        map.entry(key).or_insert_with(|| Arc::new(value)).clone()
+        let slot = map.entry(key).or_insert_with(|| Slot {
+            value: Arc::new(value),
+            last_used: AtomicU64::new(now),
+        });
+        slot.last_used.store(now, Ordering::Relaxed);
+        Arc::clone(&slot.value)
+    }
+
+    /// Evicts least-recently-used entries until at most `max` remain,
+    /// returning how many were dropped. Recency ties (e.g. entries bulk
+    /// loaded by [`crate::persist::load_into`] that were never looked up)
+    /// break on the entries' encoded key bytes, so eviction is
+    /// deterministic for a deterministic access sequence.
+    pub fn evict_lru(&self, max: usize) -> usize {
+        let mut map = self.entries.write().expect("cache lock");
+        if map.len() <= max {
+            return 0;
+        }
+        let mut order: Vec<(u64, Vec<u8>, LayerKey)> = map
+            .iter()
+            .map(|(key, slot)| {
+                (
+                    slot.last_used.load(Ordering::Relaxed),
+                    crate::persist::key_bytes(key),
+                    *key,
+                )
+            })
+            .collect();
+        order.sort_by(|a, b| (a.0, &a.1).cmp(&(b.0, &b.1)));
+        let evict = map.len() - max;
+        for (_, _, key) in order.iter().take(evict) {
+            map.remove(key);
+        }
+        evict
     }
 
     /// Returns the cached entry or computes, inserts and returns it. The
@@ -205,7 +265,7 @@ impl CompiledLayerCache {
             .read()
             .expect("cache lock")
             .iter()
-            .map(|(k, v)| (*k, Arc::clone(v)))
+            .map(|(k, slot)| (*k, Arc::clone(&slot.value)))
             .collect()
     }
 
@@ -327,6 +387,33 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn evict_lru_drops_coldest_entries_first() {
+        let cache = CompiledLayerCache::new();
+        let names = ["conv1", "conv2", "conv3"];
+        let keys: Vec<LayerKey> = names
+            .iter()
+            .map(|name| {
+                let (key, layer) = key_for(name, Scheme::Inter);
+                cache.insert(key, compiled(&layer, key.scheme));
+                key
+            })
+            .collect();
+        assert_eq!(cache.len(), 3);
+        // Refresh conv1 and conv3; conv2 becomes the LRU entry.
+        assert!(cache.peek(&keys[0]).is_some());
+        assert!(cache.peek(&keys[2]).is_some());
+
+        assert_eq!(cache.evict_lru(3), 0, "already within bound");
+        assert_eq!(cache.evict_lru(2), 1);
+        assert!(cache.contains(&keys[0]));
+        assert!(!cache.contains(&keys[1]), "LRU entry must go first");
+        assert!(cache.contains(&keys[2]));
+
+        assert_eq!(cache.evict_lru(0), 2);
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -60,6 +60,12 @@ pub const ENV_SWITCH: &str = "CBRAIN_CACHE";
 /// Environment variable overriding the cache *directory*.
 pub const ENV_DIR: &str = "CBRAIN_CACHE_DIR";
 
+/// Environment variable bounding the number of persisted entries. When
+/// set to a positive integer, [`save`] evicts least-recently-used
+/// entries down to the bound before writing, so long-lived caches (the
+/// `cbrand` daemon, a fleet shard) stop growing without bound.
+pub const ENV_MAX: &str = "CBRAIN_CACHE_MAX";
+
 /// Error from saving or loading a cache file.
 #[derive(Debug)]
 pub enum PersistError {
@@ -625,6 +631,91 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 // ---------------------------------------------------------------------
+// Public entry/key codecs.
+//
+// The fleet layer reuses the file format's codecs for two jobs: hashing
+// a key onto the consistent-hash ring (the encoded bytes are the
+// canonical, platform-independent identity of a key) and shipping
+// compiled entries over the wire (a shard streams `entry_bytes`, the
+// client decodes them back — the exact bytes a local compile would have
+// produced, because the entry is a pure function of the key).
+// ---------------------------------------------------------------------
+
+/// FNV-1a 64-bit over arbitrary bytes (the same function the file
+/// checksum uses). Stable across platforms and versions of this crate.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a(bytes)
+}
+
+/// The canonical binary encoding of a [`LayerKey`] — the format's key
+/// serialization, usable as a deterministic hash/sort identity.
+pub fn key_bytes(key: &LayerKey) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_key(&mut out, key);
+    out
+}
+
+/// A key's stable 64-bit identity: [`fnv1a64`] over [`key_bytes`]. The
+/// fleet ring hashes this onto shards.
+pub fn key_hash(key: &LayerKey) -> u64 {
+    fnv1a(&key_bytes(key))
+}
+
+/// Decodes a [`LayerKey`] written by [`key_bytes`].
+///
+/// # Errors
+///
+/// Returns [`PersistError::Corrupt`] on truncated or invalid bytes,
+/// including trailing garbage.
+pub fn decode_key_bytes(bytes: &[u8]) -> Result<LayerKey, PersistError> {
+    let mut c = Cursor::new(bytes);
+    let key = get_key(&mut c)?;
+    if !c.done() {
+        return corrupt(format!(
+            "{} trailing bytes after the key",
+            bytes.len() - c.pos
+        ));
+    }
+    Ok(key)
+}
+
+/// The canonical binary encoding of one `(key, entry)` pair — exactly
+/// one entry of the cache file's payload, reusable as a wire transport
+/// for compiled layers.
+pub fn entry_bytes(key: &LayerKey, value: &CachedLayer) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_entry(&mut out, key, value);
+    out
+}
+
+/// Decodes a `(key, entry)` pair written by [`entry_bytes`].
+///
+/// # Errors
+///
+/// Returns [`PersistError::Corrupt`] on truncated or invalid bytes,
+/// including trailing garbage.
+pub fn decode_entry_bytes(bytes: &[u8]) -> Result<(LayerKey, CachedLayer), PersistError> {
+    let mut c = Cursor::new(bytes);
+    let pair = get_entry(&mut c)?;
+    if !c.done() {
+        return corrupt(format!(
+            "{} trailing bytes after the entry",
+            bytes.len() - c.pos
+        ));
+    }
+    Ok(pair)
+}
+
+/// The entry bound [`ENV_MAX`] selects, if any. Unset, empty, zero or
+/// unparsable values all mean "unbounded".
+pub fn cache_max_from_env() -> Option<usize> {
+    std::env::var(ENV_MAX)
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+// ---------------------------------------------------------------------
 // Save / load.
 // ---------------------------------------------------------------------
 
@@ -663,6 +754,10 @@ fn encode(cache: &CompiledLayerCache) -> Vec<u8> {
 /// Saves every cache entry to `path`, creating parent directories.
 /// Returns the number of entries written.
 ///
+/// Honors the [`ENV_MAX`] entry bound: when set, least-recently-used
+/// entries are evicted from `cache` first so the file (and the resident
+/// cache) stay within the bound.
+///
 /// The write is atomic (temp file + rename), so readers never observe a
 /// half-written file at `path`.
 ///
@@ -670,6 +765,23 @@ fn encode(cache: &CompiledLayerCache) -> Vec<u8> {
 ///
 /// Returns [`PersistError::Io`] on filesystem failures.
 pub fn save(cache: &CompiledLayerCache, path: &Path) -> Result<usize, PersistError> {
+    save_with_max(cache, path, cache_max_from_env())
+}
+
+/// [`save`] with an explicit entry bound instead of the [`ENV_MAX`]
+/// environment lookup. `None` writes everything.
+///
+/// # Errors
+///
+/// Returns [`PersistError::Io`] on filesystem failures.
+pub fn save_with_max(
+    cache: &CompiledLayerCache,
+    path: &Path,
+    max_entries: Option<usize>,
+) -> Result<usize, PersistError> {
+    if let Some(max) = max_entries {
+        cache.evict_lru(max);
+    }
     let bytes = encode(cache);
     let entries = cache.len();
     if let Some(parent) = path.parent() {
@@ -921,6 +1033,43 @@ mod tests {
         let report = runner.run_network(&zoo::alexnet(), Policy::Oracle).unwrap();
         assert_eq!(report.cache_misses, 0);
         assert!(report.cache_hits > 0);
+    }
+
+    #[test]
+    fn key_and_entry_codecs_round_trip() {
+        let cache = warm_cache();
+        for (key, entry) in cache.snapshot() {
+            let kb = key_bytes(&key);
+            assert_eq!(decode_key_bytes(&kb).unwrap(), key);
+            assert_eq!(key_hash(&key), fnv1a64(&kb));
+            let eb = entry_bytes(&key, &entry);
+            let (k2, e2) = decode_entry_bytes(&eb).unwrap();
+            assert_eq!(k2, key);
+            assert_eq!(
+                format!("{:?} {:?}", entry.compiled, entry.stats),
+                format!("{:?} {:?}", e2.compiled, e2.stats)
+            );
+            let mut trailing = kb.clone();
+            trailing.push(0);
+            assert!(decode_key_bytes(&trailing).is_err());
+            let mut truncated = eb.clone();
+            truncated.pop();
+            assert!(decode_entry_bytes(&truncated).is_err());
+        }
+    }
+
+    #[test]
+    fn save_with_max_bounds_cache_and_file() {
+        let cache = warm_cache();
+        assert!(cache.len() > 4, "warm cache too small for the test");
+        let path = tmpdir("max").join(CACHE_FILE_NAME);
+        let written = save_with_max(&cache, &path, Some(4)).unwrap();
+        assert_eq!(written, 4);
+        assert_eq!(cache.len(), 4);
+
+        let restored = CompiledLayerCache::new();
+        let outcome = load_into(&restored, &path).unwrap();
+        assert_eq!(outcome, LoadOutcome::Loaded { entries: 4 });
     }
 
     #[test]

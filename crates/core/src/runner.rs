@@ -389,31 +389,69 @@ impl Runner {
         Ok(order)
     }
 
-    /// The pruned oracle's phase 1+2: visit schemes cheapest-bound-first
-    /// and skip any whose analytic lower bound already exceeds the best
-    /// simulated candidate. Sound because the machine's total can never
-    /// undercut its compute cycles (`stats.cycles >= compute_cycles`):
-    /// a skipped scheme's true cycle count exceeds the running best, so
-    /// it can be neither the minimum nor a `Scheme::ALL`-order tie for
-    /// it. Compilation is inherently serial here (each result tightens
-    /// the bound for the next), so this path ignores [`RunOptions::jobs`]
-    /// and any [`CompileBackend`].
+    /// How many of the cheapest-bound candidates the pruned oracle
+    /// simulates unconditionally per conv layer. Fanning this pair onto
+    /// the job pool (or a remote backend) as one batch recovers compile
+    /// parallelism inside the pruned search; everything after the pair
+    /// keeps the serial bound-skip. Extra speculative simulations only
+    /// tighten the running bound — selection is unchanged because the
+    /// winner is the `Scheme::ALL`-order strict-`<` minimum over
+    /// whatever was simulated, and every possible minimum is.
+    const PRUNED_SPECULATION: usize = 2;
+
+    /// The pruned oracle's phase 1+2: simulate the two cheapest-bound
+    /// candidates unconditionally (compiled as one batch through the
+    /// pool or [`CompileBackend`]), then visit the remaining schemes
+    /// cheapest-bound-first, skipping any whose analytic lower bound
+    /// already exceeds the best simulated candidate. Sound because the
+    /// machine's total can never undercut its compute cycles
+    /// (`stats.cycles >= compute_cycles`): a skipped scheme's true cycle
+    /// count exceeds the running best, so it can be neither the minimum
+    /// nor a `Scheme::ALL`-order tie for it. The speculative pair is a
+    /// fixed prefix of the deterministic bound order, so the visit set —
+    /// and with it the hit/miss counters — is identical at every
+    /// [`RunOptions::jobs`] value and under any backend.
     fn plan_and_compile_pruned(&self, layers: &[&Layer]) -> Result<(u64, u64), RunError> {
         let mut hits = 0u64;
         let mut misses = 0u64;
-        for layer in layers {
+        for &layer in layers {
             if layer.as_conv().is_none() {
                 let key = LayerKey::new(layer, Scheme::Inter, &self.cfg, &self.opts);
                 if self.cache.contains(&key) {
                     hits += 1;
                 } else {
                     misses += 1;
-                    self.cache.insert(key, compile_cache_entry(layer, &key)?);
+                    self.compile_worklist(vec![(key, layer)])?;
                 }
                 continue;
             }
+            let order = self.pruned_scheme_order(layer)?;
+            let spec_n = order.len().min(Self::PRUNED_SPECULATION);
+
+            // Speculative prefix: account, then compile as one batch.
+            let mut pair: Vec<(LayerKey, &Layer)> = Vec::new();
+            for &(_, scheme) in &order[..spec_n] {
+                let key = LayerKey::new(layer, scheme, &self.cfg, &self.opts);
+                if self.cache.contains(&key) {
+                    hits += 1;
+                } else {
+                    misses += 1;
+                    pair.push((key, layer));
+                }
+            }
+            self.compile_worklist(pair)?;
             let mut best: Option<u64> = None;
-            for (bound, scheme) in self.pruned_scheme_order(layer)? {
+            for &(_, scheme) in &order[..spec_n] {
+                let key = LayerKey::new(layer, scheme, &self.cfg, &self.opts);
+                let entry = self
+                    .cache
+                    .peek(&key)
+                    .expect("the speculative pair was just compiled");
+                best = Some(best.map_or(entry.stats.cycles, |b| b.min(entry.stats.cycles)));
+            }
+
+            // Tail: serial bound-skip, each result tightening the bound.
+            for &(bound, scheme) in &order[spec_n..] {
                 if best.is_some_and(|b| bound > b) {
                     continue;
                 }
@@ -425,7 +463,10 @@ impl Runner {
                     }
                     None => {
                         misses += 1;
-                        self.cache.insert(key, compile_cache_entry(layer, &key)?)
+                        self.compile_worklist(vec![(key, layer)])?;
+                        self.cache
+                            .peek(&key)
+                            .expect("compile_worklist cached the key")
                     }
                 };
                 best = Some(best.map_or(entry.stats.cycles, |b| b.min(entry.stats.cycles)));
@@ -500,12 +541,12 @@ impl Runner {
     }
 
     /// The pruned oracle's resolve: replay the bound-ordered visit with
-    /// the same skip rule (everything visited is cached by
-    /// `plan_and_compile_pruned`), then pick the winner among the
-    /// simulated candidates in `Scheme::ALL` order with a strict `<` —
-    /// exactly the exhaustive Oracle's selection. A pruned scheme's true
-    /// cycle count strictly exceeds the final minimum, so every minimum
-    /// (and every `Scheme::ALL`-order tie for it) was simulated.
+    /// the same speculative prefix and skip rule (everything visited is
+    /// cached by `plan_and_compile_pruned`), then pick the winner among
+    /// the simulated candidates in `Scheme::ALL` order with a strict `<`
+    /// — exactly the exhaustive Oracle's selection. A pruned scheme's
+    /// true cycle count strictly exceeds the final minimum, so every
+    /// minimum (and every `Scheme::ALL`-order tie for it) was simulated.
     fn resolve_pruned(&self, layer: &Layer) -> Arc<CachedLayer> {
         if layer.as_conv().is_none() {
             let key = LayerKey::new(layer, Scheme::Inter, &self.cfg, &self.opts);
@@ -517,10 +558,11 @@ impl Runner {
         let order = self
             .pruned_scheme_order(layer)
             .expect("plan_and_compile_pruned already computed this order");
+        let spec_n = order.len().min(Self::PRUNED_SPECULATION);
         let mut best_cycles: Option<u64> = None;
         let mut simulated: Vec<(Scheme, Arc<CachedLayer>)> = Vec::new();
-        for (bound, scheme) in order {
-            if best_cycles.is_some_and(|b| bound > b) {
+        for (i, (bound, scheme)) in order.into_iter().enumerate() {
+            if i >= spec_n && best_cycles.is_some_and(|b| bound > b) {
                 continue;
             }
             let key = LayerKey::new(layer, scheme, &self.cfg, &self.opts);
@@ -986,7 +1028,7 @@ mod tests {
             )
         };
         for net in zoo::all() {
-            for policy in [Policy::Oracle, Policy::PAPER_ARMS[4]] {
+            for policy in [Policy::Oracle, Policy::OraclePruned, Policy::PAPER_ARMS[4]] {
                 let serial = mk(1).run_network(&net, policy).unwrap();
                 let parallel = mk(4).run_network(&net, policy).unwrap();
                 assert_eq!(

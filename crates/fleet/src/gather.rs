@@ -1,0 +1,166 @@
+//! The scatter/gather unit: ship one compile batch to one shard with
+//! retry + backoff, and rebuild cache entries from the streamed bytes.
+
+use crate::health::RetryPolicy;
+use cbrain::cache::{CachedLayer, LayerKey};
+use cbrain::persist;
+use cbrain_serve::wire::CompileItem;
+use cbrain_serve::{Client, ClientError, Event, Request};
+use std::fmt;
+
+/// Error from fleet traffic.
+#[derive(Debug)]
+pub enum FleetError {
+    /// The shard could not be reached or the exchange broke mid-stream.
+    /// Retryable: the router marks the shard down and reroutes.
+    Transport {
+        /// The shard address involved.
+        addr: String,
+        /// The underlying client failure.
+        cause: ClientError,
+    },
+    /// The shard answered but reported a compile failure. Deterministic
+    /// (every shard compiles the same pure function), so not retried.
+    Remote {
+        /// The shard address involved.
+        addr: String,
+        /// The daemon's error message.
+        message: String,
+    },
+    /// The shard answered with bytes that do not decode to the
+    /// requested keys — a corrupt or confused peer. Not retried.
+    BadEntry {
+        /// The shard address involved.
+        addr: String,
+        /// What was wrong with the payload.
+        message: String,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Transport { addr, cause } => {
+                write!(f, "shard {addr} unreachable: {cause}")
+            }
+            FleetError::Remote { addr, message } => {
+                write!(f, "shard {addr} failed the batch: {message}")
+            }
+            FleetError::BadEntry { addr, message } => {
+                write!(f, "shard {addr} sent a bad entry: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl FleetError {
+    /// Whether the router should mark the shard down and reroute the
+    /// work (transport failures), as opposed to failing the run
+    /// (deterministic remote errors, corrupt payloads).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, FleetError::Transport { .. })
+    }
+}
+
+/// Ships one compile batch to `addr` and gathers the resulting cache
+/// entries, in request order. Each attempt is a fresh connection with a
+/// `hello` exchange; transport failures retry up to
+/// [`RetryPolicy::attempts`] times with exponential backoff, while
+/// remote compile errors and corrupt payloads fail immediately.
+///
+/// # Errors
+///
+/// Returns the last [`FleetError`] once retries are exhausted, or the
+/// first non-retryable one.
+pub fn compile_on_shard(
+    addr: &str,
+    policy: &RetryPolicy,
+    batch: &[(LayerKey, String)],
+) -> Result<Vec<(LayerKey, CachedLayer)>, FleetError> {
+    let mut last = None;
+    for attempt in 0..policy.attempts.max(1) {
+        let backoff = policy.backoff_before(attempt);
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        match compile_once(addr, policy, batch) {
+            Ok(entries) => return Ok(entries),
+            Err(e) if e.is_retryable() => last = Some(e),
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.expect("at least one attempt ran"))
+}
+
+/// One attempt of [`compile_on_shard`].
+fn compile_once(
+    addr: &str,
+    policy: &RetryPolicy,
+    batch: &[(LayerKey, String)],
+) -> Result<Vec<(LayerKey, CachedLayer)>, FleetError> {
+    let transport = |cause: ClientError| FleetError::Transport {
+        addr: addr.to_owned(),
+        cause,
+    };
+    let mut client = Client::connect_with_timeout(addr, policy.connect_timeout)
+        .map_err(|e| transport(ClientError::Io(e)))?;
+    client
+        .set_io_timeout(policy.io_timeout)
+        .map_err(|e| transport(ClientError::Io(e)))?;
+    client.hello().map_err(transport)?;
+
+    let items = batch
+        .iter()
+        .map(|(key, name)| CompileItem {
+            key: persist::key_bytes(key),
+            name: name.clone(),
+        })
+        .collect();
+    let mut raw: Vec<Vec<u8>> = Vec::with_capacity(batch.len());
+    let terminal = client
+        .submit(&Request::CompileKeys { items }, |event| {
+            if let Event::Entry { data } = event {
+                raw.push(data.clone());
+            }
+        })
+        .map_err(|e| match e {
+            // The daemon answered; its compile failure is deterministic.
+            ClientError::Remote(message) => FleetError::Remote {
+                addr: addr.to_owned(),
+                message,
+            },
+            other => transport(other),
+        })?;
+    if terminal != Event::Ok {
+        return Err(transport(ClientError::Protocol(format!(
+            "expected `ok` after entries, got {terminal:?}"
+        ))));
+    }
+
+    // Entries stream back in request order; verify byte-level identity
+    // of each key before trusting the payload.
+    if raw.len() != batch.len() {
+        return Err(FleetError::BadEntry {
+            addr: addr.to_owned(),
+            message: format!("{} entries for {} keys", raw.len(), batch.len()),
+        });
+    }
+    let mut entries = Vec::with_capacity(batch.len());
+    for (bytes, (want, name)) in raw.iter().zip(batch) {
+        let (key, value) =
+            persist::decode_entry_bytes(bytes).map_err(|e| FleetError::BadEntry {
+                addr: addr.to_owned(),
+                message: format!("entry for `{name}` does not decode: {e}"),
+            })?;
+        if key != *want {
+            return Err(FleetError::BadEntry {
+                addr: addr.to_owned(),
+                message: format!("entry for `{name}` answers a different key"),
+            });
+        }
+        entries.push((key, value));
+    }
+    Ok(entries)
+}

@@ -1,0 +1,139 @@
+//! Shard liveness: retry policy, down-markers, and the `stats` probe.
+
+use cbrain_serve::{Client, ClientError, Event, Request};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Deadlines and retry/backoff parameters for talking to one shard.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Attempts per request before the shard is declared down.
+    pub attempts: u32,
+    /// Sleep before the second attempt; doubles per further attempt.
+    pub backoff: Duration,
+    /// Deadline for establishing a TCP connection.
+    pub connect_timeout: Duration,
+    /// Deadline for each read/write on an established connection (the
+    /// per-request deadline: one compile batch must answer within it).
+    pub io_timeout: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            attempts: 3,
+            backoff: Duration::from_millis(25),
+            connect_timeout: Duration::from_secs(1),
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before attempt `attempt` (0-based): nothing before the
+    /// first, then exponential doubling of [`RetryPolicy::backoff`].
+    pub fn backoff_before(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            Duration::ZERO
+        } else {
+            self.backoff * 2u32.saturating_pow(attempt - 1)
+        }
+    }
+}
+
+/// One shard's address plus its health flag. The flag is sticky-down
+/// for the lifetime of a router: a shard that failed a request or a
+/// probe stops receiving traffic until [`ShardState::mark_up`].
+#[derive(Debug)]
+pub struct ShardState {
+    /// The shard's `host:port` address.
+    pub addr: String,
+    down: AtomicBool,
+}
+
+impl ShardState {
+    /// A new shard, presumed healthy.
+    pub fn new(addr: String) -> Self {
+        Self {
+            addr,
+            down: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether the shard is currently marked down.
+    pub fn is_down(&self) -> bool {
+        self.down.load(Ordering::SeqCst)
+    }
+
+    /// Marks the shard down (no further traffic until marked up).
+    pub fn mark_down(&self) {
+        self.down.store(true, Ordering::SeqCst);
+    }
+
+    /// Marks the shard healthy again (e.g. after a successful probe).
+    pub fn mark_up(&self) {
+        self.down.store(false, Ordering::SeqCst);
+    }
+}
+
+/// Connects, performs the `hello` version/capability exchange, and
+/// pings `stats`. Returns the daemon's cached-entry count on success.
+/// Any transport failure, version mismatch, or missing `compile_keys`
+/// capability is an error — the caller marks the shard down.
+///
+/// # Errors
+///
+/// Returns the [`ClientError`] describing the first failure.
+pub fn probe(addr: &str, policy: &RetryPolicy) -> Result<u64, ClientError> {
+    let mut client = Client::connect_with_timeout(addr, policy.connect_timeout)?;
+    let caps = client.hello()?;
+    if !caps.iter().any(|c| c == "compile_keys") {
+        return Err(ClientError::Protocol(format!(
+            "shard {addr} lacks the `compile_keys` capability (has {caps:?})"
+        )));
+    }
+    match client.submit(&Request::Stats, |_| {})? {
+        Event::Stats { entries, .. } => Ok(entries),
+        other => Err(ClientError::Protocol(format!(
+            "expected a `stats` event, got {other:?}"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let policy = RetryPolicy {
+            attempts: 4,
+            backoff: Duration::from_millis(10),
+            ..RetryPolicy::default()
+        };
+        assert_eq!(policy.backoff_before(0), Duration::ZERO);
+        assert_eq!(policy.backoff_before(1), Duration::from_millis(10));
+        assert_eq!(policy.backoff_before(2), Duration::from_millis(20));
+        assert_eq!(policy.backoff_before(3), Duration::from_millis(40));
+    }
+
+    #[test]
+    fn shard_state_flags_toggle() {
+        let shard = ShardState::new("127.0.0.1:1".into());
+        assert!(!shard.is_down());
+        shard.mark_down();
+        assert!(shard.is_down());
+        shard.mark_up();
+        assert!(!shard.is_down());
+    }
+
+    #[test]
+    fn probe_of_a_dead_address_fails() {
+        // Port 1 on loopback: nothing listens there.
+        let policy = RetryPolicy {
+            connect_timeout: Duration::from_millis(200),
+            ..RetryPolicy::default()
+        };
+        assert!(probe("127.0.0.1:1", &policy).is_err());
+    }
+}

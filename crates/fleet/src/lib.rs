@@ -1,0 +1,87 @@
+//! # cbrain-fleet
+//!
+//! Sharded serving for the C-Brain reproduction: a consistent-hash
+//! router that spreads the compiled-layer key space across N `cbrand`
+//! daemons, with health checks and failover.
+//!
+//! The layer cache key ([`cbrain::LayerKey`]) is the sharding unit —
+//! each layer compiles independently, so the fleet is an embarrassingly
+//! shardable pure-function service. The client stays *local*: a
+//! [`cbrain::Runner`] performs its deterministic accounting and merge
+//! passes in-process and only the compile work-list scatters, which is
+//! what makes a fleet report byte-identical to single-process output
+//! even while shards die mid-run.
+//!
+//! * [`ring`] — deterministic rendezvous hashing (seeded by the in-tree
+//!   xorshift PRNG) mapping key hashes to shard preference orders;
+//! * [`health`] — retry/backoff policy, sticky down-markers, and the
+//!   `hello` + `stats` probe;
+//! * [`gather`] — one shard's scatter/gather exchange: `compile_keys`
+//!   out, `entry` bytes back, verified against the requested keys;
+//! * [`router`] — the [`cbrain::CompileBackend`] tying it together:
+//!   group by first live shard, scatter concurrently, reroute or
+//!   recompute locally on failure.
+//!
+//! # Quick start
+//!
+//! ```no_run
+//! use cbrain_fleet::{run_network_on_fleet, FleetRouter};
+//! use cbrain::{Policy, RunOptions};
+//! use cbrain_model::zoo;
+//! use cbrain_sim::AcceleratorConfig;
+//! use std::sync::Arc;
+//!
+//! let router = Arc::new(FleetRouter::new(
+//!     vec!["10.0.0.1:7171".into(), "10.0.0.2:7171".into()],
+//!     0,
+//! ));
+//! router.probe_shards();
+//! let report = run_network_on_fleet(
+//!     &router,
+//!     &zoo::alexnet(),
+//!     Policy::Adaptive { improved_inter: true },
+//!     AcceleratorConfig::paper_16_16(),
+//!     RunOptions::default(),
+//! )?;
+//! assert!(report.cycles() > 0);
+//! # Ok::<(), cbrain::RunError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gather;
+pub mod health;
+pub mod ring;
+pub mod router;
+
+pub use gather::{compile_on_shard, FleetError};
+pub use health::{probe, RetryPolicy, ShardState};
+pub use ring::Ring;
+pub use router::FleetRouter;
+
+use cbrain::{NetworkReport, Policy, RunError, RunOptions, Runner};
+use cbrain_model::Network;
+use cbrain_sim::AcceleratorConfig;
+use std::sync::Arc;
+
+/// Runs a network with compile misses scattered over the fleet: a local
+/// [`Runner`] (jobs pinned to 1 — parallelism lives in the scatter) with
+/// the router as its [`cbrain::CompileBackend`]. The report is
+/// byte-identical to `Runner::with_options(cfg, opts).run_network(..)`.
+///
+/// # Errors
+///
+/// Returns a [`RunError`] on compile failure — including a shard
+/// *answering* with an error; unreachable shards are not fatal as long
+/// as the work can reroute or recompute locally.
+pub fn run_network_on_fleet(
+    router: &Arc<FleetRouter>,
+    net: &Network,
+    policy: Policy,
+    cfg: AcceleratorConfig,
+    opts: RunOptions,
+) -> Result<NetworkReport, RunError> {
+    let runner = Runner::with_options(cfg, RunOptions { jobs: 1, ..opts })
+        .with_compile_backend(Arc::clone(router) as Arc<dyn cbrain::CompileBackend>);
+    runner.run_network(net, policy)
+}

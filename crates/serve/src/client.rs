@@ -5,12 +5,13 @@
 //! [`cbrain::report::render_run_report`] yields output byte-identical to
 //! a single-process `cbrain run` of the same request.
 
-use crate::wire::{Event, Request, RunRequest, WireError};
+use crate::wire::{Event, Request, RunRequest, WireError, PROTOCOL_VERSION};
 use cbrain::{LayerReport, NetworkReport, RunOptions};
 use cbrain_sim::Stats;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Error from a client exchange.
 #[derive(Debug)]
@@ -56,6 +57,8 @@ impl From<WireError> for ClientError {
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    /// Monotonic request-id counter for framed submissions.
+    next_id: u64,
 }
 
 impl Client {
@@ -65,14 +68,86 @@ impl Client {
     ///
     /// Returns the connect error, if any.
     pub fn connect(addr: &str) -> io::Result<Self> {
-        let writer = TcpStream::connect(addr)?;
+        Self::from_stream(TcpStream::connect(addr)?)
+    }
+
+    /// Connects with explicit deadlines: `timeout` bounds the connect
+    /// itself, and every subsequent read/write on the connection (the
+    /// fleet client's per-request deadline).
+    ///
+    /// # Errors
+    ///
+    /// Returns resolution, connect, or socket-option errors.
+    pub fn connect_with_timeout(addr: &str, timeout: Duration) -> io::Result<Self> {
+        let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("cannot resolve {addr}"),
+            )
+        })?;
+        let stream = TcpStream::connect_timeout(&resolved, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Self::from_stream(stream)
+    }
+
+    fn from_stream(writer: TcpStream) -> io::Result<Self> {
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Self { reader, writer })
+        Ok(Self {
+            reader,
+            writer,
+            next_id: 0,
+        })
+    }
+
+    /// Replaces the read/write deadlines on an established connection
+    /// (e.g. a short connect timeout, then a longer per-request one).
+    /// Reader and writer share one socket, so this covers both.
+    ///
+    /// # Errors
+    ///
+    /// Returns the socket-option error, if any.
+    pub fn set_io_timeout(&mut self, timeout: Duration) -> io::Result<()> {
+        self.writer.set_read_timeout(Some(timeout))?;
+        self.writer.set_write_timeout(Some(timeout))
+    }
+
+    /// Performs the `hello` version exchange, returning the daemon's
+    /// capability labels. Fleet peers call this before any traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClientError::Remote`] on a daemon-reported version
+    /// mismatch (the daemon closes the connection afterwards), or
+    /// [`ClientError::Protocol`] if the answer's version disagrees with
+    /// this build's [`PROTOCOL_VERSION`].
+    pub fn hello(&mut self) -> Result<Vec<String>, ClientError> {
+        let terminal = self.submit(
+            &Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            |_| {},
+        )?;
+        let Event::Hello { version, caps } = terminal else {
+            return Err(ClientError::Protocol(format!(
+                "expected a `hello` event, got {terminal:?}"
+            )));
+        };
+        if version != PROTOCOL_VERSION {
+            return Err(ClientError::Protocol(format!(
+                "daemon speaks protocol v{version}, this build v{PROTOCOL_VERSION}"
+            )));
+        }
+        Ok(caps)
     }
 
     /// Sends one request and streams its response: `on_event` sees every
     /// non-terminal event in arrival order; the terminal event is
     /// returned ([`Event::Error`] becomes [`ClientError::Remote`]).
+    ///
+    /// Every request carries a fresh id; an event that echoes a
+    /// *different* id is a protocol violation (requests on one
+    /// connection are sequential, so stray events mean a confused peer).
     ///
     /// # Errors
     ///
@@ -82,7 +157,10 @@ impl Client {
         request: &Request,
         mut on_event: impl FnMut(&Event),
     ) -> Result<Event, ClientError> {
-        self.writer.write_all(request.encode().as_bytes())?;
+        self.next_id += 1;
+        let id = self.next_id;
+        self.writer
+            .write_all(request.encode_framed(Some(id)).as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
         let mut line = String::new();
@@ -96,7 +174,13 @@ impl Client {
             if line.trim().is_empty() {
                 continue;
             }
-            let event = Event::decode(line.trim_end_matches(['\r', '\n']))?;
+            let (event, echoed) = Event::decode_framed(line.trim_end_matches(['\r', '\n']))?;
+            if echoed.is_some_and(|e| e != id) {
+                return Err(ClientError::Protocol(format!(
+                    "event answers request {:?}, expected {id}",
+                    echoed.expect("checked some")
+                )));
+            }
             if let Event::Error { message } = event {
                 return Err(ClientError::Remote(message));
             }

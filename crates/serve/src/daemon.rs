@@ -11,11 +11,11 @@
 //! accept loop returns.
 
 use crate::batch::CompileBatcher;
-use crate::wire::{Event, NetworkSource, Request, RunRequest};
+use crate::wire::{CompileItem, Event, NetworkSource, Request, RunRequest, PROTOCOL_VERSION};
 use cbrain::forward::{forward, NetworkWeights};
 use cbrain::persist::{self, LoadOutcome};
-use cbrain::{CompiledLayerCache, RunOptions, Runner};
-use cbrain_model::{spec, zoo, Network, Tensor3};
+use cbrain::{CompileBackend as _, CompiledLayerCache, RunOptions, Runner};
+use cbrain_model::{spec, zoo, Layer, Network, Tensor3};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -180,8 +180,8 @@ fn runner_for(state: &ServerState, run: &RunRequest) -> Runner {
     .with_compile_backend(Arc::clone(&state.batcher) as Arc<dyn cbrain::CompileBackend>)
 }
 
-fn write_event(out: &mut BufWriter<TcpStream>, event: &Event) -> io::Result<()> {
-    out.write_all(event.encode().as_bytes())?;
+fn write_event(out: &mut BufWriter<TcpStream>, event: &Event, id: Option<u64>) -> io::Result<()> {
+    out.write_all(event.encode_framed(id).as_bytes())?;
     out.write_all(b"\n")?;
     // Flush per line: streaming is the point.
     out.flush()
@@ -192,10 +192,11 @@ fn handle_run(
     run: &RunRequest,
     full_stats: bool,
     out: &mut BufWriter<TcpStream>,
+    id: Option<u64>,
 ) -> io::Result<()> {
     let net = match resolve_network(&run.network) {
         Ok(net) => net,
-        Err(message) => return write_event(out, &Event::Error { message }),
+        Err(message) => return write_event(out, &Event::Error { message }, id),
     };
     let runner = runner_for(state, run);
     // Layer lines stream from inside the run; an I/O failure mid-stream
@@ -220,7 +221,7 @@ fn handle_run(
                 cycles: layer.stats.cycles,
             }
         };
-        if let Err(e) = write_event(out, &event) {
+        if let Err(e) = write_event(out, &event, id) {
             io_err = Some(e);
         }
     });
@@ -239,20 +240,27 @@ fn handle_run(
                 misses: report.cache_misses,
                 entries: state.cache.len() as u64,
             },
+            id,
         ),
         Err(e) => write_event(
             out,
             &Event::Error {
                 message: e.to_string(),
             },
+            id,
         ),
     }
 }
 
-fn handle_forward(run: &RunRequest, seed: u64, out: &mut BufWriter<TcpStream>) -> io::Result<()> {
+fn handle_forward(
+    run: &RunRequest,
+    seed: u64,
+    out: &mut BufWriter<TcpStream>,
+    id: Option<u64>,
+) -> io::Result<()> {
     let net = match resolve_network(&run.network) {
         Ok(net) => net,
-        Err(message) => return write_event(out, &Event::Error { message }),
+        Err(message) => return write_event(out, &Event::Error { message }, id),
     };
     let input = Tensor3::random(net.input(), seed);
     let weights = NetworkWeights::random(&net, seed.wrapping_add(1));
@@ -272,6 +280,7 @@ fn handle_forward(run: &RunRequest, seed: u64, out: &mut BufWriter<TcpStream>) -
                     checksum,
                     head,
                 },
+                id,
             )
         }
         Err(e) => write_event(
@@ -279,8 +288,78 @@ fn handle_forward(run: &RunRequest, seed: u64, out: &mut BufWriter<TcpStream>) -
             &Event::Error {
                 message: e.to_string(),
             },
+            id,
         ),
     }
+}
+
+/// Compiles a batch of wire-shipped binary layer keys through the shared
+/// batcher and streams each entry back in request order.
+fn handle_compile_keys(
+    state: &ServerState,
+    items: &[CompileItem],
+    out: &mut BufWriter<TcpStream>,
+    id: Option<u64>,
+) -> io::Result<()> {
+    // Decode every key before compiling anything: a malformed item fails
+    // the whole batch without wasted work.
+    let mut keys = Vec::with_capacity(items.len());
+    for item in items {
+        match persist::decode_key_bytes(&item.key) {
+            Ok(key) => keys.push(key),
+            Err(e) => {
+                return write_event(
+                    out,
+                    &Event::Error {
+                        message: format!("bad key for `{}`: {e}", item.name),
+                    },
+                    id,
+                );
+            }
+        }
+    }
+    // A key is self-contained: rebuild the layer the compiler needs from
+    // it (the name is only for diagnostics, `skip` does not affect
+    // compilation). Already-cached keys stay off the work-list.
+    let worklist: Vec<_> = keys
+        .iter()
+        .zip(items)
+        .filter(|(key, _)| !state.cache.contains(key))
+        .map(|(key, item)| {
+            (
+                *key,
+                Layer {
+                    name: item.name.clone(),
+                    input: key.input,
+                    kind: key.kind,
+                    skip: None,
+                },
+            )
+        })
+        .collect();
+    if let Err(e) = state.batcher.compile_batch(&state.cache, worklist) {
+        return write_event(
+            out,
+            &Event::Error {
+                message: e.to_string(),
+            },
+            id,
+        );
+    }
+    for key in &keys {
+        let entry = state
+            .cache
+            .peek(key)
+            .expect("compile_batch caches every key");
+        write_event(
+            out,
+            &Event::Entry {
+                data: persist::entry_bytes(key, &entry),
+            },
+            id,
+        )?;
+    }
+    write_event(out, &Event::Ok, id)
 }
 
 fn serve_connection(stream: TcpStream, state: &ServerState, addr: SocketAddr) -> io::Result<()> {
@@ -292,22 +371,47 @@ fn serve_connection(stream: TcpStream, state: &ServerState, addr: SocketAddr) ->
             continue;
         }
         state.requests.fetch_add(1, Ordering::Relaxed);
-        let request = match Request::decode(&line) {
-            Ok(request) => request,
+        let (request, id) = match Request::decode_framed(&line) {
+            Ok(decoded) => decoded,
             Err(e) => {
                 write_event(
                     &mut out,
                     &Event::Error {
                         message: e.to_string(),
                     },
+                    None,
                 )?;
                 continue;
             }
         };
         match request {
-            Request::Compile(run) => handle_run(state, &run, false, &mut out)?,
-            Request::Simulate(run) => handle_run(state, &run, true, &mut out)?,
-            Request::Forward { run, seed } => handle_forward(&run, seed, &mut out)?,
+            Request::Hello { version } => {
+                if version != PROTOCOL_VERSION {
+                    write_event(
+                        &mut out,
+                        &Event::Error {
+                            message: format!(
+                                "protocol version mismatch: peer v{version}, daemon v{PROTOCOL_VERSION}"
+                            ),
+                        },
+                        id,
+                    )?;
+                    // Mismatched peers must not keep talking: close.
+                    return Ok(());
+                }
+                write_event(
+                    &mut out,
+                    &Event::Hello {
+                        version: PROTOCOL_VERSION,
+                        caps: vec!["compile_keys".to_owned(), "evict".to_owned()],
+                    },
+                    id,
+                )?;
+            }
+            Request::Compile(run) => handle_run(state, &run, false, &mut out, id)?,
+            Request::CompileKeys { items } => handle_compile_keys(state, &items, &mut out, id)?,
+            Request::Simulate(run) => handle_run(state, &run, true, &mut out, id)?,
+            Request::Forward { run, seed } => handle_forward(&run, seed, &mut out, id)?,
             Request::Stats => write_event(
                 &mut out,
                 &Event::Stats {
@@ -316,9 +420,21 @@ fn serve_connection(stream: TcpStream, state: &ServerState, addr: SocketAddr) ->
                     misses: state.cache.misses(),
                     requests: state.requests.load(Ordering::Relaxed),
                 },
+                id,
             )?,
+            Request::Evict { max } => {
+                let evicted = state.cache.evict_lru(max as usize) as u64;
+                write_event(
+                    &mut out,
+                    &Event::Evicted {
+                        evicted,
+                        entries: state.cache.len() as u64,
+                    },
+                    id,
+                )?;
+            }
             Request::Shutdown => {
-                write_event(&mut out, &Event::Ok)?;
+                write_event(&mut out, &Event::Ok, id)?;
                 state.stop.store(true, Ordering::SeqCst);
                 // Unblock the accept loop so `run` can save and return.
                 let _ = TcpStream::connect(addr);

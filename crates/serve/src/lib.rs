@@ -7,8 +7,10 @@
 //! request it ever serves — and across restarts, via the persisted cache
 //! file ([`cbrain::persist`]). The daemon speaks a newline-delimited
 //! JSON protocol (in-tree [`json`] codec; the workspace takes no
-//! external dependencies) with five requests: `compile`, `simulate`,
-//! `forward`, `stats`, `shutdown`.
+//! external dependencies) with eight requests: `hello`, `compile`,
+//! `compile_keys`, `simulate`, `forward`, `stats`, `evict`, `shutdown`.
+//! The `hello`/`compile_keys`/`evict` trio plus request-id framing is
+//! what the `cbrain-fleet` shard router builds on.
 //!
 //! * [`daemon`] — the TCP accept loop, one thread per connection, all
 //!   connections sharing one [`cbrain::CompiledLayerCache`];
@@ -51,4 +53,6 @@ pub mod wire;
 pub use batch::CompileBatcher;
 pub use client::{Client, ClientError};
 pub use daemon::{Daemon, DaemonOptions};
-pub use wire::{Event, NetworkSource, Request, RunRequest, WireError};
+pub use wire::{
+    CompileItem, Event, NetworkSource, Request, RunRequest, WireError, PROTOCOL_VERSION,
+};

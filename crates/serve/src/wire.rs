@@ -1,15 +1,25 @@
 //! The `cbrand` wire protocol: newline-delimited JSON requests and
 //! streamed events.
 //!
-//! One request per line; the daemon answers with zero or more `layer`
-//! event lines followed by exactly one terminal line (`done`, `stats`,
-//! `forward`, `ok`, or `error`). See `docs/SERVING.md` for the grammar.
+//! One request per line; the daemon answers with zero or more
+//! non-terminal event lines (`layer`, `compiled`, `entry`) followed by
+//! exactly one terminal line (`done`, `stats`, `forward`, `hello`,
+//! `evicted`, `ok`, or `error`). Requests may carry an `id` member; the
+//! daemon echoes it on every event of that request's stream, so a fleet
+//! client multiplexing requests can match responses (see
+//! [`Request::encode_framed`]). See `docs/SERVING.md` for the grammar.
 
 use crate::json::{self, obj, s, u, Value};
 use cbrain::{Policy, Workload};
 use cbrain_compiler::Scheme;
 use cbrain_sim::{AcceleratorConfig, BufferTraffic, PeConfig, Stats};
 use std::fmt;
+
+/// Version of the wire protocol this build speaks. Peers exchange it in
+/// `hello` and refuse to talk across a mismatch — compiled-entry bytes
+/// ride the wire verbatim, so a version skew could silently corrupt a
+/// cache.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Error from decoding a request or event line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -84,11 +94,35 @@ impl RunRequest {
     }
 }
 
+/// One unit of `compile_keys` work: a layer cache key in the
+/// `cbrain::persist` binary encoding, plus a display name for logs. The
+/// key is self-contained (geometry, scheme, hardware, machine knobs,
+/// batch), so the daemon needs nothing else to compile it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileItem {
+    /// Binary-encoded [`cbrain::cache::LayerKey`] (hex on the wire).
+    pub key: Vec<u8>,
+    /// Layer name, for daemon-side diagnostics only.
+    pub name: String,
+}
+
 /// A client request.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
+    /// Version/capability exchange; must precede fleet traffic.
+    Hello {
+        /// The client's [`PROTOCOL_VERSION`].
+        version: u32,
+    },
     /// Warm the cache for a network; streams one light line per layer.
     Compile(RunRequest),
+    /// Compile a batch of binary layer keys and stream each resulting
+    /// cache entry back (`entry` events, then `ok`). The fleet router's
+    /// scatter unit.
+    CompileKeys {
+        /// The keys to compile, answered in request order.
+        items: Vec<CompileItem>,
+    },
     /// Full run; streams per-layer statistics then a `done` summary.
     Simulate(RunRequest),
     /// Functional forward pass on seeded random data.
@@ -100,21 +134,97 @@ pub enum Request {
     },
     /// Cache/daemon counters.
     Stats,
+    /// Evict least-recently-used cache entries down to a bound.
+    Evict {
+        /// Maximum entries to keep.
+        max: u64,
+    },
     /// Save the cache and stop the daemon.
     Shutdown,
 }
 
 impl Request {
-    /// Encodes the request as a single JSON line (no trailing newline).
-    pub fn encode(&self) -> String {
-        let value = match self {
+    fn to_value(&self) -> Value {
+        match self {
+            Request::Hello { version } => obj(vec![
+                ("req", s("hello")),
+                ("version", u(u64::from(*version))),
+            ]),
             Request::Compile(run) => run_obj("compile", run, None),
+            Request::CompileKeys { items } => obj(vec![
+                ("req", s("compile_keys")),
+                (
+                    "items",
+                    Value::Arr(
+                        items
+                            .iter()
+                            .map(|item| {
+                                obj(vec![
+                                    ("key", s(to_hex(&item.key))),
+                                    ("name", s(item.name.clone())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
             Request::Simulate(run) => run_obj("simulate", run, None),
             Request::Forward { run, seed } => run_obj("forward", run, Some(*seed)),
             Request::Stats => obj(vec![("req", s("stats"))]),
+            Request::Evict { max } => obj(vec![("req", s("evict")), ("max", u(*max))]),
             Request::Shutdown => obj(vec![("req", s("shutdown"))]),
-        };
-        value.encode()
+        }
+    }
+
+    fn from_value(v: &Value) -> Result<Self, WireError> {
+        let req = v
+            .get("req")
+            .and_then(Value::as_str)
+            .ok_or_else(|| WireError("missing `req`".into()))?;
+        match req {
+            "hello" => Ok(Request::Hello {
+                version: u32::try_from(u64_field(v, "version")?)
+                    .map_err(|_| WireError("`version` out of range".into()))?,
+            }),
+            "compile" => Ok(Request::Compile(run_from(v)?)),
+            "compile_keys" => {
+                let items = v
+                    .get("items")
+                    .and_then(Value::as_arr)
+                    .ok_or_else(|| WireError("missing `items`".into()))?
+                    .iter()
+                    .map(|item| {
+                        Ok(CompileItem {
+                            key: from_hex(&str_field(item, "key")?)?,
+                            name: str_field(item, "name")?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, WireError>>()?;
+                Ok(Request::CompileKeys { items })
+            }
+            "simulate" => Ok(Request::Simulate(run_from(v)?)),
+            "forward" => Ok(Request::Forward {
+                run: run_from(v)?,
+                seed: v.get("seed").and_then(Value::as_u64).unwrap_or(0),
+            }),
+            "stats" => Ok(Request::Stats),
+            "evict" => Ok(Request::Evict {
+                max: u64_field(v, "max")?,
+            }),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(WireError(format!("unknown request `{other}`"))),
+        }
+    }
+
+    /// Encodes the request as a single JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        self.to_value().encode()
+    }
+
+    /// Like [`Request::encode`], with an `id` member the daemon echoes
+    /// on every event of this request's response stream.
+    pub fn encode_framed(&self, id: Option<u64>) -> String {
+        frame(self.to_value(), id).encode()
     }
 
     /// Decodes one request line.
@@ -124,23 +234,65 @@ impl Request {
     /// Returns a [`WireError`] for malformed JSON, an unknown `req`, or
     /// invalid parameters.
     pub fn decode(line: &str) -> Result<Self, WireError> {
-        let v = json::parse(line)?;
-        let req = v
-            .get("req")
-            .and_then(Value::as_str)
-            .ok_or_else(|| WireError("missing `req`".into()))?;
-        match req {
-            "compile" => Ok(Request::Compile(run_from(&v)?)),
-            "simulate" => Ok(Request::Simulate(run_from(&v)?)),
-            "forward" => Ok(Request::Forward {
-                run: run_from(&v)?,
-                seed: v.get("seed").and_then(Value::as_u64).unwrap_or(0),
-            }),
-            "stats" => Ok(Request::Stats),
-            "shutdown" => Ok(Request::Shutdown),
-            other => Err(WireError(format!("unknown request `{other}`"))),
-        }
+        Ok(Self::decode_framed(line)?.0)
     }
+
+    /// Decodes one request line together with its optional `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for malformed JSON, an unknown `req`, or
+    /// invalid parameters.
+    pub fn decode_framed(line: &str) -> Result<(Self, Option<u64>), WireError> {
+        let v = json::parse(line)?;
+        let id = v.get("id").and_then(Value::as_u64);
+        Ok((Self::from_value(&v)?, id))
+    }
+}
+
+/// Appends an `id` member to an object value (the request/event framing
+/// shared by both directions of the protocol).
+fn frame(value: Value, id: Option<u64>) -> Value {
+    match (value, id) {
+        (Value::Obj(mut members), Some(id)) => {
+            members.push(("id".to_owned(), u(id)));
+            Value::Obj(members)
+        }
+        (value, _) => value,
+    }
+}
+
+/// Lowercase hex encoding for binary payloads carried inside JSON.
+pub fn to_hex(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = fmt::Write::write_fmt(&mut out, format_args!("{b:02x}"));
+    }
+    out
+}
+
+/// Decodes [`to_hex`] output.
+///
+/// # Errors
+///
+/// Returns a [`WireError`] on odd length or a non-hex digit.
+pub fn from_hex(text: &str) -> Result<Vec<u8>, WireError> {
+    let bytes = text.as_bytes();
+    if !bytes.len().is_multiple_of(2) {
+        return Err(WireError("hex payload has odd length".into()));
+    }
+    let digit = |b: u8| -> Result<u8, WireError> {
+        match b {
+            b'0'..=b'9' => Ok(b - b'0'),
+            b'a'..=b'f' => Ok(b - b'a' + 10),
+            b'A'..=b'F' => Ok(b - b'A' + 10),
+            _ => Err(WireError(format!("bad hex digit `{}`", b as char))),
+        }
+    };
+    bytes
+        .chunks_exact(2)
+        .map(|pair| Ok(digit(pair[0])? << 4 | digit(pair[1])?))
+        .collect()
 }
 
 fn run_obj(req: &str, run: &RunRequest, seed: Option<u64>) -> Value {
@@ -289,7 +441,27 @@ pub enum Event {
         /// Requests served since startup.
         requests: u64,
     },
-    /// Terminal acknowledgement (shutdown).
+    /// Terminal answer to a `hello` request.
+    Hello {
+        /// The daemon's [`PROTOCOL_VERSION`].
+        version: u32,
+        /// Capability labels (e.g. `compile_keys`, `evict`).
+        caps: Vec<String>,
+    },
+    /// One compiled cache entry of a `compile_keys` batch, in the
+    /// `cbrain::persist` binary encoding (key + value).
+    Entry {
+        /// Binary entry bytes (hex on the wire).
+        data: Vec<u8>,
+    },
+    /// Terminal answer to an `evict` request.
+    Evicted {
+        /// Entries dropped.
+        evicted: u64,
+        /// Entries remaining after eviction.
+        entries: u64,
+    },
+    /// Terminal acknowledgement (shutdown, `compile_keys`).
     Ok,
     /// Terminal failure for one request; the connection stays usable.
     Error {
@@ -301,12 +473,14 @@ pub enum Event {
 impl Event {
     /// Whether this event terminates a request's response stream.
     pub fn is_terminal(&self) -> bool {
-        !matches!(self, Event::Layer { .. } | Event::Compiled { .. })
+        !matches!(
+            self,
+            Event::Layer { .. } | Event::Compiled { .. } | Event::Entry { .. }
+        )
     }
 
-    /// Encodes the event as a single JSON line (no trailing newline).
-    pub fn encode(&self) -> String {
-        let value = match self {
+    fn to_value(&self) -> Value {
+        match self {
             Event::Layer {
                 name,
                 scheme,
@@ -374,12 +548,36 @@ impl Event {
                 ("misses", u(*misses)),
                 ("requests", u(*requests)),
             ]),
+            Event::Hello { version, caps } => obj(vec![
+                ("ev", s("hello")),
+                ("version", u(u64::from(*version))),
+                (
+                    "caps",
+                    Value::Arr(caps.iter().map(|c| s(c.clone())).collect()),
+                ),
+            ]),
+            Event::Entry { data } => obj(vec![("ev", s("entry")), ("data", s(to_hex(data)))]),
+            Event::Evicted { evicted, entries } => obj(vec![
+                ("ev", s("evicted")),
+                ("evicted", u(*evicted)),
+                ("entries", u(*entries)),
+            ]),
             Event::Ok => obj(vec![("ev", s("ok"))]),
             Event::Error { message } => {
                 obj(vec![("ev", s("error")), ("message", s(message.clone()))])
             }
-        };
-        value.encode()
+        }
+    }
+
+    /// Encodes the event as a single JSON line (no trailing newline).
+    pub fn encode(&self) -> String {
+        self.to_value().encode()
+    }
+
+    /// Like [`Event::encode`], echoing the request `id` this event
+    /// answers (the daemon frames every event of an identified request).
+    pub fn encode_framed(&self, id: Option<u64>) -> String {
+        frame(self.to_value(), id).encode()
     }
 
     /// Decodes one event line.
@@ -388,38 +586,52 @@ impl Event {
     ///
     /// Returns a [`WireError`] for malformed JSON or an unknown `ev`.
     pub fn decode(line: &str) -> Result<Self, WireError> {
+        Ok(Self::decode_framed(line)?.0)
+    }
+
+    /// Decodes one event line together with its optional echoed `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`WireError`] for malformed JSON or an unknown `ev`.
+    pub fn decode_framed(line: &str) -> Result<(Self, Option<u64>), WireError> {
         let v = json::parse(line)?;
+        let id = v.get("id").and_then(Value::as_u64);
+        Ok((Self::from_value(&v)?, id))
+    }
+
+    fn from_value(v: &Value) -> Result<Self, WireError> {
         let ev = v
             .get("ev")
             .and_then(Value::as_str)
             .ok_or_else(|| WireError("missing `ev`".into()))?;
         match ev {
             "layer" => Ok(Event::Layer {
-                name: str_field(&v, "name")?,
+                name: str_field(v, "name")?,
                 scheme: scheme_from(v.get("scheme"))?,
                 stats: stats_from_value(
                     v.get("stats")
                         .ok_or_else(|| WireError("missing `stats`".into()))?,
                 )?,
-                ideal_cycles: u64_field(&v, "ideal_cycles")?,
-                transform_cycles: u64_field(&v, "transform_cycles")?,
+                ideal_cycles: u64_field(v, "ideal_cycles")?,
+                transform_cycles: u64_field(v, "transform_cycles")?,
             }),
             "compiled" => Ok(Event::Compiled {
-                name: str_field(&v, "name")?,
+                name: str_field(v, "name")?,
                 scheme: scheme_from(v.get("scheme"))?,
-                cycles: u64_field(&v, "cycles")?,
+                cycles: u64_field(v, "cycles")?,
             }),
             "done" => Ok(Event::Done {
-                network: str_field(&v, "network")?,
-                batch: u64_field(&v, "batch")?,
-                policy: str_field(&v, "policy")?,
-                cycles: u64_field(&v, "cycles")?,
-                hits: u64_field(&v, "hits")?,
-                misses: u64_field(&v, "misses")?,
-                entries: u64_field(&v, "entries")?,
+                network: str_field(v, "network")?,
+                batch: u64_field(v, "batch")?,
+                policy: str_field(v, "policy")?,
+                cycles: u64_field(v, "cycles")?,
+                hits: u64_field(v, "hits")?,
+                misses: u64_field(v, "misses")?,
+                entries: u64_field(v, "entries")?,
             }),
             "forward" => Ok(Event::Forward {
-                output_len: u64_field(&v, "output_len")?,
+                output_len: u64_field(v, "output_len")?,
                 checksum: v
                     .get("checksum")
                     .and_then(Value::as_f64)
@@ -431,14 +643,36 @@ impl Event {
                     .unwrap_or_default(),
             }),
             "stats" => Ok(Event::Stats {
-                entries: u64_field(&v, "entries")?,
-                hits: u64_field(&v, "hits")?,
-                misses: u64_field(&v, "misses")?,
-                requests: u64_field(&v, "requests")?,
+                entries: u64_field(v, "entries")?,
+                hits: u64_field(v, "hits")?,
+                misses: u64_field(v, "misses")?,
+                requests: u64_field(v, "requests")?,
+            }),
+            "hello" => Ok(Event::Hello {
+                version: u32::try_from(u64_field(v, "version")?)
+                    .map_err(|_| WireError("`version` out of range".into()))?,
+                caps: v
+                    .get("caps")
+                    .and_then(Value::as_arr)
+                    .map(|items| {
+                        items
+                            .iter()
+                            .filter_map(Value::as_str)
+                            .map(str::to_owned)
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            }),
+            "entry" => Ok(Event::Entry {
+                data: from_hex(&str_field(v, "data")?)?,
+            }),
+            "evicted" => Ok(Event::Evicted {
+                evicted: u64_field(v, "evicted")?,
+                entries: u64_field(v, "entries")?,
             }),
             "ok" => Ok(Event::Ok),
             "error" => Ok(Event::Error {
-                message: str_field(&v, "message")?,
+                message: str_field(v, "message")?,
             }),
             other => Err(WireError(format!("unknown event `{other}`"))),
         }
@@ -557,6 +791,22 @@ mod tests {
             },
             Request::Stats,
             Request::Shutdown,
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+            },
+            Request::CompileKeys {
+                items: vec![
+                    CompileItem {
+                        key: vec![0, 1, 0xfe, 0xff],
+                        name: "conv1".into(),
+                    },
+                    CompileItem {
+                        key: vec![],
+                        name: "pool1".into(),
+                    },
+                ],
+            },
+            Request::Evict { max: 128 },
         ];
         for req in reqs {
             let line = req.encode();
@@ -662,6 +912,17 @@ mod tests {
                 misses: 3,
                 requests: 4,
             },
+            Event::Hello {
+                version: PROTOCOL_VERSION,
+                caps: vec!["compile_keys".into(), "evict".into()],
+            },
+            Event::Entry {
+                data: vec![0xde, 0xad, 0xbe, 0xef],
+            },
+            Event::Evicted {
+                evicted: 7,
+                entries: 3,
+            },
             Event::Ok,
             Event::Error {
                 message: "bad\nrequest".into(),
@@ -673,9 +934,39 @@ mod tests {
             assert_eq!(Event::decode(&line).unwrap(), event, "{line}");
             assert_eq!(
                 event.is_terminal(),
-                !matches!(event, Event::Layer { .. } | Event::Compiled { .. })
+                !matches!(
+                    event,
+                    Event::Layer { .. } | Event::Compiled { .. } | Event::Entry { .. }
+                )
             );
         }
+    }
+
+    #[test]
+    fn framed_ids_round_trip_and_stay_optional() {
+        let req = Request::Stats;
+        let (decoded, id) = Request::decode_framed(&req.encode_framed(Some(7))).unwrap();
+        assert_eq!(decoded, req);
+        assert_eq!(id, Some(7));
+        let (decoded, id) = Request::decode_framed(&req.encode()).unwrap();
+        assert_eq!(decoded, req);
+        assert_eq!(id, None);
+
+        let ev = Event::Ok;
+        let (decoded, id) = Event::decode_framed(&ev.encode_framed(Some(9))).unwrap();
+        assert_eq!(decoded, ev);
+        assert_eq!(id, Some(9));
+        assert_eq!(Event::decode_framed(&ev.encode()).unwrap().1, None);
+    }
+
+    #[test]
+    fn hex_codec_round_trips_and_rejects_garbage() {
+        for bytes in [vec![], vec![0u8], vec![0x00, 0x7f, 0x80, 0xff]] {
+            assert_eq!(from_hex(&to_hex(&bytes)).unwrap(), bytes);
+        }
+        assert_eq!(to_hex(&[0xab, 0x01]), "ab01");
+        assert!(from_hex("abc").is_err(), "odd length");
+        assert!(from_hex("zz").is_err(), "non-hex digit");
     }
 
     #[test]

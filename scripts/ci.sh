@@ -74,4 +74,66 @@ if [[ $quick -eq 0 ]]; then
     rm -rf "$smoke_dir"
 fi
 
+if [[ $quick -eq 0 ]]; then
+    echo "==> fleet smoke: 3-shard report must match cbrain run, before and after a SIGKILL"
+    fleet_dir="$(mktemp -d)"
+    pids=()
+    addrs=()
+    trap 'kill "${pids[@]}" 2>/dev/null || true; rm -rf "$fleet_dir"' EXIT
+    for i in 0 1 2; do
+        ./target/release/cbrand --port 0 --cache off \
+            >"$fleet_dir/d$i.out" 2>"$fleet_dir/d$i.err" &
+        pids+=($!)
+    done
+    for i in 0 1 2; do
+        addr=""
+        for _ in $(seq 1 50); do
+            addr="$(sed -n 's/^cbrand listening on //p' "$fleet_dir/d$i.out")"
+            [[ -n "$addr" ]] && break
+            sleep 0.1
+        done
+        [[ -n "$addr" ]] || { echo "error: fleet shard $i never reported its address" >&2; cat "$fleet_dir/d$i.err" >&2; exit 1; }
+        addrs+=("$addr")
+    done
+    shards="${addrs[0]},${addrs[1]},${addrs[2]}"
+
+    ./target/release/cbrain run --spec specs/alexnet.spec >"$fleet_dir/direct_alexnet.txt"
+    ./target/release/cbrain fleet-client --shards "$shards" \
+        --spec specs/alexnet.spec >"$fleet_dir/fleet_alexnet.txt" 2>/dev/null
+    if ! diff -u "$fleet_dir/direct_alexnet.txt" "$fleet_dir/fleet_alexnet.txt"; then
+        echo "error: 3-shard fleet report differs from cbrain run" >&2
+        exit 1
+    fi
+
+    # SIGKILL one shard while a vgg run is in flight: the client must
+    # reroute its keys and still render the byte-identical report.
+    ./target/release/cbrain run --spec specs/vgg16.spec >"$fleet_dir/direct_vgg16.txt"
+    ./target/release/cbrain fleet-client --shards "$shards" \
+        --spec specs/vgg16.spec >"$fleet_dir/fleet_vgg16.txt" 2>/dev/null &
+    client_pid=$!
+    sleep 0.3
+    kill -9 "${pids[1]}"
+    wait "${pids[1]}" 2>/dev/null || true
+    wait "$client_pid"
+    if ! diff -u "$fleet_dir/direct_vgg16.txt" "$fleet_dir/fleet_vgg16.txt"; then
+        echo "error: fleet report differs after a shard was SIGKILLed mid-run" >&2
+        exit 1
+    fi
+
+    # And again from a cold client: connection-refused failover.
+    ./target/release/cbrain fleet-client --shards "$shards" \
+        --spec specs/alexnet.spec >"$fleet_dir/fleet_alexnet2.txt" 2>/dev/null
+    if ! diff -u "$fleet_dir/direct_alexnet.txt" "$fleet_dir/fleet_alexnet2.txt"; then
+        echo "error: fleet report differs with a dead shard in the ring" >&2
+        exit 1
+    fi
+
+    for i in 0 2; do
+        ./target/release/cbrain cbrand-client --connect "${addrs[$i]}" --shutdown >/dev/null
+        wait "${pids[$i]}"
+    done
+    trap - EXIT
+    rm -rf "$fleet_dir"
+fi
+
 echo "CI gate passed."
