@@ -44,11 +44,14 @@ fn jobs_from(args: impl Iterator<Item = String>) -> usize {
 pub fn shards_from_args() -> Option<Vec<String>> {
     shards_from(
         std::env::args().skip(1),
-        std::env::var("CBRAIN_SHARDS").ok(),
+        cbrain::config::EnvConfig::load().shards(),
     )
 }
 
-fn shards_from(args: impl Iterator<Item = String>, env: Option<String>) -> Option<Vec<String>> {
+fn shards_from(
+    args: impl Iterator<Item = String>,
+    env: Option<Vec<String>>,
+) -> Option<Vec<String>> {
     let mut args = args.peekable();
     let mut raw = None;
     while let Some(arg) = args.next() {
@@ -61,7 +64,8 @@ fn shards_from(args: impl Iterator<Item = String>, env: Option<String>) -> Optio
             raw = Some(v.to_owned());
         }
     }
-    let raw = raw.or(env)?;
+    // Flag beats environment; environment beats nothing.
+    let Some(raw) = raw else { return env };
     let shards: Vec<String> = raw
         .split(',')
         .map(str::trim)
@@ -83,7 +87,13 @@ mod tests {
     }
 
     fn shards_of(args: &[&str], env: Option<&str>) -> Option<Vec<String>> {
-        shards_from(args.iter().map(|s| (*s).to_owned()), env.map(str::to_owned))
+        let env = env.and_then(|raw| {
+            cbrain::config::EnvConfig::from_lookup(|key| {
+                (key == cbrain::config::ENV_SHARDS).then(|| raw.to_owned())
+            })
+            .shards()
+        });
+        shards_from(args.iter().map(|s| (*s).to_owned()), env)
     }
 
     #[test]

@@ -308,14 +308,9 @@ pub fn fig9_report(jobs: usize) -> String {
 /// Panics if `CBRAIN_MAC_RATE` is set to a non-positive or non-numeric
 /// value — a silently ignored pin would un-pin CI.
 pub fn table4_report(jobs: usize) -> String {
-    let rate = match std::env::var("CBRAIN_MAC_RATE") {
-        Ok(v) => v
-            .parse::<f64>()
-            .ok()
-            .filter(|r| r.is_finite() && *r > 0.0)
-            .unwrap_or_else(|| panic!("CBRAIN_MAC_RATE must be a positive number, got `{v}`")),
-        Err(_) => cbrain_baselines::cpu::calibrate_mac_rate(),
-    };
+    let rate = cbrain::config::EnvConfig::load()
+        .mac_rate()
+        .unwrap_or_else(cbrain_baselines::cpu::calibrate_mac_rate);
     let mut out = String::new();
     writeln!(
         out,

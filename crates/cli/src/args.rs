@@ -33,7 +33,9 @@ pub enum Command {
 /// Arguments of `cbrain fleet-client`.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetArgs {
-    /// Shard addresses (`host:port`), in ring order.
+    /// Shard addresses (`host:port`), in ring order. Empty when the
+    /// flag was omitted — execution then falls back to the
+    /// `CBRAIN_SHARDS` environment variable (flag beats environment).
     pub shards: Vec<String>,
     /// Ring seed for the rendezvous weights.
     pub seed: u64,
@@ -408,9 +410,9 @@ fn parse_fleet(tokens: &[String]) -> Result<FleetArgs, ArgError> {
         }
         f.index += 1;
     }
-    if shards.is_empty() {
-        return fail("fleet-client needs --shards HOST:PORT[,HOST:PORT...]");
-    }
+    // An empty shard list is legal here: execution falls back to the
+    // CBRAIN_SHARDS environment variable (and errors there if it is
+    // empty too), so the flag can beat the environment.
     let network =
         network.ok_or_else(|| ArgError("fleet-client needs --network or --spec".into()))?;
     Ok(FleetArgs {
@@ -535,7 +537,7 @@ USAGE:
   cbrain cbrand-client [--connect HOST:PORT] --network <name> | --spec <file>
                   [--policy ...] [--pe TinxTout] [--mhz N] [--workload ...]
                   [--batch N] [--breakdown] [--stats] [--evict N] [--shutdown]
-  cbrain fleet-client --shards HOST:PORT[,HOST:PORT...] [--seed N]
+  cbrain fleet-client [--shards HOST:PORT[,HOST:PORT...]] [--seed N]
                   --network <name> | --spec <file>
                   [--policy ...] [--pe TinxTout] [--mhz N] [--workload ...]
                   [--batch N] [--jobs N] [--breakdown]
@@ -550,6 +552,8 @@ cached layers until at most N remain. `fleet-client` simulates locally
 but scatters compile misses over a fleet of cbrand shards (rendezvous
 hashing on the layer key); dead shards reroute or fall back to local
 compilation, and the report stays byte-identical to `cbrain run`.
+`fleet-client` without `--shards` reads the shard list from the
+CBRAIN_SHARDS environment variable (comma-separated; the flag wins).
 ";
 
 #[cfg(test)]
@@ -741,10 +745,19 @@ mod tests {
         );
         assert_eq!(args.pe, PeConfig::new(16, 16));
         assert_eq!(args.batch, 1);
-        // Both the shard list and a network are mandatory.
-        assert!(parse(&toks("fleet-client --network vgg")).is_err());
+        // A network is mandatory; the shard list is not (an empty one
+        // defers to CBRAIN_SHARDS at execution time).
         assert!(parse(&toks("fleet-client --shards 127.0.0.1:9000")).is_err());
-        assert!(parse(&toks("fleet-client --shards , --network vgg")).is_err());
+        let Command::FleetClient(args) = parse(&toks("fleet-client --network vgg")).unwrap() else {
+            panic!("fleet-client expected")
+        };
+        assert!(args.shards.is_empty());
+        let Command::FleetClient(args) =
+            parse(&toks("fleet-client --shards , --network vgg")).unwrap()
+        else {
+            panic!("fleet-client expected")
+        };
+        assert!(args.shards.is_empty());
     }
 
     #[test]

@@ -10,7 +10,7 @@ use cbrain::{select_scheme, RunOptions, Runner, Scheme};
 use cbrain_fleet::{FleetRouter, RetryPolicy};
 use cbrain_model::{spec, ConvParams, Network};
 use cbrain_serve::wire::{Event, NetworkSource, Request, RunRequest};
-use cbrain_serve::Client;
+use cbrain_serve::{Client, ClientError};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -141,7 +141,12 @@ pub fn run(args: &RunArgs) -> Result<String, CommandError> {
 /// Returns [`CommandError::Serve`] for connect/protocol/daemon errors
 /// and [`CommandError::Network`] for an unreadable spec file.
 pub fn client(args: &ClientArgs) -> Result<String, CommandError> {
-    let mut client = Client::connect(&args.connect)
+    // The builder's defaults fit an interactive CLI: one transport
+    // attempt (fail fast on a typo'd address), but patience with a
+    // daemon that is up and shedding — busy answers are retried after
+    // the daemon's hint for up to the builder's busy-wait budget.
+    let mut client = Client::builder(&args.connect)
+        .connect()
         .map_err(|e| CommandError::Serve(format!("cannot connect to {}: {e}", args.connect)))?;
     let mut out = String::new();
     if let Some(network) = &args.network {
@@ -177,10 +182,17 @@ pub fn client(args: &ClientArgs) -> Result<String, CommandError> {
             hits,
             misses,
             requests,
+            accepted,
+            queued,
+            shed,
+            in_flight,
         } = terminal
         {
             out.push_str(&format!(
                 "daemon: {entries} cached layers, {hits} hits / {misses} misses, {requests} requests served\n"
+            ));
+            out.push_str(&format!(
+                "daemon admission: accepted {accepted}, queued {queued}, shed {shed}, in-flight {in_flight}\n"
             ));
         }
     }
@@ -212,18 +224,30 @@ pub fn client(args: &ClientArgs) -> Result<String, CommandError> {
 ///
 /// # Errors
 ///
-/// Returns [`CommandError::Serve`] when every shard fails its probe
-/// (likely a typo'd address list — local fallback would silently do all
-/// the work), plus the usual network-resolution and simulation errors.
+/// Returns [`CommandError::Serve`] when no shard list is available
+/// (neither `--shards` nor `CBRAIN_SHARDS`) or when every shard fails
+/// its probe (likely a typo'd address list — local fallback would
+/// silently do all the work), plus the usual network-resolution and
+/// simulation errors.
 pub fn fleet_client(args: &FleetArgs) -> Result<String, CommandError> {
     let net = resolve_network(&args.network)?;
+    // Flag beats environment; environment beats nothing.
+    let shards = if args.shards.is_empty() {
+        cbrain::config::EnvConfig::load().shards().ok_or_else(|| {
+            CommandError::Serve(
+                "no shards: pass --shards HOST:PORT[,HOST:PORT...] or set CBRAIN_SHARDS".into(),
+            )
+        })?
+    } else {
+        args.shards.clone()
+    };
     let jobs = if args.jobs == 0 {
         cbrain::available_jobs()
     } else {
         args.jobs
     };
     let router = Arc::new(FleetRouter::with_policy(
-        args.shards.clone(),
+        shards.clone(),
         args.seed,
         RetryPolicy::default(),
         jobs,
@@ -235,13 +259,19 @@ pub fn fleet_client(args: &FleetArgs) -> Result<String, CommandError> {
                 live += 1;
                 eprintln!("fleet: {addr} up ({entries} cached layers)");
             }
+            // A shedding shard is alive: it answered, it just declined
+            // the probe's stats question. Count it as live.
+            Err(ClientError::Busy { retry_after_ms, .. }) => {
+                live += 1;
+                eprintln!("fleet: {addr} busy (retry in {retry_after_ms} ms) — counted live");
+            }
             Err(e) => eprintln!("fleet: {addr} down: {e}"),
         }
     }
     if live == 0 {
         return Err(CommandError::Serve(format!(
             "no live shard among {}",
-            args.shards.join(", ")
+            shards.join(", ")
         )));
     }
     let config = cbrain_sim::AcceleratorConfig::with_pe(args.pe).at_mhz(args.mhz);

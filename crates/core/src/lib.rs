@@ -44,6 +44,7 @@
 
 pub mod adaptive;
 pub mod cache;
+pub mod config;
 mod error;
 pub mod forward;
 pub mod functional;
@@ -57,6 +58,7 @@ pub mod schedule;
 
 pub use adaptive::{select_scheme, ParsePolicyError, Policy};
 pub use cache::{CachedLayer, CompiledLayerCache, LayerKey};
+pub use config::EnvConfig;
 pub use error::RunError;
 pub use pool::{available_jobs, parallel_map, try_parallel_map};
 pub use runner::{

@@ -54,18 +54,6 @@ pub const FORMAT_VERSION: u32 = 1;
 /// File name used inside the resolved cache directory.
 pub const CACHE_FILE_NAME: &str = "compiled-layers.bin";
 
-/// Environment variable that disables persistence entirely (`off` or `0`).
-pub const ENV_SWITCH: &str = "CBRAIN_CACHE";
-
-/// Environment variable overriding the cache *directory*.
-pub const ENV_DIR: &str = "CBRAIN_CACHE_DIR";
-
-/// Environment variable bounding the number of persisted entries. When
-/// set to a positive integer, [`save`] evicts least-recently-used
-/// entries down to the bound before writing, so long-lived caches (the
-/// `cbrand` daemon, a fleet shard) stop growing without bound.
-pub const ENV_MAX: &str = "CBRAIN_CACHE_MAX";
-
 /// Error from saving or loading a cache file.
 #[derive(Debug)]
 pub enum PersistError {
@@ -706,13 +694,11 @@ pub fn decode_entry_bytes(bytes: &[u8]) -> Result<(LayerKey, CachedLayer), Persi
     Ok(pair)
 }
 
-/// The entry bound [`ENV_MAX`] selects, if any. Unset, empty, zero or
+/// The entry bound `CBRAIN_CACHE_MAX` selects, if any. Delegates to
+/// [`crate::config::EnvConfig::cache_max`]: unset, empty, zero or
 /// unparsable values all mean "unbounded".
 pub fn cache_max_from_env() -> Option<usize> {
-    std::env::var(ENV_MAX)
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .filter(|&n| n > 0)
+    crate::config::EnvConfig::load().cache_max()
 }
 
 // ---------------------------------------------------------------------
@@ -754,7 +740,8 @@ fn encode(cache: &CompiledLayerCache) -> Vec<u8> {
 /// Saves every cache entry to `path`, creating parent directories.
 /// Returns the number of entries written.
 ///
-/// Honors the [`ENV_MAX`] entry bound: when set, least-recently-used
+/// Honors the `CBRAIN_CACHE_MAX` entry bound (see
+/// [`crate::config::EnvConfig::cache_max`]): when set, least-recently-used
 /// entries are evicted from `cache` first so the file (and the resident
 /// cache) stay within the bound.
 ///
@@ -768,8 +755,8 @@ pub fn save(cache: &CompiledLayerCache, path: &Path) -> Result<usize, PersistErr
     save_with_max(cache, path, cache_max_from_env())
 }
 
-/// [`save`] with an explicit entry bound instead of the [`ENV_MAX`]
-/// environment lookup. `None` writes everything.
+/// [`save`] with an explicit entry bound instead of the
+/// `CBRAIN_CACHE_MAX` environment lookup. `None` writes everything.
 ///
 /// # Errors
 ///
@@ -856,24 +843,11 @@ pub fn load_into(cache: &CompiledLayerCache, path: &Path) -> Result<LoadOutcome,
 /// The cache file the environment selects, or `None` when persistence is
 /// disabled (`CBRAIN_CACHE=off|0`) or no cache directory can be derived.
 ///
-/// Resolution order for the directory: `$CBRAIN_CACHE_DIR`, then
+/// Delegates to [`crate::config::EnvConfig::cache_file`]; resolution
+/// order for the directory: `$CBRAIN_CACHE_DIR`, then
 /// `$XDG_CACHE_HOME/cbrain`, then `$HOME/.cache/cbrain`.
 pub fn resolved_cache_file() -> Option<PathBuf> {
-    if let Ok(v) = std::env::var(ENV_SWITCH) {
-        if v == "off" || v == "0" {
-            return None;
-        }
-    }
-    let dir = if let Ok(d) = std::env::var(ENV_DIR) {
-        PathBuf::from(d)
-    } else if let Ok(d) = std::env::var("XDG_CACHE_HOME") {
-        PathBuf::from(d).join("cbrain")
-    } else if let Ok(h) = std::env::var("HOME") {
-        PathBuf::from(h).join(".cache").join("cbrain")
-    } else {
-        return None;
-    };
-    Some(dir.join(CACHE_FILE_NAME))
+    crate::config::EnvConfig::load().cache_file()
 }
 
 #[cfg(test)]

@@ -35,6 +35,15 @@ pub enum FleetError {
         /// What was wrong with the payload.
         message: String,
     },
+    /// The shard is shedding load and asked us to come back later. The
+    /// shard is healthy — the router must NOT mark it down; it reroutes
+    /// the batch for now and keeps the shard in rotation.
+    Busy {
+        /// The shard address involved.
+        addr: String,
+        /// The shard's suggested wait before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
 }
 
 impl fmt::Display for FleetError {
@@ -49,6 +58,12 @@ impl fmt::Display for FleetError {
             FleetError::BadEntry { addr, message } => {
                 write!(f, "shard {addr} sent a bad entry: {message}")
             }
+            FleetError::Busy {
+                addr,
+                retry_after_ms,
+            } => {
+                write!(f, "shard {addr} is busy (retry in {retry_after_ms} ms)")
+            }
         }
     }
 }
@@ -58,9 +73,18 @@ impl std::error::Error for FleetError {}
 impl FleetError {
     /// Whether the router should mark the shard down and reroute the
     /// work (transport failures), as opposed to failing the run
-    /// (deterministic remote errors, corrupt payloads).
+    /// (deterministic remote errors, corrupt payloads). `busy` is
+    /// neither: the work reroutes but the shard stays healthy — see
+    /// [`FleetError::is_busy`].
     pub fn is_retryable(&self) -> bool {
         matches!(self, FleetError::Transport { .. })
+    }
+
+    /// Whether this is a `busy` shed answer: the shard is alive but
+    /// declining work for now. The router reroutes without marking the
+    /// shard down.
+    pub fn is_busy(&self) -> bool {
+        matches!(self, FleetError::Busy { .. })
     }
 }
 
@@ -69,6 +93,11 @@ impl FleetError {
 /// `hello` exchange; transport failures retry up to
 /// [`RetryPolicy::attempts`] times with exponential backoff, while
 /// remote compile errors and corrupt payloads fail immediately.
+///
+/// A shedding shard is waited on: `busy` answers are retried after the
+/// daemon's hint for up to [`RetryPolicy::busy_wait`], after which
+/// [`FleetError::Busy`] surfaces so the router can reroute — without
+/// marking the shard down.
 ///
 /// # Errors
 ///
@@ -104,12 +133,22 @@ fn compile_once(
         addr: addr.to_owned(),
         cause,
     };
-    let mut client = Client::connect_with_timeout(addr, policy.connect_timeout)
-        .map_err(|e| transport(ClientError::Io(e)))?;
-    client
-        .set_io_timeout(policy.io_timeout)
-        .map_err(|e| transport(ClientError::Io(e)))?;
-    client.hello().map_err(transport)?;
+    let busy_or_transport = |cause: ClientError| match cause {
+        ClientError::Busy { retry_after_ms, .. } => FleetError::Busy {
+            addr: addr.to_owned(),
+            retry_after_ms,
+        },
+        other => transport(other),
+    };
+    // One transport attempt per call: [`compile_on_shard`] owns the
+    // retry loop. Busy answers are absorbed up to the policy's budget
+    // by the builder itself; past it they surface as `FleetError::Busy`.
+    let mut client = Client::builder(addr)
+        .connect_timeout(policy.connect_timeout)
+        .io_timeout(policy.io_timeout)
+        .busy_wait(policy.busy_wait)
+        .connect()
+        .map_err(busy_or_transport)?;
 
     let items = batch
         .iter()
@@ -131,7 +170,7 @@ fn compile_once(
                 addr: addr.to_owned(),
                 message,
             },
-            other => transport(other),
+            other => busy_or_transport(other),
         })?;
     if terminal != Event::Ok {
         return Err(transport(ClientError::Protocol(format!(

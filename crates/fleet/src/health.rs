@@ -16,6 +16,11 @@ pub struct RetryPolicy {
     /// Deadline for each read/write on an established connection (the
     /// per-request deadline: one compile batch must answer within it).
     pub io_timeout: Duration,
+    /// How long to honour `busy` retry-after hints from a shard before
+    /// giving up on it for the current call. A busy shard is healthy —
+    /// it is never marked down — but past this budget the router stops
+    /// waiting and reroutes to the next preference.
+    pub busy_wait: Duration,
 }
 
 impl Default for RetryPolicy {
@@ -25,6 +30,7 @@ impl Default for RetryPolicy {
             backoff: Duration::from_millis(25),
             connect_timeout: Duration::from_secs(1),
             io_timeout: Duration::from_secs(10),
+            busy_wait: Duration::from_secs(2),
         }
     }
 }
@@ -79,19 +85,23 @@ impl ShardState {
 /// Connects, performs the `hello` version/capability exchange, and
 /// pings `stats`. Returns the daemon's cached-entry count on success.
 /// Any transport failure, version mismatch, or missing `compile_keys`
-/// capability is an error — the caller marks the shard down.
+/// capability is an error — the caller marks the shard down. A
+/// [`ClientError::Busy`] answer is also an error here, but callers must
+/// treat it as proof of life, not failure: a shedding shard is up.
 ///
 /// # Errors
 ///
 /// Returns the [`ClientError`] describing the first failure.
 pub fn probe(addr: &str, policy: &RetryPolicy) -> Result<u64, ClientError> {
-    let mut client = Client::connect_with_timeout(addr, policy.connect_timeout)?;
-    let caps = client.hello()?;
-    if !caps.iter().any(|c| c == "compile_keys") {
-        return Err(ClientError::Protocol(format!(
-            "shard {addr} lacks the `compile_keys` capability (has {caps:?})"
-        )));
-    }
+    // Probes are cheap liveness checks: bound every read/write by the
+    // connect deadline rather than the (much longer) compile deadline,
+    // and do not linger on busy shards — surface the hint immediately.
+    let mut client = Client::builder(addr)
+        .connect_timeout(policy.connect_timeout)
+        .io_timeout(policy.connect_timeout)
+        .busy_wait(Duration::ZERO)
+        .expect_caps(["compile_keys"])
+        .connect()?;
     match client.submit(&Request::Stats, |_| {})? {
         Event::Stats { entries, .. } => Ok(entries),
         other => Err(ClientError::Protocol(format!(

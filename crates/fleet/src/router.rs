@@ -25,6 +25,12 @@ use std::collections::{BTreeMap, HashSet};
 /// preference order; keys with no live shard left compile locally. A
 /// shard that *answers* with a compile error fails the run — the
 /// compile is a pure function, so every peer would fail identically.
+///
+/// A shard that answers `busy` is healthy, just shedding: its keys are
+/// retried after the daemon's hint for up to [`RetryPolicy::busy_wait`],
+/// then rerouted to the next preference for the rest of *this* batch
+/// only — the shard is never marked down and stays first in line for
+/// the next batch.
 #[derive(Debug)]
 pub struct FleetRouter {
     ring: Ring,
@@ -74,13 +80,16 @@ impl FleetRouter {
 
     /// Probes every shard (`hello` + `stats` ping), updating the health
     /// flags, and returns each shard's outcome: its cached-entry count,
-    /// or the failure that marked it down.
+    /// or the failure that marked it down. A `busy` answer is proof of
+    /// life — the shard is marked *up* even though the probe's stats
+    /// question went unanswered.
     pub fn probe_shards(&self) -> Vec<(String, Result<u64, ClientError>)> {
         self.shards
             .iter()
             .map(|shard| {
                 let outcome = probe(&shard.addr, &self.retry);
-                if outcome.is_ok() {
+                let alive = outcome.is_ok() || matches!(outcome, Err(ClientError::Busy { .. }));
+                if alive {
                     shard.mark_up();
                 } else {
                     shard.mark_down();
@@ -90,12 +99,13 @@ impl FleetRouter {
             .collect()
     }
 
-    /// The first live shard in a key's rendezvous preference order.
-    fn first_live_shard(&self, key: &LayerKey) -> Option<usize> {
+    /// The first shard in a key's rendezvous preference order that is
+    /// neither down nor (for this batch) busy.
+    fn first_live_shard(&self, busy: &HashSet<usize>, key: &LayerKey) -> Option<usize> {
         self.ring
             .preference(key_hash(key))
             .into_iter()
-            .find(|&i| !self.shards[i].is_down())
+            .find(|&i| !self.shards[i].is_down() && !busy.contains(&i))
     }
 }
 
@@ -113,9 +123,16 @@ impl CompileBackend for FleetRouter {
             .filter(|(key, _)| !cache.contains(key) && seen.insert(*key))
             .collect();
 
-        // Each round either finishes or marks at least one shard down,
-        // so `shards + 1` rounds always suffice (the last one finds no
-        // live shard and compiles everything locally).
+        // Shards that shed this batch with `busy` (already waited on up
+        // to the policy's busy budget). Skipped for the rest of the
+        // batch, but never marked down — the next batch tries them
+        // first again.
+        let mut busy: HashSet<usize> = HashSet::new();
+
+        // Each round either finishes or grows the set of excluded
+        // shards (down ∪ busy) by at least one, so `shards + 1` rounds
+        // always suffice (the last one finds no eligible shard and
+        // compiles everything locally).
         for _round in 0..=self.shards.len() {
             if pending.is_empty() {
                 return Ok(());
@@ -123,7 +140,7 @@ impl CompileBackend for FleetRouter {
             let mut local: Vec<(LayerKey, Layer)> = Vec::new();
             let mut groups: BTreeMap<usize, Vec<(LayerKey, Layer)>> = BTreeMap::new();
             for (key, layer) in pending.drain(..) {
-                match self.first_live_shard(&key) {
+                match self.first_live_shard(&busy, &key) {
                     Some(i) => groups.entry(i).or_default().push((key, layer)),
                     None => local.push((key, layer)),
                 }
@@ -156,6 +173,12 @@ impl CompileBackend for FleetRouter {
                         for (key, value) in entries {
                             cache.insert(key, value);
                         }
+                    }
+                    Err(e) if e.is_busy() => {
+                        // Healthy but shedding: reroute without the
+                        // down-mark, and stop asking it this batch.
+                        busy.insert(i);
+                        pending.extend(group);
                     }
                     Err(e) if e.is_retryable() => {
                         self.shards[i].mark_down();
@@ -202,6 +225,7 @@ mod tests {
             backoff: Duration::from_millis(1),
             connect_timeout: Duration::from_millis(200),
             io_timeout: Duration::from_millis(500),
+            busy_wait: Duration::from_millis(200),
         }
     }
 

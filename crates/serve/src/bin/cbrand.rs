@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! cbrand [--host HOST] [--port PORT] [--jobs N] [--cache auto|off|PATH]
+//!        [--workers N] [--queue-depth N] [--high-water N] [--low-water N]
 //! ```
 //!
 //! Prints `cbrand listening on HOST:PORT` on stdout once bound (scripts
@@ -24,6 +25,14 @@ OPTIONS:
     --cache MODE    auto (default): the resolved user cache file
                     off:            no persistence
                     PATH:           an explicit cache file
+    --workers N     Connection-serving worker threads; 0 = max(cores, 4)
+                    (default 0)
+    --queue-depth N Bound on accepted-but-unserved connections; 0 = 64
+                    (default 0)
+    --high-water N  Queue depth at which the daemon starts answering
+                    `busy` instead of queueing (default: the queue depth)
+    --low-water N   Queue depth at which shedding stops again
+                    (default: half the high-water mark)
     --help          Show this help
 ";
 
@@ -32,6 +41,10 @@ struct Args {
     port: u16,
     jobs: usize,
     cache: String,
+    workers: usize,
+    queue_depth: usize,
+    high_water: Option<usize>,
+    low_water: Option<usize>,
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
@@ -40,6 +53,10 @@ fn parse_args() -> Result<Option<Args>, String> {
         port: 7227,
         jobs: 0,
         cache: "auto".to_owned(),
+        workers: 0,
+        queue_depth: 0,
+        high_water: None,
+        low_water: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -62,6 +79,30 @@ fn parse_args() -> Result<Option<Args>, String> {
                     .map_err(|_| format!("bad job count `{value}`"))?;
             }
             "--cache" => args.cache = value.clone(),
+            "--workers" => {
+                args.workers = value
+                    .parse()
+                    .map_err(|_| format!("bad worker count `{value}`"))?;
+            }
+            "--queue-depth" => {
+                args.queue_depth = value
+                    .parse()
+                    .map_err(|_| format!("bad queue depth `{value}`"))?;
+            }
+            "--high-water" => {
+                args.high_water = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad high-water mark `{value}`"))?,
+                );
+            }
+            "--low-water" => {
+                args.low_water = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad low-water mark `{value}`"))?,
+                );
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 2;
@@ -72,7 +113,7 @@ fn parse_args() -> Result<Option<Args>, String> {
 fn cache_path(mode: &str) -> Option<PathBuf> {
     match mode {
         "off" => None,
-        "auto" => cbrain::persist::resolved_cache_file(),
+        "auto" => cbrain::config::EnvConfig::load().cache_file(),
         path => Some(PathBuf::from(path)),
     }
 }
@@ -98,6 +139,11 @@ fn main() -> ExitCode {
     let opts = DaemonOptions {
         jobs,
         cache_path: cache_path(&args.cache),
+        workers: args.workers,
+        queue_depth: args.queue_depth,
+        high_water: args.high_water,
+        low_water: args.low_water,
+        busy_retry_ms: 0,
     };
     let daemon = match Daemon::bind(&format!("{}:{}", args.host, args.port), opts) {
         Ok(daemon) => daemon,

@@ -1,26 +1,63 @@
 //! The `cbrand` TCP daemon.
 //!
-//! One process owns one [`CompiledLayerCache`]; every client connection
-//! gets a thread, a [`Runner`] wired to the shared cache, and a
-//! [`CompileBatcher`] that merges concurrent compile work-lists into
-//! deterministic pool batches. Per-layer report lines stream back as the
-//! serial merge pass finishes them.
+//! One process owns one [`CompiledLayerCache`] and a **bounded worker
+//! pool**: the accept loop pushes connections onto a bounded admission
+//! queue and a fixed set of worker threads drains it, each wiring a
+//! [`Runner`] to the shared cache and the [`CompileBatcher`] that merges
+//! concurrent compile work-lists into deterministic pool batches.
+//! Per-layer report lines stream back as the serial merge pass finishes
+//! them.
+//!
+//! When the queue crosses its high-water mark the daemon stops queueing
+//! and *sheds*: each surplus connection is answered with a single
+//! protocol v2.1 [`Event::Busy`] line carrying a retry hint, then
+//! half-closed and drained. Shedding stops once the queue drains to the
+//! low-water mark. Overload therefore costs clients a bounded wait, not
+//! the daemon its life — thread count stays pool-sized no matter how
+//! many clients flood in.
 //!
 //! On startup the daemon warms the cache from a persisted file (if one
 //! is configured); on `shutdown` it saves the cache back before the
 //! accept loop returns.
 
 use crate::batch::CompileBatcher;
-use crate::wire::{CompileItem, Event, NetworkSource, Request, RunRequest, PROTOCOL_VERSION};
+use crate::wire::{
+    CompileItem, Event, NetworkSource, Request, RunRequest, PROTOCOL_MINOR, PROTOCOL_VERSION,
+};
 use cbrain::forward::{forward, NetworkWeights};
 use cbrain::persist::{self, LoadOutcome};
 use cbrain::{CompileBackend as _, CompiledLayerCache, RunOptions, Runner};
 use cbrain_model::{spec, zoo, Layer, Network, Tensor3};
-use std::io::{self, BufRead, BufReader, BufWriter, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Worker-pool floor when [`DaemonOptions::workers`] is `0`: even a
+/// single-core host serves a few connections concurrently, since most
+/// requests are short and cache-hit dominated.
+const DEFAULT_MIN_WORKERS: usize = 4;
+
+/// Admission-queue bound when [`DaemonOptions::queue_depth`] is `0`.
+const DEFAULT_QUEUE_DEPTH: usize = 64;
+
+/// Per-unit-of-load retry hint when [`DaemonOptions::busy_retry_ms`] is
+/// `0`.
+const DEFAULT_BUSY_RETRY_MS: u64 = 25;
+
+/// Ceiling on the `retry_after_ms` hint: the daemon never asks a client
+/// to stay away longer than this, however deep the backlog.
+const MAX_RETRY_HINT_MS: u64 = 1_000;
+
+/// First sleep after a failed `accept` (doubles per consecutive failure).
+const ACCEPT_BACKOFF_BASE_MS: u64 = 5;
+
+/// Sleep ceiling between failed `accept` calls.
+const ACCEPT_BACKOFF_MAX_MS: u64 = 500;
 
 /// Daemon construction options.
 #[derive(Debug, Clone, Default)]
@@ -30,11 +67,187 @@ pub struct DaemonOptions {
     /// Cache file to load on startup and save on shutdown (`None`
     /// disables persistence).
     pub cache_path: Option<PathBuf>,
+    /// Connection-serving worker threads. `0` resolves to
+    /// `max(available_jobs(), 4)`.
+    pub workers: usize,
+    /// Bound on accepted-but-unserved connections. `0` resolves to 64.
+    pub queue_depth: usize,
+    /// Queue depth at which the daemon starts shedding with `busy`.
+    /// `None` resolves to the queue depth (shed only when full); any
+    /// value is clamped into `1..=queue_depth`.
+    pub high_water: Option<usize>,
+    /// Queue depth at which shedding stops again. `None` resolves to
+    /// half the high-water mark; any value is clamped below it.
+    pub low_water: Option<usize>,
+    /// Base retry hint in milliseconds; the shed answer scales it by the
+    /// daemon's current load (queued + in-flight connections). `0`
+    /// resolves to 25.
+    pub busy_retry_ms: u64,
+}
+
+/// The outcome [`Admission::admit`] hands back to the accept loop.
+enum AdmitOutcome {
+    /// The connection was queued; a worker will pick it up.
+    Queued,
+    /// The daemon is over its high-water mark: answer `busy` and close.
+    Shed {
+        stream: TcpStream,
+        retry_after_ms: u64,
+        queue_depth: u64,
+    },
+}
+
+/// The admission queue proper, guarded by [`Admission::queue`].
+struct AdmissionQueue {
+    conns: VecDeque<TcpStream>,
+    /// Hysteresis state: `true` between crossing the high-water mark and
+    /// draining back to the low-water mark.
+    shedding: bool,
+    /// Set once the accept loop exits; wakes and retires the workers.
+    closed: bool,
+    /// Read-side handles of the connections workers are serving right
+    /// now, severed on close: a blocking read on an idle keep-alive
+    /// connection must not park the pool past `shutdown`.
+    active: HashMap<u64, TcpStream>,
+    /// Token source for [`AdmissionQueue::active`] registrations.
+    next_token: u64,
+}
+
+/// Server-side admission control: a bounded queue of accepted-but-unserved
+/// connections, the shed/accept hysteresis, and the live counters the
+/// `stats` request reports.
+struct Admission {
+    queue: Mutex<AdmissionQueue>,
+    available: Condvar,
+    high_water: usize,
+    low_water: usize,
+    busy_retry_ms: u64,
+    accepted: AtomicU64,
+    shed: AtomicU64,
+    in_flight: AtomicU64,
+}
+
+impl Admission {
+    fn new(high_water: usize, low_water: usize, busy_retry_ms: u64) -> Self {
+        Self {
+            queue: Mutex::new(AdmissionQueue {
+                conns: VecDeque::new(),
+                shedding: false,
+                closed: false,
+                active: HashMap::new(),
+                next_token: 0,
+            }),
+            available: Condvar::new(),
+            high_water,
+            low_water,
+            busy_retry_ms,
+            accepted: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+        }
+    }
+
+    /// Queues `stream` for a worker, or decides to shed it. Queue length
+    /// never exceeds the high-water mark.
+    fn admit(&self, stream: TcpStream) -> AdmitOutcome {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        let mut q = self.queue.lock().expect("admission lock");
+        let depth = q.conns.len();
+        if q.shedding {
+            if depth <= self.low_water {
+                q.shedding = false;
+            }
+        } else if depth >= self.high_water {
+            q.shedding = true;
+        }
+        if q.shedding {
+            drop(q);
+            self.shed.fetch_add(1, Ordering::Relaxed);
+            // The hint grows with total outstanding load so a deep
+            // backlog spreads retries out further, bounded so a client
+            // is never told to vanish for whole seconds.
+            let load = self.in_flight.load(Ordering::Relaxed) + depth as u64 + 1;
+            AdmitOutcome::Shed {
+                stream,
+                retry_after_ms: self
+                    .busy_retry_ms
+                    .saturating_mul(load)
+                    .min(MAX_RETRY_HINT_MS),
+                queue_depth: depth as u64,
+            }
+        } else {
+            q.conns.push_back(stream);
+            self.available.notify_one();
+            AdmitOutcome::Queued
+        }
+    }
+
+    /// Blocks until a connection is available (`Some`) or the queue is
+    /// closed (`None`, retiring the calling worker).
+    fn next(&self) -> Option<TcpStream> {
+        let mut q = self.queue.lock().expect("admission lock");
+        loop {
+            if q.closed {
+                return None;
+            }
+            if let Some(stream) = q.conns.pop_front() {
+                return Some(stream);
+            }
+            q = self.available.wait(q).expect("admission lock");
+        }
+    }
+
+    /// Registers the connection a worker is about to serve so that
+    /// [`Admission::close`] can sever it, returning the deregistration
+    /// token. `None` means the connection must not be served: the queue
+    /// already closed (the stream was popped just before), or fd
+    /// exhaustion broke `try_clone` — an unseverable connection could
+    /// park its worker past `shutdown` forever.
+    fn register(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let mut q = self.queue.lock().expect("admission lock");
+        if q.closed {
+            return None;
+        }
+        let token = q.next_token;
+        q.next_token += 1;
+        q.active.insert(token, clone);
+        Some(token)
+    }
+
+    /// Drops the severing handle registered for `token`.
+    fn deregister(&self, token: u64) {
+        self.queue
+            .lock()
+            .expect("admission lock")
+            .active
+            .remove(&token);
+    }
+
+    /// Closes the queue and drops any still-queued connections: stop
+    /// means stop, a queued client reconnects elsewhere. In-flight
+    /// connections get their read side severed — the request being
+    /// served still completes and its response still flushes, but the
+    /// next read sees EOF instead of parking a worker on an idle peer.
+    fn close(&self) {
+        let mut q = self.queue.lock().expect("admission lock");
+        q.closed = true;
+        q.conns.clear();
+        for stream in q.active.values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        self.available.notify_all();
+    }
+
+    fn queued(&self) -> u64 {
+        self.queue.lock().expect("admission lock").conns.len() as u64
+    }
 }
 
 struct ServerState {
     cache: Arc<CompiledLayerCache>,
     batcher: Arc<CompileBatcher>,
+    admission: Admission,
     stop: AtomicBool,
     requests: AtomicU64,
 }
@@ -46,6 +259,7 @@ pub struct Daemon {
     state: Arc<ServerState>,
     cache_path: Option<PathBuf>,
     load_note: String,
+    workers: usize,
 }
 
 impl std::fmt::Debug for Daemon {
@@ -53,6 +267,7 @@ impl std::fmt::Debug for Daemon {
         f.debug_struct("Daemon")
             .field("addr", &self.addr)
             .field("cache_path", &self.cache_path)
+            .field("workers", &self.workers)
             .finish_non_exhaustive()
     }
 }
@@ -86,9 +301,29 @@ impl Daemon {
                 Err(e) => format!("cache file {} unusable ({e}); cold start", path.display()),
             },
         };
+        let workers = if opts.workers == 0 {
+            cbrain::available_jobs().max(DEFAULT_MIN_WORKERS)
+        } else {
+            opts.workers
+        };
+        let queue_depth = if opts.queue_depth == 0 {
+            DEFAULT_QUEUE_DEPTH
+        } else {
+            opts.queue_depth
+        };
+        // High water must be at least 1 or every connection — including
+        // the eventual `shutdown` — would be shed forever.
+        let high_water = opts.high_water.unwrap_or(queue_depth).clamp(1, queue_depth);
+        let low_water = opts.low_water.unwrap_or(high_water / 2).min(high_water - 1);
+        let busy_retry_ms = if opts.busy_retry_ms == 0 {
+            DEFAULT_BUSY_RETRY_MS
+        } else {
+            opts.busy_retry_ms
+        };
         let state = Arc::new(ServerState {
             cache,
             batcher: Arc::new(CompileBatcher::new(opts.jobs)),
+            admission: Admission::new(high_water, low_water, busy_retry_ms),
             stop: AtomicBool::new(false),
             requests: AtomicU64::new(0),
         });
@@ -98,6 +333,7 @@ impl Daemon {
             state,
             cache_path: opts.cache_path,
             load_note,
+            workers,
         })
     }
 
@@ -116,32 +352,88 @@ impl Daemon {
         &self.state.cache
     }
 
+    /// The resolved worker-pool size this daemon will run with.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
     /// Runs the accept loop until a client sends `shutdown`, then saves
-    /// the cache (if persistence is on). Each connection is served on
-    /// its own thread; requests on one connection are sequential.
+    /// the cache (if persistence is on). Connections are served by a
+    /// fixed pool of [`Self::workers`] threads draining the admission
+    /// queue; requests on one connection are sequential. Connections
+    /// arriving past the high-water mark are answered with a single
+    /// [`Event::Busy`] line and closed.
+    ///
+    /// On `shutdown`, queued-but-unserved connections are dropped and
+    /// in-flight ones are severed once their current request finishes —
+    /// an idle keep-alive peer cannot hold the pool (and this call)
+    /// hostage.
     ///
     /// Returns a note describing the final cache save.
     ///
     /// # Errors
     ///
-    /// Returns accept-loop I/O errors. Per-connection errors only drop
-    /// that connection.
+    /// Returns thread-spawn failures. Per-connection and accept errors
+    /// only drop that connection (accept errors with bounded logging and
+    /// an exponential pause so fd exhaustion cannot spin the loop hot).
     pub fn run(self) -> io::Result<String> {
+        // Shed sockets go to one reaper thread that drains whatever the
+        // client already wrote: closing with unread bytes in the receive
+        // buffer would send an RST that can destroy the in-flight `busy`
+        // line before the client reads it.
+        let (shed_tx, shed_rx) = mpsc::channel::<TcpStream>();
+        let reaper = std::thread::Builder::new()
+            .name("cbrand-shed".to_owned())
+            .spawn(move || reap_shed_connections(&shed_rx))?;
+        let mut workers = Vec::with_capacity(self.workers);
+        for n in 0..self.workers {
+            let state = Arc::clone(&self.state);
+            let addr = self.addr;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("cbrand-worker-{n}"))
+                    .spawn(move || worker_loop(&state, addr))?,
+            );
+        }
+        let mut accept_failures: u32 = 0;
         for conn in self.listener.incoming() {
             if self.state.stop.load(Ordering::SeqCst) {
                 break;
             }
             let stream = match conn {
-                Ok(stream) => stream,
-                Err(_) => continue,
+                Ok(stream) => {
+                    accept_failures = 0;
+                    stream
+                }
+                Err(e) => {
+                    // A persistent accept failure (EMFILE when fds run
+                    // out) must neither spin this loop at 100% CPU nor
+                    // flood stderr: log the first few and every 100th,
+                    // and back off exponentially until accept recovers.
+                    accept_failures = accept_failures.saturating_add(1);
+                    if accept_failures <= 3 || accept_failures.is_multiple_of(100) {
+                        eprintln!("cbrand: accept failed ({accept_failures} consecutive): {e}");
+                    }
+                    let pause = ACCEPT_BACKOFF_BASE_MS << accept_failures.min(7).saturating_sub(1);
+                    std::thread::sleep(Duration::from_millis(pause.min(ACCEPT_BACKOFF_MAX_MS)));
+                    continue;
+                }
             };
-            let state = Arc::clone(&self.state);
-            let addr = self.addr;
-            std::thread::spawn(move || {
-                // Connection errors are the client's problem, not ours.
-                let _ = serve_connection(stream, &state, addr);
-            });
+            match self.state.admission.admit(stream) {
+                AdmitOutcome::Queued => {}
+                AdmitOutcome::Shed {
+                    stream,
+                    retry_after_ms,
+                    queue_depth,
+                } => shed_connection(stream, retry_after_ms, queue_depth, &shed_tx),
+            }
         }
+        self.state.admission.close();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        drop(shed_tx);
+        let _ = reaper.join();
         let note = match &self.cache_path {
             None => "cache persistence disabled; nothing saved".to_owned(),
             Some(path) => match persist::save(&self.state.cache, path) {
@@ -152,6 +444,60 @@ impl Daemon {
             },
         };
         Ok(note)
+    }
+}
+
+/// One pool worker: serve queued connections until the queue closes.
+fn worker_loop(state: &ServerState, addr: SocketAddr) {
+    while let Some(stream) = state.admission.next() {
+        let Some(token) = state.admission.register(&stream) else {
+            // Unregisterable (queue closed underneath us, or try_clone
+            // failed): drop the connection rather than serve something
+            // `close` cannot sever.
+            continue;
+        };
+        state.admission.in_flight.fetch_add(1, Ordering::Relaxed);
+        // Connection errors are the client's problem, not ours.
+        let _ = serve_connection(stream, state, addr);
+        state.admission.in_flight.fetch_sub(1, Ordering::Relaxed);
+        state.admission.deregister(token);
+    }
+}
+
+/// Answers a shed connection with its `busy` line, half-closes it, and
+/// hands it to the reaper for draining.
+fn shed_connection(
+    mut stream: TcpStream,
+    retry_after_ms: u64,
+    queue_depth: u64,
+    reaper: &mpsc::Sender<TcpStream>,
+) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let busy = Event::Busy {
+        retry_after_ms,
+        queue_depth,
+    };
+    let sent = stream
+        .write_all(busy.encode().as_bytes())
+        .and_then(|()| stream.write_all(b"\n"));
+    if sent.is_ok() {
+        let _ = stream.shutdown(Shutdown::Write);
+        let _ = reaper.send(stream);
+    }
+}
+
+/// Drains shed sockets until the peer closes (or a bounded budget runs
+/// out) so dropping them cannot RST the `busy` answer away.
+fn reap_shed_connections(rx: &mpsc::Receiver<TcpStream>) {
+    for mut stream in rx {
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+        let mut buf = [0u8; 1024];
+        for _ in 0..64 {
+            match stream.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
     }
 }
 
@@ -403,7 +749,12 @@ fn serve_connection(stream: TcpStream, state: &ServerState, addr: SocketAddr) ->
                     &mut out,
                     &Event::Hello {
                         version: PROTOCOL_VERSION,
-                        caps: vec!["compile_keys".to_owned(), "evict".to_owned()],
+                        minor: PROTOCOL_MINOR,
+                        caps: vec![
+                            "compile_keys".to_owned(),
+                            "evict".to_owned(),
+                            "busy".to_owned(),
+                        ],
                     },
                     id,
                 )?;
@@ -419,6 +770,10 @@ fn serve_connection(stream: TcpStream, state: &ServerState, addr: SocketAddr) ->
                     hits: state.cache.hits(),
                     misses: state.cache.misses(),
                     requests: state.requests.load(Ordering::Relaxed),
+                    accepted: state.admission.accepted.load(Ordering::Relaxed),
+                    queued: state.admission.queued(),
+                    shed: state.admission.shed.load(Ordering::Relaxed),
+                    in_flight: state.admission.in_flight.load(Ordering::Relaxed),
                 },
                 id,
             )?,

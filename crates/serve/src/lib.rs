@@ -12,8 +12,10 @@
 //! The `hello`/`compile_keys`/`evict` trio plus request-id framing is
 //! what the `cbrain-fleet` shard router builds on.
 //!
-//! * [`daemon`] — the TCP accept loop, one thread per connection, all
-//!   connections sharing one [`cbrain::CompiledLayerCache`];
+//! * [`daemon`] — the TCP accept loop feeding a bounded worker pool
+//!   through an admission-controlled queue (overflow is shed with a
+//!   protocol v2.1 `busy` answer), all connections sharing one
+//!   [`cbrain::CompiledLayerCache`];
 //! * [`batch`] — the [`cbrain::CompileBackend`] that merges compile
 //!   work-lists from concurrent connections into deterministic pool
 //!   batches;
@@ -33,7 +35,7 @@
 //! let addr = daemon.local_addr().to_string();
 //! let server = std::thread::spawn(move || daemon.run());
 //!
-//! let mut client = Client::connect(&addr)?;
+//! let mut client = Client::builder(&addr).connect()?;
 //! let report = client.simulate(&RunRequest::default(), |_layer| {})?;
 //! assert!(report.cycles() > 0);
 //!
@@ -51,8 +53,9 @@ pub mod json;
 pub mod wire;
 
 pub use batch::CompileBatcher;
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientBuilder, ClientError};
 pub use daemon::{Daemon, DaemonOptions};
 pub use wire::{
-    CompileItem, Event, NetworkSource, Request, RunRequest, WireError, PROTOCOL_VERSION,
+    CompileItem, Event, NetworkSource, Request, RunRequest, WireError, PROTOCOL_MINOR,
+    PROTOCOL_VERSION,
 };

@@ -4,10 +4,13 @@
 //! One request per line; the daemon answers with zero or more
 //! non-terminal event lines (`layer`, `compiled`, `entry`) followed by
 //! exactly one terminal line (`done`, `stats`, `forward`, `hello`,
-//! `evicted`, `ok`, or `error`). Requests may carry an `id` member; the
-//! daemon echoes it on every event of that request's stream, so a fleet
-//! client multiplexing requests can match responses (see
-//! [`Request::encode_framed`]). See `docs/SERVING.md` for the grammar.
+//! `evicted`, `busy`, `ok`, or `error`). Requests may carry an `id`
+//! member; the daemon echoes it on every event of that request's stream,
+//! so a fleet client multiplexing requests can match responses (see
+//! [`Request::encode_framed`]). An overloaded daemon may answer a fresh
+//! connection with a single unsolicited `busy` line and close it —
+//! admission control, see [`Event::Busy`]. See `docs/SERVING.md` for the
+//! grammar.
 
 use crate::json::{self, obj, s, u, Value};
 use cbrain::{Policy, Workload};
@@ -20,6 +23,16 @@ use std::fmt;
 /// ride the wire verbatim, so a version skew could silently corrupt a
 /// cache.
 pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Minor revision of the wire protocol, advertised in the `hello`
+/// answer. Minor revisions are backwards compatible — v2.1 adds the
+/// `busy` admission-control event and the admission counters on `stats`,
+/// both of which a v2.0 peer simply never sees (a v2.0 *client* talking
+/// to a v2.1 daemon under overload sees the connection refused with an
+/// unknown event, which is the correct failure for a peer that cannot
+/// honor the backoff hint). Peers never refuse a connection over a minor
+/// skew.
+pub const PROTOCOL_MINOR: u32 = 1;
 
 /// Error from decoding a request or event line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -440,13 +453,35 @@ pub enum Event {
         misses: u64,
         /// Requests served since startup.
         requests: u64,
+        /// Connections accepted since startup (admitted *or* shed).
+        accepted: u64,
+        /// Connections currently waiting in the admission queue.
+        queued: u64,
+        /// Connections refused with a `busy` answer since startup.
+        shed: u64,
+        /// Connections currently being served by workers.
+        in_flight: u64,
     },
     /// Terminal answer to a `hello` request.
     Hello {
         /// The daemon's [`PROTOCOL_VERSION`].
         version: u32,
-        /// Capability labels (e.g. `compile_keys`, `evict`).
+        /// The daemon's [`PROTOCOL_MINOR`] revision (`0` when a v2.0
+        /// peer omits the member).
+        minor: u32,
+        /// Capability labels (e.g. `compile_keys`, `evict`, `busy`).
         caps: Vec<String>,
+    },
+    /// Admission-control refusal: the daemon is saturated and sheds this
+    /// connection instead of queueing it. Sent as the only line of a
+    /// connection, unsolicited, before the daemon closes it. The client
+    /// should wait roughly `retry_after_ms` and reconnect; the hint grows
+    /// with daemon load. Protocol v2.1.
+    Busy {
+        /// Suggested client back-off before reconnecting, milliseconds.
+        retry_after_ms: u64,
+        /// Admission-queue depth observed when the connection was shed.
+        queue_depth: u64,
     },
     /// One compiled cache entry of a `compile_keys` batch, in the
     /// `cbrain::persist` binary encoding (key + value).
@@ -541,20 +576,41 @@ impl Event {
                 hits,
                 misses,
                 requests,
+                accepted,
+                queued,
+                shed,
+                in_flight,
             } => obj(vec![
                 ("ev", s("stats")),
                 ("entries", u(*entries)),
                 ("hits", u(*hits)),
                 ("misses", u(*misses)),
                 ("requests", u(*requests)),
+                ("accepted", u(*accepted)),
+                ("queued", u(*queued)),
+                ("shed", u(*shed)),
+                ("in_flight", u(*in_flight)),
             ]),
-            Event::Hello { version, caps } => obj(vec![
+            Event::Hello {
+                version,
+                minor,
+                caps,
+            } => obj(vec![
                 ("ev", s("hello")),
                 ("version", u(u64::from(*version))),
+                ("minor", u(u64::from(*minor))),
                 (
                     "caps",
                     Value::Arr(caps.iter().map(|c| s(c.clone())).collect()),
                 ),
+            ]),
+            Event::Busy {
+                retry_after_ms,
+                queue_depth,
+            } => obj(vec![
+                ("ev", s("busy")),
+                ("retry_after_ms", u(*retry_after_ms)),
+                ("queue_depth", u(*queue_depth)),
             ]),
             Event::Entry { data } => obj(vec![("ev", s("entry")), ("data", s(to_hex(data)))]),
             Event::Evicted { evicted, entries } => obj(vec![
@@ -647,10 +703,22 @@ impl Event {
                 hits: u64_field(v, "hits")?,
                 misses: u64_field(v, "misses")?,
                 requests: u64_field(v, "requests")?,
+                // Admission counters arrived in v2.1; a v2.0 daemon
+                // simply has none.
+                accepted: u64_field_or(v, "accepted", 0),
+                queued: u64_field_or(v, "queued", 0),
+                shed: u64_field_or(v, "shed", 0),
+                in_flight: u64_field_or(v, "in_flight", 0),
+            }),
+            "busy" => Ok(Event::Busy {
+                retry_after_ms: u64_field(v, "retry_after_ms")?,
+                queue_depth: u64_field(v, "queue_depth")?,
             }),
             "hello" => Ok(Event::Hello {
                 version: u32::try_from(u64_field(v, "version")?)
                     .map_err(|_| WireError("`version` out of range".into()))?,
+                minor: u32::try_from(u64_field_or(v, "minor", 0))
+                    .map_err(|_| WireError("`minor` out of range".into()))?,
                 caps: v
                     .get("caps")
                     .and_then(Value::as_arr)
@@ -690,6 +758,13 @@ fn u64_field(v: &Value, key: &str) -> Result<u64, WireError> {
     v.get(key)
         .and_then(Value::as_u64)
         .ok_or_else(|| WireError(format!("missing `{key}`")))
+}
+
+/// Like [`u64_field`] for members that later protocol minors added: a
+/// peer speaking an older minor omits them, so absence means `default`
+/// instead of a decode error.
+fn u64_field_or(v: &Value, key: &str, default: u64) -> u64 {
+    v.get(key).and_then(Value::as_u64).unwrap_or(default)
 }
 
 fn scheme_value(scheme: Option<Scheme>) -> Value {
@@ -911,10 +986,19 @@ mod tests {
                 hits: 2,
                 misses: 3,
                 requests: 4,
+                accepted: 5,
+                queued: 6,
+                shed: 7,
+                in_flight: 8,
             },
             Event::Hello {
                 version: PROTOCOL_VERSION,
-                caps: vec!["compile_keys".into(), "evict".into()],
+                minor: PROTOCOL_MINOR,
+                caps: vec!["compile_keys".into(), "evict".into(), "busy".into()],
+            },
+            Event::Busy {
+                retry_after_ms: 50,
+                queue_depth: 9,
             },
             Event::Entry {
                 data: vec![0xde, 0xad, 0xbe, 0xef],
@@ -940,6 +1024,48 @@ mod tests {
                 )
             );
         }
+    }
+
+    #[test]
+    fn v2_0_events_without_minor_members_still_decode() {
+        // A v2.0 daemon omits the admission counters and the `minor`
+        // member; both must decode with zero defaults, not error.
+        let stats = Event::decode(r#"{"ev":"stats","entries":1,"hits":2,"misses":3,"requests":4}"#)
+            .unwrap();
+        assert_eq!(
+            stats,
+            Event::Stats {
+                entries: 1,
+                hits: 2,
+                misses: 3,
+                requests: 4,
+                accepted: 0,
+                queued: 0,
+                shed: 0,
+                in_flight: 0,
+            }
+        );
+        let hello = Event::decode(r#"{"ev":"hello","version":2,"caps":["evict"]}"#).unwrap();
+        assert_eq!(
+            hello,
+            Event::Hello {
+                version: 2,
+                minor: 0,
+                caps: vec!["evict".into()],
+            }
+        );
+    }
+
+    #[test]
+    fn busy_is_terminal_and_demands_its_hint() {
+        assert!(Event::Busy {
+            retry_after_ms: 1,
+            queue_depth: 0
+        }
+        .is_terminal());
+        // The hint is what clients sleep on — a busy line without it is
+        // malformed, not defaulted.
+        assert!(Event::decode(r#"{"ev":"busy"}"#).is_err());
     }
 
     #[test]

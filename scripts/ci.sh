@@ -75,6 +75,61 @@ if [[ $quick -eq 0 ]]; then
 fi
 
 if [[ $quick -eq 0 ]]; then
+    echo "==> overload smoke: flooded 2-worker daemon must shed with busy, yet reports stay byte-identical"
+    ovl_dir="$(mktemp -d)"
+    trap 'kill "$ovl_pid" 2>/dev/null || true; rm -rf "$ovl_dir"' EXIT
+    ./target/release/cbrand --port 0 --cache off --workers 2 --queue-depth 1 \
+        >"$ovl_dir/daemon.out" 2>"$ovl_dir/daemon.err" &
+    ovl_pid=$!
+    addr=""
+    for _ in $(seq 1 50); do
+        addr="$(sed -n 's/^cbrand listening on //p' "$ovl_dir/daemon.out")"
+        [[ -n "$addr" ]] && break
+        sleep 0.1
+    done
+    [[ -n "$addr" ]] || { echo "error: overload cbrand never reported its address" >&2; cat "$ovl_dir/daemon.err" >&2; exit 1; }
+
+    # Flood: six concurrent vgg16 clients on six distinct PE shapes
+    # (none the default 16x16, so the in-flight verification client
+    # below shares no layer key with them). The client's default busy
+    # budget rides out every shed answer, so all six must converge.
+    flood_pids=()
+    for pe in 32x32 16x32 32x16 8x8 24x24 8x16; do
+        ./target/release/cbrain cbrand-client --connect "$addr" \
+            --spec specs/vgg16.spec --pe "$pe" >"$ovl_dir/flood_$pe.txt" 2>/dev/null &
+        flood_pids+=($!)
+    done
+
+    # Byte-identity must survive the overload: a report fetched while
+    # the daemon is shedding still matches `cbrain run` exactly.
+    ./target/release/cbrain cbrand-client --connect "$addr" \
+        --spec specs/alexnet.spec >"$ovl_dir/client.txt" 2>/dev/null
+    ./target/release/cbrain run --spec specs/alexnet.spec >"$ovl_dir/direct.txt"
+    if ! diff -u "$ovl_dir/direct.txt" "$ovl_dir/client.txt"; then
+        echo "error: report fetched under overload differs from cbrain run" >&2
+        exit 1
+    fi
+    for pid in "${flood_pids[@]}"; do
+        wait "$pid" || { echo "error: a flooded client failed to converge" >&2; exit 1; }
+    done
+
+    # The admission counters must have moved: connections were admitted
+    # and at least one was shed with a busy answer.
+    ./target/release/cbrain cbrand-client --connect "$addr" --stats >"$ovl_dir/stats.txt"
+    admission="$(grep '^daemon admission:' "$ovl_dir/stats.txt")" \
+        || { echo "error: --stats printed no admission line" >&2; cat "$ovl_dir/stats.txt" >&2; exit 1; }
+    accepted="$(sed -n 's/.*accepted \([0-9]*\).*/\1/p' <<<"$admission")"
+    shed="$(sed -n 's/.*shed \([0-9]*\).*/\1/p' <<<"$admission")"
+    [[ "$accepted" -ge 7 ]] || { echo "error: accepted counter never moved: $admission" >&2; exit 1; }
+    [[ "$shed" -ge 1 ]] || { echo "error: flooded daemon never shed: $admission" >&2; exit 1; }
+
+    ./target/release/cbrain cbrand-client --connect "$addr" --shutdown >/dev/null
+    wait "$ovl_pid"
+    trap - EXIT
+    rm -rf "$ovl_dir"
+fi
+
+if [[ $quick -eq 0 ]]; then
     echo "==> fleet smoke: 3-shard report must match cbrain run, before and after a SIGKILL"
     fleet_dir="$(mktemp -d)"
     pids=()

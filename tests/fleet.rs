@@ -9,10 +9,10 @@ use cbrain_fleet::{FleetRouter, RetryPolicy};
 use cbrain_model::{zoo, Network};
 use cbrain_serve::daemon::{Daemon, DaemonOptions};
 use cbrain_serve::wire::{Event, NetworkSource, Request, RunRequest};
-use cbrain_serve::Client;
+use cbrain_serve::{Client, ClientError};
 use cbrain_sim::AcceleratorConfig;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::thread;
 use std::time::Duration;
 
@@ -22,7 +22,7 @@ fn shard() -> (String, thread::JoinHandle<std::io::Result<String>>) {
         "127.0.0.1:0",
         DaemonOptions {
             jobs: 2,
-            cache_path: None,
+            ..DaemonOptions::default()
         },
     )
     .expect("bind loopback");
@@ -31,7 +31,9 @@ fn shard() -> (String, thread::JoinHandle<std::io::Result<String>>) {
 }
 
 fn shutdown(addr: &str) {
-    let mut client = Client::connect(addr).expect("connect for shutdown");
+    let mut client = Client::builder(addr)
+        .connect()
+        .expect("connect for shutdown");
     client.submit(&Request::Shutdown, |_| {}).expect("shutdown");
 }
 
@@ -42,6 +44,7 @@ fn fast_retry() -> RetryPolicy {
         backoff: Duration::from_millis(1),
         connect_timeout: Duration::from_millis(500),
         io_timeout: Duration::from_secs(10),
+        busy_wait: Duration::from_millis(100),
     }
 }
 
@@ -176,6 +179,67 @@ fn fleet_survives_a_shard_dying_mid_run() {
 }
 
 #[test]
+fn busy_shard_is_backed_off_but_never_marked_down() {
+    // A fake shard that sheds every connection: one unsolicited `busy`
+    // line, a half-close, then a drain to EOF — exactly the daemon's
+    // admission-control shed path.
+    let busy_listener = TcpListener::bind("127.0.0.1:0").expect("bind busy shard");
+    let busy_addr = busy_listener.local_addr().expect("addr").to_string();
+    thread::spawn(move || {
+        for stream in busy_listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            let _ = stream.write_all(b"{\"ev\":\"busy\",\"retry_after_ms\":1,\"queue_depth\":1}\n");
+            let _ = stream.shutdown(Shutdown::Write);
+            let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+            let mut sink = [0u8; 1024];
+            while matches!(stream.read(&mut sink), Ok(n) if n > 0) {}
+        }
+    });
+
+    let (real, handle) = shard();
+    let router = std::sync::Arc::new(FleetRouter::with_policy(
+        vec![busy_addr.clone(), real.clone()],
+        0,
+        fast_retry(),
+        1,
+    ));
+
+    // The probe sees `busy` — proof of life, not a failure: the shard
+    // must stay in rotation while the reachable peer probes clean.
+    let outcomes = router.probe_shards();
+    assert!(
+        matches!(outcomes[0].1, Err(ClientError::Busy { .. })),
+        "expected a busy probe outcome, got {:?}",
+        outcomes[0].1
+    );
+    assert!(outcomes[1].1.is_ok(), "{:?}", outcomes[1].1);
+    assert!(
+        !router.shard_states()[0].is_down(),
+        "a busy shard must not be marked down"
+    );
+
+    // A full run: keys preferring the busy shard wait out the policy's
+    // busy budget, then reroute to the real shard for this batch —
+    // without perturbing a single report byte or down-marking anyone.
+    let adpa2 = Policy::Adaptive {
+        improved_inter: true,
+    };
+    let net = zoo::alexnet();
+    assert_eq!(
+        fleet_report(&router, &net, adpa2),
+        direct_report(&net, adpa2)
+    );
+    assert!(
+        !router.shard_states()[0].is_down(),
+        "busy answers mid-run must not mark the shard down"
+    );
+    assert!(!router.shard_states()[1].is_down());
+
+    shutdown(&real);
+    handle.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
 fn hello_version_mismatch_is_rejected_and_the_connection_closed() {
     let (addr, handle) = shard();
 
@@ -193,7 +257,10 @@ fn hello_version_mismatch_is_rejected_and_the_connection_closed() {
     assert_eq!(n, 0, "daemon must close the connection, got {line:?}");
 
     // A well-versioned hello on a fresh connection still works.
-    let mut client = Client::connect(&addr).expect("connect");
+    let mut client = Client::builder(&addr)
+        .no_handshake()
+        .connect()
+        .expect("connect");
     let caps = client.hello().expect("hello");
     assert!(caps.iter().any(|c| c == "compile_keys"), "{caps:?}");
 
@@ -204,7 +271,7 @@ fn hello_version_mismatch_is_rejected_and_the_connection_closed() {
 #[test]
 fn evict_request_bounds_the_daemon_cache() {
     let (addr, handle) = shard();
-    let mut client = Client::connect(&addr).expect("connect");
+    let mut client = Client::builder(&addr).connect().expect("connect");
     let run = RunRequest {
         network: NetworkSource::Zoo("alexnet".into()),
         ..RunRequest::default()

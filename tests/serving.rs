@@ -6,8 +6,10 @@ use cbrain::report::render_run_report;
 use cbrain::{RunOptions, Runner};
 use cbrain_serve::daemon::{Daemon, DaemonOptions};
 use cbrain_serve::wire::{Event, NetworkSource, Request, RunRequest};
-use cbrain_serve::Client;
+use cbrain_serve::{Client, ClientError};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
+use std::time::Duration;
 
 /// The report a fresh single-process runner renders for `run`.
 fn direct_report(run: &RunRequest, breakdown: bool) -> String {
@@ -34,7 +36,7 @@ fn two_concurrent_clients_render_byte_identical_reports() {
         "127.0.0.1:0",
         DaemonOptions {
             jobs: 2,
-            cache_path: None,
+            ..DaemonOptions::default()
         },
     )
     .expect("bind loopback");
@@ -62,7 +64,7 @@ fn two_concurrent_clients_render_byte_identical_reports() {
             .map(|run| {
                 let addr = addr.clone();
                 scope.spawn(move || {
-                    let mut client = Client::connect(&addr).expect("connect");
+                    let mut client = Client::builder(&addr).connect().expect("connect");
                     let mut streamed_layers = 0usize;
                     let report = client
                         .simulate(run, |_layer| streamed_layers += 1)
@@ -79,7 +81,126 @@ fn two_concurrent_clients_render_byte_identical_reports() {
         }
     });
 
-    let mut client = Client::connect(&addr).expect("connect");
+    let mut client = Client::builder(&addr).connect().expect("connect");
+    client.submit(&Request::Shutdown, |_| {}).expect("shutdown");
+    server.join().expect("server thread").expect("clean exit");
+}
+
+/// This process's current thread count, if the platform exposes it.
+fn os_thread_count() -> Option<usize> {
+    Some(std::fs::read_dir("/proc/self/task").ok()?.count())
+}
+
+#[test]
+fn overloaded_daemon_sheds_with_busy_yet_every_client_converges() {
+    // A deliberately tiny daemon: 2 connection workers and a queue of
+    // one, so 8 concurrent clients are guaranteed to overflow admission.
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        DaemonOptions {
+            jobs: 1,
+            workers: 2,
+            queue_depth: 1,
+            busy_retry_ms: 5,
+            ..DaemonOptions::default()
+        },
+    )
+    .expect("bind loopback");
+    assert_eq!(daemon.workers(), 2);
+    let addr = daemon.local_addr().to_string();
+    let threads_before = os_thread_count();
+    let server = thread::spawn(move || daemon.run());
+
+    // Eight clients over eight DISTINCT PE shapes: the PE config is
+    // part of every layer key, so no request shares a key with another
+    // (two networks at the same PE can share pool/conv keys!) and each
+    // client's hit/miss line must match a fresh single-process run no
+    // matter how the overloaded daemon interleaves or sheds them.
+    let pes = [
+        (16, 16),
+        (32, 32),
+        (16, 32),
+        (32, 16),
+        (8, 8),
+        (8, 16),
+        (16, 8),
+        (24, 24),
+    ];
+    let runs: Vec<RunRequest> = pes
+        .iter()
+        .enumerate()
+        .map(|(i, &pe)| RunRequest {
+            network: NetworkSource::Zoo(if i % 2 == 0 { "alexnet" } else { "nin" }.to_owned()),
+            pe,
+            ..RunRequest::default()
+        })
+        .collect();
+
+    let busy_seen = AtomicU64::new(0);
+    let mut peak_threads = os_thread_count();
+    thread::scope(|scope| {
+        let handles: Vec<_> = runs
+            .iter()
+            .map(|run| {
+                let addr = addr.clone();
+                let busy_seen = &busy_seen;
+                scope.spawn(move || {
+                    // A zero busy budget surfaces every shed answer so
+                    // the test can count them; the manual retry loop
+                    // then honours the daemon's hint by hand.
+                    loop {
+                        match Client::builder(&addr).busy_wait(Duration::ZERO).connect() {
+                            Ok(mut client) => {
+                                let report = client.simulate(run, |_| {}).expect("simulate");
+                                return render_run_report(&report, true);
+                            }
+                            Err(ClientError::Busy { retry_after_ms, .. }) => {
+                                busy_seen.fetch_add(1, Ordering::SeqCst);
+                                thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+                            }
+                            Err(e) => panic!("unexpected client failure: {e}"),
+                        }
+                    }
+                })
+            })
+            .collect();
+        while handles.iter().any(|h| !h.is_finished()) {
+            peak_threads = peak_threads.max(os_thread_count());
+            thread::sleep(Duration::from_millis(5));
+        }
+        for (run, handle) in runs.iter().zip(handles) {
+            let remote = handle.join().expect("client thread");
+            assert_eq!(
+                remote,
+                direct_report(run, true),
+                "overload broke byte-identity"
+            );
+        }
+    });
+
+    // The fixed worker pool must keep the daemon's thread count flat:
+    // 8 client threads + accept + 2 workers + shed reaper + slack, not
+    // a thread per accepted-or-shed connection.
+    if let (Some(before), Some(peak)) = (threads_before, peak_threads) {
+        assert!(
+            peak <= before + 13,
+            "thread count unbounded under overload: {before} before, {peak} at peak"
+        );
+    }
+
+    // The daemon must have shed at least once (8 clients into a queue
+    // of one), and the clients must have seen it as `busy`.
+    assert!(
+        busy_seen.load(Ordering::SeqCst) >= 1,
+        "no client ever observed a busy answer"
+    );
+    let mut client = Client::builder(&addr).connect().expect("connect");
+    let stats = client.submit(&Request::Stats, |_| {}).expect("stats");
+    let Event::Stats { accepted, shed, .. } = stats else {
+        panic!("expected stats, got {stats:?}");
+    };
+    assert!(shed >= 1, "daemon counters never recorded a shed");
+    assert!(accepted >= 8, "every client converged, so accepted >= 8");
     client.submit(&Request::Shutdown, |_| {}).expect("shutdown");
     server.join().expect("server thread").expect("clean exit");
 }
@@ -96,10 +217,11 @@ fn daemon_restart_serves_from_persisted_cache() {
     let opts = DaemonOptions {
         jobs: 2,
         cache_path: Some(cache_file.clone()),
+        ..DaemonOptions::default()
     };
 
     let done = |addr: &str| {
-        let mut client = Client::connect(addr).expect("connect");
+        let mut client = Client::builder(addr).connect().expect("connect");
         let terminal = client.submit(&run, |_| {}).expect("simulate");
         client.submit(&Request::Shutdown, |_| {}).expect("shutdown");
         let Event::Done { hits, misses, .. } = terminal else {
