@@ -78,6 +78,66 @@ fn shards_from(
     Some(shards)
 }
 
+/// Parses `--journal PATH` (or `--journal=PATH`) from the process
+/// arguments, falling back to the `CBRAIN_JOURNAL` environment variable.
+/// Returns `None` when neither is present — the sweep then runs
+/// unjournaled as before.
+///
+/// # Panics
+///
+/// Panics with a usage message if the flag is present but its value is
+/// missing or empty.
+pub fn journal_from_args() -> Option<String> {
+    journal_from(
+        std::env::args().skip(1),
+        cbrain::config::EnvConfig::load().journal_file(),
+    )
+}
+
+fn journal_from(
+    args: impl Iterator<Item = String>,
+    env: Option<std::path::PathBuf>,
+) -> Option<String> {
+    let mut args = args.peekable();
+    let mut raw = None;
+    while let Some(arg) = args.next() {
+        if arg == "--journal" {
+            raw = Some(
+                args.next()
+                    .unwrap_or_else(|| panic!("--journal expects a file path")),
+            );
+        } else if let Some(v) = arg.strip_prefix("--journal=") {
+            raw = Some(v.to_owned());
+        }
+    }
+    // Flag beats environment; environment beats nothing.
+    match raw {
+        Some(p) if p.trim().is_empty() => panic!("--journal expects a file path"),
+        Some(p) => Some(p),
+        None => env.map(|p| p.display().to_string()),
+    }
+}
+
+/// Parses `--resume` from the process arguments, falling back to the
+/// `CBRAIN_RESUME` environment variable. When true, cells already
+/// recorded in the journal are replayed instead of re-simulated.
+pub fn resume_from_args() -> bool {
+    resume_from(
+        std::env::args().skip(1),
+        cbrain::config::EnvConfig::load().resume(),
+    )
+}
+
+fn resume_from(args: impl Iterator<Item = String>, env: bool) -> bool {
+    let mut found = false;
+    for arg in args {
+        if arg == "--resume" {
+            found = true;
+        }
+    }
+    found || env
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -116,6 +176,49 @@ mod tests {
     #[should_panic(expected = "HOST:PORT")]
     fn rejects_empty_shard_list() {
         shards_of(&["--shards", ","], None);
+    }
+
+    fn journal_of(args: &[&str], env: Option<&str>) -> Option<String> {
+        journal_from(
+            args.iter().map(|s| (*s).to_owned()),
+            env.map(std::path::PathBuf::from),
+        )
+    }
+
+    #[test]
+    fn parses_journal_paths() {
+        assert_eq!(journal_of(&[], None), None);
+        assert_eq!(
+            journal_of(&["--journal", "/tmp/j.bin"], None),
+            Some("/tmp/j.bin".to_owned())
+        );
+        assert_eq!(
+            journal_of(&["--journal=j.bin"], None),
+            Some("j.bin".to_owned())
+        );
+        // Flag beats environment; environment beats nothing.
+        assert_eq!(
+            journal_of(&["--journal", "flag.bin"], Some("env.bin")),
+            Some("flag.bin".to_owned())
+        );
+        assert_eq!(journal_of(&[], Some("env.bin")), Some("env.bin".to_owned()));
+    }
+
+    #[test]
+    #[should_panic(expected = "file path")]
+    fn rejects_missing_journal_value() {
+        journal_of(&["--journal"], None);
+    }
+
+    #[test]
+    fn resume_flag_beats_environment() {
+        let resume_of =
+            |args: &[&str], env: bool| resume_from(args.iter().map(|s| (*s).to_owned()), env);
+        assert!(!resume_of(&[], false));
+        assert!(resume_of(&["--resume"], false));
+        assert!(resume_of(&[], true));
+        assert!(resume_of(&["--resume"], true));
+        assert!(!resume_of(&["--journal", "j.bin"], false));
     }
 
     #[test]

@@ -11,9 +11,19 @@
 //! With `--shards HOST:PORT[,HOST:PORT...]` (or `CBRAIN_SHARDS`),
 //! compile misses scatter over a fleet of `cbrand` daemons instead of
 //! the local pool — same report, remote compilation.
+//!
+//! With `--journal PATH` (or `CBRAIN_JOURNAL`), every completed
+//! experiment cell is appended to a durable run journal; adding
+//! `--resume` (or `CBRAIN_RESUME=1`) replays journaled cells verbatim
+//! instead of re-simulating them, so a sweep killed mid-run and
+//! restarted produces byte-identical stdout to an uninterrupted one.
+//! All journal notices go to stderr.
+
+use cbrain::journal::{digest, Cell, Journal};
 
 fn main() {
     let jobs = cbrain_bench::args::jobs_from_args();
+    let mut provenance = format!("local;jobs={jobs}");
     if let Some(shards) = cbrain_bench::args::shards_from_args() {
         let router = std::sync::Arc::new(cbrain_fleet::FleetRouter::with_policy(
             shards,
@@ -27,14 +37,58 @@ fn main() {
                 Err(e) => eprintln!("fleet: {addr} down: {e}"),
             }
         }
+        provenance = format!("{};jobs={jobs}", router.provenance());
         cbrain_bench::cache::install_fleet(router);
     }
+    let resume = cbrain_bench::args::resume_from_args();
+    let mut journal = cbrain_bench::args::journal_from_args().map(|path| {
+        let (journal, note) = Journal::open_or_fresh(path);
+        eprintln!("{note}");
+        journal
+    });
+    if resume && journal.is_none() {
+        eprintln!("journal: --resume has no effect without --journal (or CBRAIN_JOURNAL)");
+    }
+
     let _cache = cbrain_bench::cache::init_for_binary();
-    for (name, report) in cbrain_bench::drivers::all_reports(jobs) {
+    let cells = cbrain_bench::drivers::all_reports(jobs);
+    let total = cells.len();
+    for (done, (name, report)) in cells.into_iter().enumerate() {
         println!("{}", "=".repeat(78));
-        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(report))
-            .unwrap_or_else(|_| panic!("{name} failed"));
+        let replay = if resume {
+            journal
+                .as_ref()
+                .and_then(|j| j.replayable(name))
+                .map(|cell| cell.output.clone())
+        } else {
+            None
+        };
+        let out = match replay {
+            Some(out) => {
+                eprintln!("journal: {name} already complete; replaying recorded output");
+                out
+            }
+            None => {
+                let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(report))
+                    .unwrap_or_else(|_| panic!("{name} failed"));
+                if let Some(j) = journal.as_mut() {
+                    let cell = Cell {
+                        name: name.to_owned(),
+                        digest: digest(&out),
+                        provenance: provenance.clone(),
+                        output: out.clone(),
+                    };
+                    if let Err(e) = j.append(cell) {
+                        eprintln!("journal: append for {name} failed: {e}");
+                    }
+                }
+                out
+            }
+        };
         print!("{out}");
         println!();
+        if journal.is_some() {
+            eprintln!("journal: {}/{total} cells complete", done + 1);
+        }
     }
 }

@@ -78,6 +78,9 @@ pub struct ClientArgs {
     pub breakdown: bool,
     /// Query daemon cache counters after the run (or alone).
     pub stats: bool,
+    /// Query daemon run-progress counters (protocol v2.1) after the run
+    /// (or alone).
+    pub progress: bool,
     /// Ask the daemon to evict down to this many cached layers
     /// (least-recently-used first).
     pub evict: Option<u64>,
@@ -107,6 +110,12 @@ pub struct RunArgs {
     /// file; `Some(path)` an explicit file; `Some("off")` is explicit
     /// no-persistence.
     pub cache: Option<String>,
+    /// Run-journal file: each completed run is appended as a journal
+    /// cell (`None` = no journal; falls back to `CBRAIN_JOURNAL`).
+    pub journal: Option<String>,
+    /// Replay the journaled cell instead of re-simulating when the same
+    /// run is already recorded (falls back to `CBRAIN_RESUME`).
+    pub resume: bool,
 }
 
 /// Arguments of `cbrain schedule`.
@@ -225,6 +234,8 @@ type CommonArgs = (
     usize,
     bool,
     Option<String>,
+    Option<String>,
+    bool,
 );
 
 fn parse_common(tokens: &[String]) -> Result<CommonArgs, ArgError> {
@@ -239,6 +250,8 @@ fn parse_common(tokens: &[String]) -> Result<CommonArgs, ArgError> {
     let mut jobs = 0usize; // 0 = auto-detect at execution time
     let mut breakdown = false;
     let mut cache = None;
+    let mut journal = None;
+    let mut resume = false;
 
     let mut f = Flags { tokens, index: 0 };
     while f.index < tokens.len() {
@@ -274,13 +287,15 @@ fn parse_common(tokens: &[String]) -> Result<CommonArgs, ArgError> {
             }
             "--breakdown" => breakdown = true,
             "--cache" => cache = Some(f.value("--cache")?.to_owned()),
+            "--journal" => journal = Some(f.value("--journal")?.to_owned()),
+            "--resume" => resume = true,
             other => return fail(format!("unknown flag `{other}`")),
         }
         f.index += 1;
     }
     let config = AcceleratorConfig::with_pe(pe).at_mhz(mhz);
     Ok((
-        network, policy, config, workload, batch, jobs, breakdown, cache,
+        network, policy, config, workload, batch, jobs, breakdown, cache, journal, resume,
     ))
 }
 
@@ -297,6 +312,7 @@ fn parse_client(tokens: &[String]) -> Result<ClientArgs, ArgError> {
         batch: 1,
         breakdown: false,
         stats: false,
+        progress: false,
         evict: None,
         shutdown: false,
     };
@@ -326,6 +342,7 @@ fn parse_client(tokens: &[String]) -> Result<ClientArgs, ArgError> {
             }
             "--breakdown" => args.breakdown = true,
             "--stats" => args.stats = true,
+            "--progress" => args.progress = true,
             "--evict" => {
                 let v = f.value("--evict")?;
                 args.evict = Some(
@@ -338,8 +355,15 @@ fn parse_client(tokens: &[String]) -> Result<ClientArgs, ArgError> {
         }
         f.index += 1;
     }
-    if args.network.is_none() && !args.stats && args.evict.is_none() && !args.shutdown {
-        return fail("cbrand-client needs --network/--spec, --stats, --evict, or --shutdown");
+    if args.network.is_none()
+        && !args.stats
+        && !args.progress
+        && args.evict.is_none()
+        && !args.shutdown
+    {
+        return fail(
+            "cbrand-client needs --network/--spec, --stats, --progress, --evict, or --shutdown",
+        );
     }
     Ok(args)
 }
@@ -442,7 +466,7 @@ pub fn parse(tokens: &[String]) -> Result<Command, ArgError> {
     match sub.as_str() {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "run" => {
-            let (network, policy, config, workload, batch, jobs, breakdown, cache) =
+            let (network, policy, config, workload, batch, jobs, breakdown, cache, journal, resume) =
                 parse_common(&tokens[1..])?;
             let network =
                 network.ok_or_else(|| ArgError("run needs --network or --spec".into()))?;
@@ -455,13 +479,15 @@ pub fn parse(tokens: &[String]) -> Result<Command, ArgError> {
                 jobs,
                 breakdown,
                 cache,
+                journal,
+                resume,
             }))
         }
         "zoo" => Ok(Command::Zoo),
         "cbrand-client" => Ok(Command::Client(parse_client(&tokens[1..])?)),
         "fleet-client" => Ok(Command::FleetClient(parse_fleet(&tokens[1..])?)),
         "schedule" => {
-            let (network, policy, config, _, _, _, _, _) = parse_common(&tokens[1..])?;
+            let (network, policy, config, _, _, _, _, _, _, _) = parse_common(&tokens[1..])?;
             let network =
                 network.ok_or_else(|| ArgError("schedule needs --network or --spec".into()))?;
             Ok(Command::Schedule(ScheduleArgs {
@@ -530,13 +556,15 @@ USAGE:
                   [--policy inter|intra|partition|inter-improved|adpa-1|adpa-2|oracle|oracle-pruned]
                   [--pe TinxTout] [--mhz N] [--workload conv1|conv|conv+pool|full]
                   [--batch N] [--jobs N] [--breakdown] [--cache auto|off|PATH]
+                  [--journal PATH] [--resume]
   cbrain schedule --network <name> | --spec <file> [--policy ...] [--pe TinxTout]
   cbrain scheme   --din N --k K --s S [--pe TinxTout]
   cbrain spec-check <file>
   cbrain zoo
   cbrain cbrand-client [--connect HOST:PORT] --network <name> | --spec <file>
                   [--policy ...] [--pe TinxTout] [--mhz N] [--workload ...]
-                  [--batch N] [--breakdown] [--stats] [--evict N] [--shutdown]
+                  [--batch N] [--breakdown] [--stats] [--progress] [--evict N]
+                  [--shutdown]
   cbrain fleet-client [--shards HOST:PORT[,HOST:PORT...]] [--seed N]
                   --network <name> | --spec <file>
                   [--policy ...] [--pe TinxTout] [--mhz N] [--workload ...]
@@ -544,11 +572,15 @@ USAGE:
   cbrain help
 
 `run --cache` persists compiled layers across invocations (auto = the
-user cache file, also honoured by the cbrand daemon). `cbrand-client`
+user cache file, also honoured by the cbrand daemon). `run --journal`
+appends the finished report to a durable run journal (CBRAIN_JOURNAL
+sets a default path); with `--resume`, a run already recorded there is
+replayed byte-identically instead of re-simulated. `cbrand-client`
 submits the run to a cbrand daemon instead of simulating in-process;
 the printed report is byte-identical to the equivalent `cbrain run`.
 `cbrand-client --evict N` asks the daemon to drop least-recently-used
-cached layers until at most N remain. `fleet-client` simulates locally
+cached layers until at most N remain; `--progress` prints the daemon's
+live run-progress counters. `fleet-client` simulates locally
 but scatters compile misses over a fleet of cbrand shards (rendezvous
 hashing on the layer key); dead shards reroute or fall back to local
 compilation, and the report stays byte-identical to `cbrain run`.
@@ -687,6 +719,23 @@ mod tests {
     }
 
     #[test]
+    fn journal_and_resume_flags() {
+        let Command::Run(args) = parse(&toks("run --network vgg")).unwrap() else {
+            panic!("run expected")
+        };
+        assert_eq!(args.journal, None);
+        assert!(!args.resume);
+        let Command::Run(args) =
+            parse(&toks("run --network vgg --journal /tmp/j.bin --resume")).unwrap()
+        else {
+            panic!("run expected")
+        };
+        assert_eq!(args.journal.as_deref(), Some("/tmp/j.bin"));
+        assert!(args.resume);
+        assert!(parse(&toks("run --network vgg --journal")).is_err());
+    }
+
+    #[test]
     fn pruned_oracle_policy_parses() {
         assert_eq!(parse_policy("oracle-pruned").unwrap(), Policy::OraclePruned);
     }
@@ -712,6 +761,22 @@ mod tests {
         // But doing nothing at all is an error.
         assert!(parse(&toks("cbrand-client")).is_err());
         assert!(parse(&toks("cbrand-client --jobs 2")).is_err());
+    }
+
+    #[test]
+    fn progress_flag() {
+        // A pure progress query is a valid control connection on its own.
+        let Command::Client(args) = parse(&toks("cbrand-client --progress")).unwrap() else {
+            panic!("client expected")
+        };
+        assert!(args.progress);
+        assert!(args.network.is_none());
+        let Command::Client(args) =
+            parse(&toks("cbrand-client --network nin --progress --stats")).unwrap()
+        else {
+            panic!("client expected")
+        };
+        assert!(args.progress && args.stats);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The one place `CBRAIN_*` environment variables are read.
 //!
-//! Five knobs configure the workspace from the environment. Each has a
+//! Seven knobs configure the workspace from the environment. Each has a
 //! single documented precedence: **CLI flag > environment > default**.
 //! Call sites never touch [`std::env::var`] for these directly — they go
 //! through [`EnvConfig`], which captures the raw environment once and
@@ -13,12 +13,16 @@
 //! | `CBRAIN_CACHE_MAX` | [`cache_max`]                             | bounds persisted cache entries (LRU-evicted)   |
 //! | `CBRAIN_MAC_RATE`  | [`mac_rate`]                              | pins the CPU MAC-rate calibration (Table 4)    |
 //! | `CBRAIN_SHARDS`    | [`shards`]                                | default fleet shard list, `HOST:PORT,...`      |
+//! | `CBRAIN_JOURNAL`   | [`journal_file`]                          | default run-journal path for sweeps            |
+//! | `CBRAIN_RESUME`    | [`resume`]                                | `1`/`true`/`on` resumes from the journal       |
 //!
 //! [`persistence_enabled`]: EnvConfig::persistence_enabled
 //! [`cache_file`]: EnvConfig::cache_file
 //! [`cache_max`]: EnvConfig::cache_max
 //! [`mac_rate`]: EnvConfig::mac_rate
 //! [`shards`]: EnvConfig::shards
+//! [`journal_file`]: EnvConfig::journal_file
+//! [`resume`]: EnvConfig::resume
 //!
 //! The struct is a plain snapshot: [`EnvConfig::load`] reads the process
 //! environment, [`EnvConfig::from_lookup`] builds one from any closure so
@@ -46,6 +50,14 @@ pub const ENV_MAC_RATE: &str = "CBRAIN_MAC_RATE";
 /// `exp_all --shards` and `cbrain fleet-client` when no flag is given.
 pub const ENV_SHARDS: &str = "CBRAIN_SHARDS";
 
+/// Default run-journal path for `exp_all` and `cbrain run` when no
+/// `--journal` flag is given (see [`crate::journal`]).
+pub const ENV_JOURNAL: &str = "CBRAIN_JOURNAL";
+
+/// Enables `--resume` semantics from the environment: completed cells
+/// found in the journal are replayed instead of re-simulated.
+pub const ENV_RESUME: &str = "CBRAIN_RESUME";
+
 /// A typed snapshot of every `CBRAIN_*` environment variable (plus the
 /// `XDG_CACHE_HOME`/`HOME` fallbacks that cache-path resolution needs).
 ///
@@ -58,6 +70,8 @@ pub struct EnvConfig {
     cache_max: Option<String>,
     mac_rate: Option<String>,
     shards: Option<String>,
+    journal: Option<String>,
+    resume: Option<String>,
     xdg_cache_home: Option<String>,
     home: Option<String>,
 }
@@ -79,6 +93,8 @@ impl EnvConfig {
             cache_max: lookup(ENV_CACHE_MAX),
             mac_rate: lookup(ENV_MAC_RATE),
             shards: lookup(ENV_SHARDS),
+            journal: lookup(ENV_JOURNAL),
+            resume: lookup(ENV_RESUME),
             xdg_cache_home: lookup("XDG_CACHE_HOME"),
             home: lookup("HOME"),
         }
@@ -162,6 +178,34 @@ impl EnvConfig {
             Some(list)
         }
     }
+
+    /// The default journal file, or `None` when the variable is unset or
+    /// blank. A flag (`--journal`) always beats this.
+    #[must_use]
+    pub fn journal_file(&self) -> Option<PathBuf> {
+        self.journal
+            .as_deref()
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(PathBuf::from)
+    }
+
+    /// Whether the environment requests resume-from-journal. `1`, `true`
+    /// or `on` (case-insensitive) enable it; anything else — including
+    /// unset, empty and typos — leaves resume off, because a silently
+    /// mis-enabled resume would skip simulation the operator expected to
+    /// run.
+    #[must_use]
+    pub fn resume(&self) -> bool {
+        matches!(
+            self.resume
+                .as_deref()
+                .map(str::trim)
+                .map(str::to_ascii_lowercase)
+                .as_deref(),
+            Some("1") | Some("true") | Some("on")
+        )
+    }
 }
 
 #[cfg(test)]
@@ -239,6 +283,27 @@ mod tests {
     #[should_panic(expected = "CBRAIN_MAC_RATE must be a positive number")]
     fn mac_rate_rejects_nonpositive() {
         let _ = config(&[(ENV_MAC_RATE, "-1.0")]).mac_rate();
+    }
+
+    #[test]
+    fn journal_path_ignores_blank_values() {
+        assert_eq!(
+            config(&[(ENV_JOURNAL, " /tmp/j.bin ")]).journal_file(),
+            Some(PathBuf::from("/tmp/j.bin"))
+        );
+        assert_eq!(config(&[(ENV_JOURNAL, "  ")]).journal_file(), None);
+        assert_eq!(config(&[]).journal_file(), None);
+    }
+
+    #[test]
+    fn resume_accepts_only_explicit_truths() {
+        for yes in ["1", "true", "on", " TRUE ", "On"] {
+            assert!(config(&[(ENV_RESUME, yes)]).resume(), "{yes:?}");
+        }
+        for no in ["", "0", "false", "off", "yes", "resume"] {
+            assert!(!config(&[(ENV_RESUME, no)]).resume(), "{no:?}");
+        }
+        assert!(!config(&[]).resume());
     }
 
     #[test]

@@ -244,12 +244,65 @@ impl Admission {
     }
 }
 
+/// Live counters behind the protocol v2.1 `progress` request: how many
+/// runs are executing right now and how far through their layer cells
+/// they are. `layers_total`/`layers_done` cover *active* runs only —
+/// a run's contribution is unwound when it finishes, so `done/total`
+/// always reads as "this much of the in-flight work is complete".
+#[derive(Default)]
+struct ProgressCounters {
+    runs_active: AtomicU64,
+    runs_done: AtomicU64,
+    layers_done: AtomicU64,
+    layers_total: AtomicU64,
+}
+
+/// Registers one run with the progress counters and unwinds its
+/// contribution on drop — whatever path the run takes out (done, run
+/// error, or mid-stream I/O failure), the active totals stay balanced.
+struct RunProgress<'a> {
+    counters: &'a ProgressCounters,
+    planned: u64,
+    seen: AtomicU64,
+}
+
+impl<'a> RunProgress<'a> {
+    fn start(counters: &'a ProgressCounters, planned: u64) -> Self {
+        counters.runs_active.fetch_add(1, Ordering::Relaxed);
+        counters.layers_total.fetch_add(planned, Ordering::Relaxed);
+        Self {
+            counters,
+            planned,
+            seen: AtomicU64::new(0),
+        }
+    }
+
+    fn layer_done(&self) {
+        self.seen.fetch_add(1, Ordering::Relaxed);
+        self.counters.layers_done.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+impl Drop for RunProgress<'_> {
+    fn drop(&mut self) {
+        self.counters.runs_active.fetch_sub(1, Ordering::Relaxed);
+        self.counters.runs_done.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .layers_total
+            .fetch_sub(self.planned, Ordering::Relaxed);
+        self.counters
+            .layers_done
+            .fetch_sub(self.seen.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+}
+
 struct ServerState {
     cache: Arc<CompiledLayerCache>,
     batcher: Arc<CompileBatcher>,
     admission: Admission,
     stop: AtomicBool,
     requests: AtomicU64,
+    progress: ProgressCounters,
 }
 
 /// A bound, not-yet-running daemon.
@@ -326,6 +379,7 @@ impl Daemon {
             admission: Admission::new(high_water, low_water, busy_retry_ms),
             stop: AtomicBool::new(false),
             requests: AtomicU64::new(0),
+            progress: ProgressCounters::default(),
         });
         Ok(Self {
             listener,
@@ -545,10 +599,12 @@ fn handle_run(
         Err(message) => return write_event(out, &Event::Error { message }, id),
     };
     let runner = runner_for(state, run);
+    let progress = RunProgress::start(&state.progress, net.layers().len() as u64);
     // Layer lines stream from inside the run; an I/O failure mid-stream
     // is remembered and the (already nearly-finished) run completes.
     let mut io_err: Option<io::Error> = None;
     let result = runner.run_network_streamed(&net, run.policy, |layer| {
+        progress.layer_done();
         if io_err.is_some() {
             return;
         }
@@ -754,6 +810,7 @@ fn serve_connection(stream: TcpStream, state: &ServerState, addr: SocketAddr) ->
                             "compile_keys".to_owned(),
                             "evict".to_owned(),
                             "busy".to_owned(),
+                            "progress".to_owned(),
                         ],
                     },
                     id,
@@ -774,6 +831,16 @@ fn serve_connection(stream: TcpStream, state: &ServerState, addr: SocketAddr) ->
                     queued: state.admission.queued(),
                     shed: state.admission.shed.load(Ordering::Relaxed),
                     in_flight: state.admission.in_flight.load(Ordering::Relaxed),
+                },
+                id,
+            )?,
+            Request::Progress => write_event(
+                &mut out,
+                &Event::Progress {
+                    runs_active: state.progress.runs_active.load(Ordering::Relaxed),
+                    runs_done: state.progress.runs_done.load(Ordering::Relaxed),
+                    layers_done: state.progress.layers_done.load(Ordering::Relaxed),
+                    layers_total: state.progress.layers_total.load(Ordering::Relaxed),
                 },
                 id,
             )?,

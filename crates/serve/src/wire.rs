@@ -3,8 +3,8 @@
 //!
 //! One request per line; the daemon answers with zero or more
 //! non-terminal event lines (`layer`, `compiled`, `entry`) followed by
-//! exactly one terminal line (`done`, `stats`, `forward`, `hello`,
-//! `evicted`, `busy`, `ok`, or `error`). Requests may carry an `id`
+//! exactly one terminal line (`done`, `stats`, `progress`, `forward`,
+//! `hello`, `evicted`, `busy`, `ok`, or `error`). Requests may carry an `id`
 //! member; the daemon echoes it on every event of that request's stream,
 //! so a fleet client multiplexing requests can match responses (see
 //! [`Request::encode_framed`]). An overloaded daemon may answer a fresh
@@ -26,8 +26,9 @@ pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Minor revision of the wire protocol, advertised in the `hello`
 /// answer. Minor revisions are backwards compatible — v2.1 adds the
-/// `busy` admission-control event and the admission counters on `stats`,
-/// both of which a v2.0 peer simply never sees (a v2.0 *client* talking
+/// `busy` admission-control event, the admission counters on `stats`,
+/// and the `progress` request/event pair for live run-progress queries,
+/// all of which a v2.0 peer simply never sees (a v2.0 *client* talking
 /// to a v2.1 daemon under overload sees the connection refused with an
 /// unknown event, which is the correct failure for a peer that cannot
 /// honor the backoff hint). Peers never refuse a connection over a minor
@@ -147,6 +148,9 @@ pub enum Request {
     },
     /// Cache/daemon counters.
     Stats,
+    /// Live run-progress counters (protocol v2.1): how many runs are in
+    /// flight and how far through their layers they are.
+    Progress,
     /// Evict least-recently-used cache entries down to a bound.
     Evict {
         /// Maximum entries to keep.
@@ -184,6 +188,7 @@ impl Request {
             Request::Simulate(run) => run_obj("simulate", run, None),
             Request::Forward { run, seed } => run_obj("forward", run, Some(*seed)),
             Request::Stats => obj(vec![("req", s("stats"))]),
+            Request::Progress => obj(vec![("req", s("progress"))]),
             Request::Evict { max } => obj(vec![("req", s("evict")), ("max", u(*max))]),
             Request::Shutdown => obj(vec![("req", s("shutdown"))]),
         }
@@ -221,6 +226,7 @@ impl Request {
                 seed: v.get("seed").and_then(Value::as_u64).unwrap_or(0),
             }),
             "stats" => Ok(Request::Stats),
+            "progress" => Ok(Request::Progress),
             "evict" => Ok(Request::Evict {
                 max: u64_field(v, "max")?,
             }),
@@ -462,6 +468,21 @@ pub enum Event {
         /// Connections currently being served by workers.
         in_flight: u64,
     },
+    /// Terminal answer to a `progress` request: live sweep-progress
+    /// counters. A "layer cell" is one layer of an active run;
+    /// `layers_total` sums the planned layer counts of every run in
+    /// flight, so a sweep client can print `done/total` per poll.
+    /// Protocol v2.1.
+    Progress {
+        /// Runs (simulate/compile requests) currently executing.
+        runs_active: u64,
+        /// Runs completed since daemon startup.
+        runs_done: u64,
+        /// Layer cells finished across the active runs.
+        layers_done: u64,
+        /// Layer cells planned across the active runs.
+        layers_total: u64,
+    },
     /// Terminal answer to a `hello` request.
     Hello {
         /// The daemon's [`PROTOCOL_VERSION`].
@@ -591,6 +612,18 @@ impl Event {
                 ("shed", u(*shed)),
                 ("in_flight", u(*in_flight)),
             ]),
+            Event::Progress {
+                runs_active,
+                runs_done,
+                layers_done,
+                layers_total,
+            } => obj(vec![
+                ("ev", s("progress")),
+                ("runs_active", u(*runs_active)),
+                ("runs_done", u(*runs_done)),
+                ("layers_done", u(*layers_done)),
+                ("layers_total", u(*layers_total)),
+            ]),
             Event::Hello {
                 version,
                 minor,
@@ -709,6 +742,12 @@ impl Event {
                 queued: u64_field_or(v, "queued", 0),
                 shed: u64_field_or(v, "shed", 0),
                 in_flight: u64_field_or(v, "in_flight", 0),
+            }),
+            "progress" => Ok(Event::Progress {
+                runs_active: u64_field(v, "runs_active")?,
+                runs_done: u64_field(v, "runs_done")?,
+                layers_done: u64_field(v, "layers_done")?,
+                layers_total: u64_field(v, "layers_total")?,
             }),
             "busy" => Ok(Event::Busy {
                 retry_after_ms: u64_field(v, "retry_after_ms")?,
@@ -882,6 +921,7 @@ mod tests {
                 ],
             },
             Request::Evict { max: 128 },
+            Request::Progress,
         ];
         for req in reqs {
             let line = req.encode();
@@ -991,10 +1031,21 @@ mod tests {
                 shed: 7,
                 in_flight: 8,
             },
+            Event::Progress {
+                runs_active: 2,
+                runs_done: 14,
+                layers_done: 9,
+                layers_total: 21,
+            },
             Event::Hello {
                 version: PROTOCOL_VERSION,
                 minor: PROTOCOL_MINOR,
-                caps: vec!["compile_keys".into(), "evict".into(), "busy".into()],
+                caps: vec![
+                    "compile_keys".into(),
+                    "evict".into(),
+                    "busy".into(),
+                    "progress".into(),
+                ],
             },
             Event::Busy {
                 retry_after_ms: 50,

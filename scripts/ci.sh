@@ -191,4 +191,94 @@ if [[ $quick -eq 0 ]]; then
     rm -rf "$fleet_dir"
 fi
 
+if [[ $quick -eq 0 ]]; then
+    echo "==> resume smoke: SIGKILLed exp_all --journal resumed with --resume must be byte-identical"
+    res_dir="$(mktemp -d)"
+    trap 'kill "$exp_pid" 2>/dev/null || true; rm -rf "$res_dir"' EXIT
+    # Byte-identity across separate processes needs the live-calibrated
+    # MAC rate pinned (Table 4) and the persisted cache off.
+    res_env=(env CBRAIN_MAC_RATE=5.7e8 CBRAIN_CACHE=off)
+    journal="$res_dir/sweep.journal"
+    "${res_env[@]}" ./target/release/exp_all --jobs 4 >"$res_dir/reference.txt" 2>/dev/null
+
+    # Kill a journaled sweep wherever the timer happens to land — the
+    # resume contract is byte-identity no matter where the kill hits
+    # (before the first cell, mid-sweep, or after the last).
+    "${res_env[@]}" ./target/release/exp_all --jobs 4 --journal "$journal" \
+        >/dev/null 2>"$res_dir/killed.err" &
+    exp_pid=$!
+    for _ in $(seq 1 100); do
+        grep -q "cells complete" "$res_dir/killed.err" 2>/dev/null && break
+        kill -0 "$exp_pid" 2>/dev/null || break
+        sleep 0.05
+    done
+    kill -9 "$exp_pid" 2>/dev/null || true
+    wait "$exp_pid" 2>/dev/null || true
+    "${res_env[@]}" ./target/release/exp_all --jobs 4 --journal "$journal" --resume \
+        >"$res_dir/resumed.txt" 2>/dev/null
+    if ! diff -u "$res_dir/reference.txt" "$res_dir/resumed.txt"; then
+        echo "error: resumed sweep differs from an uninterrupted one" >&2
+        exit 1
+    fi
+
+    # Deterministic torn tail: tear bytes off the now-complete journal
+    # exactly as a SIGKILL mid-append would, then resume under a
+    # different --jobs. The whole journal (bar the torn record) must
+    # replay and the output must still match.
+    truncate -s "$(($(stat -c %s "$journal") - 7))" "$journal"
+    "${res_env[@]}" ./target/release/exp_all --jobs 2 --journal "$journal" --resume \
+        >"$res_dir/torn.txt" 2>"$res_dir/torn.err"
+    grep -q "replaying recorded output" "$res_dir/torn.err" \
+        || { echo "error: torn-tail resume never replayed a journaled cell" >&2; cat "$res_dir/torn.err" >&2; exit 1; }
+    if ! diff -u "$res_dir/reference.txt" "$res_dir/torn.txt"; then
+        echo "error: torn-tail resume differs from an uninterrupted sweep" >&2
+        exit 1
+    fi
+
+    # Fleet-mode resume: tear the journal again and resume through a
+    # single cbrand shard — replayed cells skip the fleet entirely, the
+    # re-simulated one compiles remotely, and the bytes still match.
+    ./target/release/cbrand --port 0 --cache off \
+        >"$res_dir/shard.out" 2>"$res_dir/shard.err" &
+    shard_pid=$!
+    trap 'kill "$shard_pid" 2>/dev/null || true; rm -rf "$res_dir"' EXIT
+    addr=""
+    for _ in $(seq 1 50); do
+        addr="$(sed -n 's/^cbrand listening on //p' "$res_dir/shard.out")"
+        [[ -n "$addr" ]] && break
+        sleep 0.1
+    done
+    [[ -n "$addr" ]] || { echo "error: resume-smoke cbrand never reported its address" >&2; cat "$res_dir/shard.err" >&2; exit 1; }
+    truncate -s "$(($(stat -c %s "$journal") - 7))" "$journal"
+    "${res_env[@]}" ./target/release/exp_all --jobs 4 --shards "$addr" \
+        --journal "$journal" --resume >"$res_dir/fleet.txt" 2>/dev/null
+    if ! diff -u "$res_dir/reference.txt" "$res_dir/fleet.txt"; then
+        echo "error: fleet-mode resume differs from an uninterrupted sweep" >&2
+        exit 1
+    fi
+    ./target/release/cbrain cbrand-client --connect "$addr" --shutdown >/dev/null
+    wait "$shard_pid"
+    trap - EXIT
+    rm -rf "$res_dir"
+fi
+
+echo "==> docs link check: local files referenced from README.md and docs/ must exist"
+link_fail=0
+for doc in ./*.md docs/*.md; do
+    [[ -f "$doc" ]] || continue
+    dir="$(dirname "$doc")"
+    while IFS= read -r target; do
+        case "$target" in
+            http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        target="${target%%#*}"
+        [[ -n "$target" ]] || continue
+        if [[ ! -e "$dir/$target" && ! -e "$target" ]]; then
+            echo "error: $doc links to missing file: $target" >&2
+            link_fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+[[ $link_fail -eq 0 ]] || exit 1
+
 echo "CI gate passed."

@@ -206,6 +206,77 @@ fn overloaded_daemon_sheds_with_busy_yet_every_client_converges() {
 }
 
 #[test]
+fn progress_counters_track_runs_and_settle_idle() {
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        DaemonOptions {
+            jobs: 2,
+            ..DaemonOptions::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = daemon.local_addr().to_string();
+    let server = thread::spawn(move || daemon.run());
+
+    let progress = |client: &mut Client| {
+        let terminal = client.submit(&Request::Progress, |_| {}).expect("progress");
+        let Event::Progress {
+            runs_active,
+            runs_done,
+            layers_done,
+            layers_total,
+        } = terminal
+        else {
+            panic!("expected progress, got {terminal:?}");
+        };
+        (runs_active, runs_done, layers_done, layers_total)
+    };
+
+    // An idle daemon reports all zeroes.
+    let mut client = Client::builder(&addr).connect().expect("connect");
+    assert_eq!(progress(&mut client), (0, 0, 0, 0));
+
+    // During a run, a second connection must see it counted: poll from
+    // inside the layer-stream callback, where the run is active by
+    // construction.
+    let mut poller = Client::builder(&addr).connect().expect("connect");
+    let mut mid_run = None;
+    let run = RunRequest {
+        network: NetworkSource::Zoo("alexnet".into()),
+        ..RunRequest::default()
+    };
+    client
+        .simulate(&run, |_layer| {
+            if mid_run.is_none() {
+                mid_run = Some(progress(&mut poller));
+            }
+        })
+        .expect("simulate");
+    // The daemon may already have finished the (fast) run by the time
+    // the poll lands, so accept both sides of that race — but demand a
+    // consistent snapshot either way.
+    let (active, done, layers_done, layers_total) = mid_run.expect("layer events streamed");
+    assert_eq!(active + done, 1, "exactly one run was submitted");
+    if active == 1 {
+        assert!(layers_total > 0, "active run must contribute layer cells");
+        assert!(layers_done <= layers_total);
+    } else {
+        assert_eq!(
+            (layers_done, layers_total),
+            (0, 0),
+            "finished run must unwind"
+        );
+    }
+
+    // After the run finishes its contribution unwinds: one run done,
+    // nothing active, no layer cells in flight.
+    assert_eq!(progress(&mut client), (0, 1, 0, 0));
+
+    client.submit(&Request::Shutdown, |_| {}).expect("shutdown");
+    server.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
 fn daemon_restart_serves_from_persisted_cache() {
     let dir = std::env::temp_dir().join(format!("cbrand_e2e_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
