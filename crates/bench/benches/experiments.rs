@@ -173,8 +173,35 @@ fn bench_compile() {
     });
 }
 
+/// SIMD hot-loop kernels, each timed under forced-SIMD and forced-scalar
+/// dispatch. `bench_kernels` (the binary) is the full per-kernel harness
+/// with digests and JSON output; these entries just keep the kernels
+/// visible in the one-stop `cargo bench` listing.
+fn bench_kernels() {
+    use cbrain_model::rng::XorShift64;
+    use cbrain_model::{reference, simd, ConvParams, ConvWeights, Tensor3, TensorShape};
+
+    let g = "kernels";
+    let p = ConvParams::new(32, 32, 3, 1, 1);
+    let input = {
+        let mut rng = XorShift64::seed_from_u64(1);
+        Tensor3::from_fn(TensorShape::new(32, 56, 56), |_, _, _| {
+            rng.range_f32(-1.0, 1.0)
+        })
+    };
+    let weights = ConvWeights::random(&p, 2);
+    for (leg, force) in [("simd", false), ("scalar", true)] {
+        simd::set_force_scalar(Some(force));
+        bench(g, &format!("conv_reference_3x3/{leg}"), 5, || {
+            black_box(reference::conv_forward(&input, &weights, None, &p).unwrap());
+        });
+    }
+    simd::set_force_scalar(None);
+}
+
 fn main() {
     bench_figures();
+    bench_kernels();
     bench_schemes();
     bench_biggest_network();
     bench_ablations();

@@ -1,20 +1,21 @@
 //! The one place `CBRAIN_*` environment variables are read.
 //!
-//! Seven knobs configure the workspace from the environment. Each has a
+//! Eight knobs configure the workspace from the environment. Each has a
 //! single documented precedence: **CLI flag > environment > default**.
 //! Call sites never touch [`std::env::var`] for these directly — they go
 //! through [`EnvConfig`], which captures the raw environment once and
 //! exposes typed accessors:
 //!
-//! | Variable           | Accessor                                  | Meaning                                        |
-//! |--------------------|-------------------------------------------|------------------------------------------------|
-//! | `CBRAIN_CACHE`     | [`persistence_enabled`], [`cache_file`]   | `off`/`0` disables cache persistence entirely  |
-//! | `CBRAIN_CACHE_DIR` | [`cache_file`]                            | overrides the cache *directory*                |
-//! | `CBRAIN_CACHE_MAX` | [`cache_max`]                             | bounds persisted cache entries (LRU-evicted)   |
-//! | `CBRAIN_MAC_RATE`  | [`mac_rate`]                              | pins the CPU MAC-rate calibration (Table 4)    |
-//! | `CBRAIN_SHARDS`    | [`shards`]                                | default fleet shard list, `HOST:PORT,...`      |
-//! | `CBRAIN_JOURNAL`   | [`journal_file`]                          | default run-journal path for sweeps            |
-//! | `CBRAIN_RESUME`    | [`resume`]                                | `1`/`true`/`on` resumes from the journal       |
+//! | Variable              | Accessor                                  | Meaning                                        |
+//! |-----------------------|-------------------------------------------|------------------------------------------------|
+//! | `CBRAIN_CACHE`        | [`persistence_enabled`], [`cache_file`]   | `off`/`0` disables cache persistence entirely  |
+//! | `CBRAIN_CACHE_DIR`    | [`cache_file`]                            | overrides the cache *directory*                |
+//! | `CBRAIN_CACHE_MAX`    | [`cache_max`]                             | bounds persisted cache entries (LRU-evicted)   |
+//! | `CBRAIN_MAC_RATE`     | [`mac_rate`]                              | pins the CPU MAC-rate calibration (Table 4)    |
+//! | `CBRAIN_SHARDS`       | [`shards`]                                | default fleet shard list, `HOST:PORT,...`      |
+//! | `CBRAIN_JOURNAL`      | [`journal_file`]                          | default run-journal path for sweeps            |
+//! | `CBRAIN_RESUME`       | [`resume`]                                | `1`/`true`/`on` resumes from the journal       |
+//! | `CBRAIN_FORCE_SCALAR` | [`force_scalar`]                          | `1`/`true`/`on` pins the scalar SIMD fallback  |
 //!
 //! [`persistence_enabled`]: EnvConfig::persistence_enabled
 //! [`cache_file`]: EnvConfig::cache_file
@@ -23,10 +24,20 @@
 //! [`shards`]: EnvConfig::shards
 //! [`journal_file`]: EnvConfig::journal_file
 //! [`resume`]: EnvConfig::resume
+//! [`force_scalar`]: EnvConfig::force_scalar
 //!
 //! The struct is a plain snapshot: [`EnvConfig::load`] reads the process
 //! environment, [`EnvConfig::from_lookup`] builds one from any closure so
 //! tests never have to mutate process-global state.
+//!
+//! One documented exception to "call sites go through `EnvConfig`":
+//! `CBRAIN_FORCE_SCALAR` is *acted on* inside `cbrain_simd` (re-exported
+//! as [`cbrain_model::simd`]), which sits below this crate in the
+//! dependency graph and therefore cannot see [`EnvConfig`]. That crate
+//! reads the variable once, at first kernel dispatch, with exactly the
+//! truth-parsing rules [`EnvConfig::force_scalar`] documents; the
+//! accessor here exists so operator tooling reports the knob alongside
+//! the other seven.
 
 use std::path::PathBuf;
 
@@ -58,6 +69,11 @@ pub const ENV_JOURNAL: &str = "CBRAIN_JOURNAL";
 /// found in the journal are replayed instead of re-simulated.
 pub const ENV_RESUME: &str = "CBRAIN_RESUME";
 
+/// Pins every SIMD kernel to its scalar fallback (see
+/// [`cbrain_model::simd`]). The differential-test escape hatch: results
+/// must be bit-identical either way, so flipping this only changes speed.
+pub const ENV_FORCE_SCALAR: &str = cbrain_model::simd::ENV_FORCE_SCALAR;
+
 /// A typed snapshot of every `CBRAIN_*` environment variable (plus the
 /// `XDG_CACHE_HOME`/`HOME` fallbacks that cache-path resolution needs).
 ///
@@ -72,6 +88,7 @@ pub struct EnvConfig {
     shards: Option<String>,
     journal: Option<String>,
     resume: Option<String>,
+    force_scalar: Option<String>,
     xdg_cache_home: Option<String>,
     home: Option<String>,
 }
@@ -95,6 +112,7 @@ impl EnvConfig {
             shards: lookup(ENV_SHARDS),
             journal: lookup(ENV_JOURNAL),
             resume: lookup(ENV_RESUME),
+            force_scalar: lookup(ENV_FORCE_SCALAR),
             xdg_cache_home: lookup("XDG_CACHE_HOME"),
             home: lookup("HOME"),
         }
@@ -206,6 +224,25 @@ impl EnvConfig {
             Some("1") | Some("true") | Some("on")
         )
     }
+
+    /// Whether the environment pins SIMD kernels to the scalar fallback.
+    /// Same truth rules as [`EnvConfig::resume`]: `1`, `true` or `on`
+    /// (case-insensitive); anything else leaves SIMD dispatch on.
+    ///
+    /// Reporting-only here — the dispatch decision itself is made (with
+    /// identical parsing) inside `cbrain_simd`, the one crate allowed to
+    /// read this variable directly (see the module docs).
+    #[must_use]
+    pub fn force_scalar(&self) -> bool {
+        matches!(
+            self.force_scalar
+                .as_deref()
+                .map(str::trim)
+                .map(str::to_ascii_lowercase)
+                .as_deref(),
+            Some("1") | Some("true") | Some("on")
+        )
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +341,24 @@ mod tests {
             assert!(!config(&[(ENV_RESUME, no)]).resume(), "{no:?}");
         }
         assert!(!config(&[]).resume());
+    }
+
+    #[test]
+    fn force_scalar_accepts_only_explicit_truths() {
+        for yes in ["1", "true", "on", " TRUE ", "On"] {
+            assert!(config(&[(ENV_FORCE_SCALAR, yes)]).force_scalar(), "{yes:?}");
+        }
+        for no in ["", "0", "false", "off", "yes", "scalar"] {
+            assert!(!config(&[(ENV_FORCE_SCALAR, no)]).force_scalar(), "{no:?}");
+        }
+        assert!(!config(&[]).force_scalar());
+    }
+
+    #[test]
+    fn force_scalar_name_matches_the_simd_crate() {
+        // The dispatch-time read lives in cbrain_simd; the two constants
+        // must never drift apart.
+        assert_eq!(ENV_FORCE_SCALAR, "CBRAIN_FORCE_SCALAR");
     }
 
     #[test]

@@ -250,11 +250,7 @@ pub fn forward(
                 let (_, w, b) = weights.fc(&layer.name);
                 let mut out = reference::fc_forward(&input_vec, w, Some(b), p)?;
                 if !is_last {
-                    for v in &mut out {
-                        if *v < 0.0 {
-                            *v = 0.0;
-                        }
-                    }
+                    cbrain_model::simd::relu(&mut out);
                 }
                 flat = Some(out);
                 schemes.push((layer.name.clone(), None));

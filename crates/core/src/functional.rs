@@ -8,9 +8,25 @@
 //! adder-tree datapath the cycle model assumes.
 
 use crate::partition_math::partition;
-use cbrain_model::{reference, ConvParams, ConvWeights, ModelError, Tensor3};
+use cbrain_model::{reference, simd, ConvParams, ConvWeights, ModelError, Tensor3};
 use cbrain_sim::pe::PeArray;
 use cbrain_sim::PeConfig;
+
+/// The output columns `ox` of a unit-stride row pass whose input tap
+/// `ox + kx - pad` lands inside an unpadded row of width `in_w`, together
+/// with the input column the first tap reads: `(lo, hi, x0)` with the
+/// span possibly empty (`lo >= hi`).
+#[inline]
+fn row_span(kx: usize, pad: isize, in_w: usize, out_w: usize) -> (usize, usize, usize) {
+    let lo = (pad - kx as isize).max(0) as usize;
+    let hi = (in_w as isize + pad - kx as isize).clamp(0, out_w as isize) as usize;
+    let x0 = if lo < hi {
+        (lo as isize + kx as isize - pad) as usize
+    } else {
+        0
+    };
+    (lo, hi, x0)
+}
 
 /// Kernel-partitioned convolution (Algorithm 1): the `k x k` kernel is
 /// split into `g x g` sub-kernels of side `ks = s`; each pass produces a
@@ -54,11 +70,47 @@ pub fn partition_forward(
     if let Some(b) = bias {
         for (o, &bv) in b.iter().enumerate().take(out_shape.maps) {
             for oy in 0..out_shape.height {
-                for ox in 0..out_shape.width {
-                    *out.at_mut(o, oy, ox) = bv;
+                out.row_mut(o, oy).fill(bv);
+            }
+        }
+    }
+
+    if params.stride == 1 {
+        // Unit stride means ks == 1: every pass slides a single weight.
+        // Accumulate each output row's pass partial with row-wise axpy,
+        // then add-and-store it — the same per-pixel term order and the
+        // same one-add-per-pass structure as the loop below (Algorithm 1
+        // line 8), vectorized across independent output pixels.
+        let in_shape = input.shape();
+        let mut acc_row = vec![0.0f32; out_shape.width];
+        for gy in 0..g {
+            for gx in 0..g {
+                if gy >= params.kernel || gx >= params.kernel {
+                    continue;
+                }
+                let (lo, hi, x0) = row_span(gx, pad, in_shape.width, out_shape.width);
+                for o in 0..params.out_maps {
+                    let group = o / out_per_group;
+                    let in_base = group * in_per_group;
+                    for oy in 0..out_shape.height {
+                        let y = oy as isize - pad + gy as isize;
+                        acc_row.fill(0.0);
+                        if y >= 0 && (y as usize) < in_shape.height && lo < hi {
+                            for i in 0..in_per_group {
+                                let in_row = input.row(in_base + i, y as usize);
+                                simd::axpy(
+                                    &mut acc_row[lo..hi],
+                                    weights.at(o, i, gy, gx),
+                                    &in_row[x0..x0 + (hi - lo)],
+                                );
+                            }
+                        }
+                        simd::add_assign(out.row_mut(o, oy), &acc_row);
+                    }
                 }
             }
         }
+        return Ok(out);
     }
 
     for gy in 0..g {
@@ -128,10 +180,10 @@ pub fn unrolled_forward(
         for w in 0..windows_per_map {
             let mut acc = bias.map_or(0.0, |b| b[o]);
             for i in 0..in_per_group {
+                // The unrolled window run and the kernel run share the
+                // same (ky, kx) row-major layout: one dot product each.
                 let run = &buf[((in_base + i) * windows_per_map + w) * k2..][..k2];
-                for (j, v) in run.iter().enumerate() {
-                    acc += v * weights.at(o, i, j / params.kernel, j % params.kernel);
-                }
+                acc += simd::dot(run, weights.kernel_run(o, i));
             }
             *out.at_mut(o, w / wx, w % wx) = acc;
         }
@@ -174,11 +226,50 @@ pub fn inter_forward(
     if let Some(b) = bias {
         for (o, &bv) in b.iter().enumerate().take(out_shape.maps) {
             for oy in 0..out_shape.height {
-                for ox in 0..out_shape.width {
-                    *out.at_mut(o, oy, ox) = bv;
+                out.row_mut(o, oy).fill(bv);
+            }
+        }
+    }
+
+    if params.stride == 1 {
+        // Row-wise variant: each Din block's partial accumulates in a row
+        // of "PE registers" via axpy over shifted input rows (term order
+        // per pixel unchanged: i -> ky -> kx), then one add-and-store per
+        // block, exactly like the per-pixel loop below.
+        let in_shape = input.shape();
+        let mut acc_row = vec![0.0f32; out_shape.width];
+        for o in 0..params.out_maps {
+            let group = o / out_per_group;
+            let in_base = group * in_per_group;
+            for oy in 0..out_shape.height {
+                for i_block in (0..in_per_group).step_by(tin) {
+                    acc_row.fill(0.0);
+                    for i in i_block..(i_block + tin).min(in_per_group) {
+                        for ky in 0..params.kernel {
+                            let y = oy as isize - pad + ky as isize;
+                            if y < 0 || y as usize >= in_shape.height {
+                                continue;
+                            }
+                            let in_row = input.row(in_base + i, y as usize);
+                            for kx in 0..params.kernel {
+                                let (lo, hi, x0) =
+                                    row_span(kx, pad, in_shape.width, out_shape.width);
+                                if lo < hi {
+                                    simd::axpy(
+                                        &mut acc_row[lo..hi],
+                                        weights.at(o, i, ky, kx),
+                                        &in_row[x0..x0 + (hi - lo)],
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    // One add-and-store per Din block.
+                    simd::add_assign(out.row_mut(o, oy), &acc_row);
                 }
             }
         }
+        return Ok(out);
     }
 
     for o in 0..params.out_maps {
@@ -232,11 +323,44 @@ pub fn improved_inter_forward(
     if let Some(b) = bias {
         for (o, &bv) in b.iter().enumerate().take(out_shape.maps) {
             for oy in 0..out_shape.height {
-                for ox in 0..out_shape.width {
-                    *out.at_mut(o, oy, ox) = bv;
+                out.row_mut(o, oy).fill(bv);
+            }
+        }
+    }
+
+    if params.stride == 1 {
+        // Row-wise variant: the (ky, kx) pass's sum-over-Din partial for a
+        // whole output row accumulates via axpy (per-pixel term order
+        // unchanged), then one add-and-store into the output buffer —
+        // performed even for fully padded rows, like the loop below.
+        let in_shape = input.shape();
+        let mut partial_row = vec![0.0f32; out_shape.width];
+        for ky in 0..params.kernel {
+            for kx in 0..params.kernel {
+                let (lo, hi, x0) = row_span(kx, pad, in_shape.width, out_shape.width);
+                for o in 0..params.out_maps {
+                    let group = o / out_per_group;
+                    let in_base = group * in_per_group;
+                    for oy in 0..out_shape.height {
+                        let y = oy as isize - pad + ky as isize;
+                        partial_row.fill(0.0);
+                        if y >= 0 && (y as usize) < in_shape.height && lo < hi {
+                            for i in 0..in_per_group {
+                                let in_row = input.row(in_base + i, y as usize);
+                                simd::axpy(
+                                    &mut partial_row[lo..hi],
+                                    weights.at(o, i, ky, kx),
+                                    &in_row[x0..x0 + (hi - lo)],
+                                );
+                            }
+                        }
+                        // add-and-store
+                        simd::add_assign(out.row_mut(o, oy), &partial_row);
+                    }
                 }
             }
         }
+        return Ok(out);
     }
 
     // Weights for one (ky, kx) are held while every pixel of every output

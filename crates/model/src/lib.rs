@@ -41,6 +41,7 @@ pub mod stats;
 mod tensor;
 pub mod zoo;
 
+pub use cbrain_simd as simd;
 pub use error::ModelError;
 pub use fixed::Fx16;
 pub use layer::{

@@ -55,6 +55,51 @@ pub fn conv_forward(
     let in_per_group = params.in_maps_per_group();
     let out_per_group = params.out_maps_per_group();
     let pad = params.pad as isize;
+    let in_shape = input.shape();
+    if params.stride == 1 {
+        // Row-wise path: for a unit stride every output row is an axpy
+        // accumulation of shifted input rows. Vectorization runs *across*
+        // independent output pixels, so each pixel still accumulates its
+        // terms in the same `i -> ky -> kx` order as the per-pixel loop
+        // below — the SIMD and scalar backends agree bit-for-bit.
+        for o in 0..params.out_maps {
+            let group = o / out_per_group;
+            let in_base = group * in_per_group;
+            let b = bias.map_or(0.0, |b| b[o]);
+            for oy in 0..out_shape.height {
+                let iy0 = oy as isize - pad;
+                let row = out.row_mut(o, oy);
+                row.fill(b);
+                for i in 0..in_per_group {
+                    for ky in 0..params.kernel {
+                        let y = iy0 + ky as isize;
+                        if y < 0 || y as usize >= in_shape.height {
+                            continue;
+                        }
+                        let in_row = input.row(in_base + i, y as usize);
+                        for kx in 0..params.kernel {
+                            // Output columns whose tap `ox + kx - pad`
+                            // lands inside the (unpadded) input row.
+                            let lo = pad.saturating_sub(kx as isize).max(0) as usize;
+                            let hi = (in_shape.width as isize + pad - kx as isize)
+                                .clamp(0, out_shape.width as isize)
+                                as usize;
+                            if lo >= hi {
+                                continue;
+                            }
+                            let x0 = (lo as isize + kx as isize - pad) as usize;
+                            cbrain_simd::axpy(
+                                &mut row[lo..hi],
+                                weights.at(o, i, ky, kx),
+                                &in_row[x0..x0 + (hi - lo)],
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        return Ok(out);
+    }
     for o in 0..params.out_maps {
         let group = o / out_per_group;
         let in_base = group * in_per_group;
@@ -160,11 +205,7 @@ pub fn fc_forward(
     let mut out = Vec::with_capacity(params.out_features);
     for j in 0..params.out_features {
         let row = &weights[j * params.in_features..(j + 1) * params.in_features];
-        let mut acc = bias.map_or(0.0, |b| b[j]);
-        for (v, w) in input.iter().zip(row) {
-            acc += v * w;
-        }
-        out.push(acc);
+        out.push(bias.map_or(0.0, |b| b[j]) + cbrain_simd::dot(input, row));
     }
     Ok(out)
 }
@@ -194,14 +235,10 @@ pub fn eltwise_forward(a: &Tensor3, b: &Tensor3, op: EltwiseOp) -> Result<Tensor
             found: b.shape().to_string(),
         });
     }
-    let data = match op {
-        EltwiseOp::Add => a
-            .as_slice()
-            .iter()
-            .zip(b.as_slice())
-            .map(|(x, y)| x + y)
-            .collect(),
-    };
+    let mut data = a.as_slice().to_vec();
+    match op {
+        EltwiseOp::Add => cbrain_simd::add_assign(&mut data, b.as_slice()),
+    }
     Ok(Tensor3::from_vec(a.shape(), data))
 }
 
@@ -240,9 +277,22 @@ pub fn unroll_windows(
                 let y0 = (oy * stride) as isize - pad as isize;
                 let x0 = (ox * stride) as isize - pad as isize;
                 for ky in 0..kernel {
-                    for kx in 0..kernel {
-                        out.push(input.at_padded(m, y0 + ky as isize, x0 + kx as isize));
+                    let y = y0 + ky as isize;
+                    if y < 0 || y as usize >= shape.height {
+                        out.resize(out.len() + kernel, 0.0);
+                        continue;
                     }
+                    // The in-bounds columns of this window row form one
+                    // contiguous slice of the image row; copy it whole.
+                    let lo = ((-x0).max(0) as usize).min(kernel);
+                    let hi =
+                        ((shape.width as isize - x0).clamp(0, kernel as isize) as usize).max(lo);
+                    out.resize(out.len() + lo, 0.0);
+                    if lo < hi {
+                        let x = (x0 + lo as isize) as usize;
+                        out.extend_from_slice(&input.row(m, y as usize)[x..x + (hi - lo)]);
+                    }
+                    out.resize(out.len() + (kernel - hi), 0.0);
                 }
             }
         }

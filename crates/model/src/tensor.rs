@@ -127,6 +127,30 @@ impl Tensor3 {
         }
     }
 
+    /// One contiguous image row: the `width` values of map `map` at height
+    /// `y`. The SIMD'd convolution paths operate row-wise on these slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on out-of-range indices.
+    #[inline]
+    pub fn row(&self, map: usize, y: usize) -> &[f32] {
+        let off = self.offset(map, y, 0);
+        &self.data[off..off + self.shape.width]
+    }
+
+    /// Mutable counterpart of [`Tensor3::row`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) on out-of-range indices.
+    #[inline]
+    pub fn row_mut(&mut self, map: usize, y: usize) -> &mut [f32] {
+        let off = self.offset(map, y, 0);
+        let w = self.shape.width;
+        &mut self.data[off..off + w]
+    }
+
     /// Flat view of the underlying storage.
     pub fn as_slice(&self) -> &[f32] {
         &self.data
@@ -152,12 +176,11 @@ impl Tensor3 {
     }
 
     /// Applies ReLU in place (the accelerator's active-function stage).
+    ///
+    /// Uses select semantics (`v > 0.0 ? v : 0.0`) so the SIMD and scalar
+    /// backends agree bitwise; `-0.0` normalizes to `+0.0`.
     pub fn relu_in_place(&mut self) {
-        for v in &mut self.data {
-            if *v < 0.0 {
-                *v = 0.0;
-            }
-        }
+        cbrain_simd::relu(&mut self.data);
     }
 }
 
@@ -252,6 +275,17 @@ impl ConvWeights {
         &mut self.data[off]
     }
 
+    /// The contiguous `kernel * kernel` run of weights for output map
+    /// `out_map` and group-local input map `in_map`, in `(ky, kx)`
+    /// row-major order — exactly the layout [`crate::reference::unroll_windows`]
+    /// produces per window, so the unrolled executor can take a dot product
+    /// of the two runs directly.
+    #[inline]
+    pub fn kernel_run(&self, out_map: usize, in_map: usize) -> &[f32] {
+        let off = self.offset(out_map, in_map, 0, 0);
+        &self.data[off..off + self.kernel * self.kernel]
+    }
+
     /// Total number of weight values.
     pub fn len(&self) -> usize {
         self.data.len()
@@ -317,6 +351,32 @@ mod tests {
         let mut b = Tensor3::zeros(TensorShape::new(1, 2, 2));
         *b.at_mut(0, 1, 1) = -0.25;
         assert_eq!(a.max_abs_diff(&b), 0.25);
+    }
+
+    #[test]
+    fn rows_are_contiguous_width_slices() {
+        let mut t = Tensor3::from_fn(TensorShape::new(2, 2, 3), |m, y, x| {
+            (m * 100 + y * 10 + x) as f32
+        });
+        assert_eq!(t.row(1, 1), &[110.0, 111.0, 112.0]);
+        t.row_mut(0, 1).copy_from_slice(&[7.0, 8.0, 9.0]);
+        assert_eq!(t.at(0, 1, 2), 9.0);
+        assert_eq!(t.row(0, 0), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn kernel_run_matches_elementwise_access() {
+        let p = ConvParams::new(3, 2, 2, 1, 0);
+        let w = ConvWeights::from_fn(&p, |o, i, ky, kx| {
+            (o * 1000 + i * 100 + ky * 10 + kx) as f32
+        });
+        let run = w.kernel_run(1, 2);
+        assert_eq!(run.len(), 4);
+        for ky in 0..2 {
+            for kx in 0..2 {
+                assert_eq!(run[ky * 2 + kx], w.at(1, 2, ky, kx));
+            }
+        }
     }
 
     #[test]

@@ -14,6 +14,57 @@ use crate::isa::{MacroOp, Program, Tile};
 use crate::stats::Stats;
 use crate::trace::{Trace, TraceEvent};
 
+/// Reused per-tile scratch that gathers `MacBurst` operands column-wise so
+/// the multiply-burst accounting can run through [`cbrain_simd::mac_dot`]
+/// in bulk instead of six scalar multiplies per op. Wrapping integer sums
+/// are order-independent, so the totals are identical to the per-op path
+/// (which the traced run still takes).
+#[derive(Debug, Default)]
+struct MacScratch {
+    bursts: Vec<u64>,
+    active_lanes: Vec<u32>,
+    input_reads: Vec<u32>,
+    weight_reads: Vec<u32>,
+    psum_reads: Vec<u32>,
+    output_writes: Vec<u32>,
+}
+
+impl MacScratch {
+    #[allow(clippy::too_many_arguments)]
+    fn push(
+        &mut self,
+        bursts: u64,
+        active_lanes: u32,
+        input_reads: u32,
+        weight_reads: u32,
+        psum_reads: u32,
+        output_writes: u32,
+    ) {
+        self.bursts.push(bursts);
+        self.active_lanes.push(active_lanes);
+        self.input_reads.push(input_reads);
+        self.weight_reads.push(weight_reads);
+        self.psum_reads.push(psum_reads);
+        self.output_writes.push(output_writes);
+    }
+
+    /// Charges the gathered bursts into `stats` and empties the scratch
+    /// (capacity is retained for the next tile).
+    fn flush(&mut self, stats: &mut Stats) {
+        stats.mac_ops += cbrain_simd::mac_dot(&self.bursts, &self.active_lanes);
+        stats.input_buf.loads += cbrain_simd::mac_dot(&self.bursts, &self.input_reads);
+        stats.weight_buf.loads += cbrain_simd::mac_dot(&self.bursts, &self.weight_reads);
+        stats.output_buf.loads += cbrain_simd::mac_dot(&self.bursts, &self.psum_reads);
+        stats.output_buf.stores += cbrain_simd::mac_dot(&self.bursts, &self.output_writes);
+        self.bursts.clear();
+        self.active_lanes.clear();
+        self.input_reads.clear();
+        self.weight_reads.clear();
+        self.psum_reads.clear();
+        self.output_writes.clear();
+    }
+}
+
 /// Execution policy knobs, exposed for the ablation benches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MachineOptions {
@@ -150,8 +201,42 @@ impl Machine {
         stats: &mut Stats,
         start_cycle: u64,
         mut trace: Option<&mut Trace>,
+        scratch: &mut MacScratch,
     ) -> u64 {
         let mut offset = 0;
+        if trace.is_none() {
+            // Untraced fast path: batch the tile's MacBursts and charge
+            // their accounting as bulk SoA dot products at tile end.
+            for op in &tile.ops {
+                let cycles = if let MacroOp::MacBurst {
+                    bursts,
+                    active_lanes,
+                    input_reads,
+                    weight_reads,
+                    psum_reads,
+                    output_writes,
+                    ..
+                } = *op
+                {
+                    let cycles = op.issue_cycles(&self.cfg);
+                    stats.lane_slots += cycles * self.cfg.pe.multipliers() as u64;
+                    scratch.push(
+                        bursts,
+                        active_lanes,
+                        input_reads,
+                        weight_reads,
+                        psum_reads,
+                        output_writes,
+                    );
+                    cycles
+                } else {
+                    self.charge_op(op, stats)
+                };
+                offset += cycles;
+            }
+            scratch.flush(stats);
+            return offset;
+        }
         for (op_index, op) in tile.ops.iter().enumerate() {
             let cycles = self.charge_op(op, stats);
             if let Some(t) = trace.as_deref_mut() {
@@ -193,9 +278,16 @@ impl Machine {
         let n = program.tiles.len();
         let mut total = 0u64;
         let mut compute_clock = 0u64;
+        let mut scratch = MacScratch::default();
         for (i, tile) in program.tiles.iter().enumerate() {
-            let compute =
-                self.tile_compute(i, tile, &mut stats, compute_clock, trace.as_deref_mut());
+            let compute = self.tile_compute(
+                i,
+                tile,
+                &mut stats,
+                compute_clock,
+                trace.as_deref_mut(),
+                &mut scratch,
+            );
             compute_clock += compute;
             stats.compute_cycles += compute;
             stats.dram_read_bytes += tile.dram_read_bytes;
@@ -395,6 +487,36 @@ mod tests {
         assert_eq!(stats.compute_cycles, 40);
         assert_eq!(stats.lane_slots, 40 * 256);
         assert_eq!(stats.mac_ops, 330);
+    }
+
+    #[test]
+    fn traced_and_untraced_stats_agree() {
+        // The untraced run batches MacBurst accounting through mac_dot;
+        // the traced run charges per op. Totals must be identical.
+        let tiles: Vec<Tile> = (0..5)
+            .map(|i| Tile {
+                dram_read_bytes: 64 * i as u64,
+                dram_write_bytes: 32 * i as u64,
+                ops: vec![
+                    burst(100 + i as u64),
+                    MacroOp::MacBurst {
+                        bursts: 7 + i as u64,
+                        active_lanes: 33,
+                        input_reads: 16,
+                        input_requests: 4,
+                        weight_reads: 5,
+                        psum_reads: 3,
+                        output_writes: 2,
+                    },
+                    MacroOp::AddStore { count: 50 },
+                    MacroOp::BiasLoad { elems: 16 },
+                ],
+            })
+            .collect();
+        let prog = Program::new("t", tiles);
+        let untraced = machine().run(&prog);
+        let (traced, _) = machine().run_traced(&prog, 1024);
+        assert_eq!(untraced, traced);
     }
 
     #[test]

@@ -113,7 +113,7 @@ impl PeArray {
             .map(|w| {
                 data.chunks(segment_len)
                     .zip(w.chunks(segment_len))
-                    .map(|(d, ws)| d.iter().zip(ws).map(|(a, b)| a * b).sum())
+                    .map(|(d, ws)| cbrain_simd::dot_f64(d, ws))
                     .collect()
             })
             .collect();

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Per-kernel SIMD-vs-scalar microbench.
+#
+# The CI container has a single CPU, so the timings it produces are
+# noise-dominated; scripts/ci.sh therefore only checks the byte-identity
+# column there. Run this script on a quiet multi-core host to get
+# meaningful per-kernel speedups, then compare against the "kernels"
+# object in BENCH_baseline.json.
+#
+#   scripts/bench_kernels.sh                # human-readable table
+#   scripts/bench_kernels.sh --json         # machine-readable
+#   scripts/bench_kernels.sh --samples 15   # more samples per kernel
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p cbrain-bench --bin bench_kernels
+exec ./target/release/bench_kernels "$@"

@@ -28,6 +28,9 @@ fi
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> cargo test --workspace -q (CBRAIN_FORCE_SCALAR=1: scalar-fallback leg)"
+CBRAIN_FORCE_SCALAR=1 cargo test --workspace -q
+
 echo "==> serving daemon e2e (loopback concurrency + persisted-cache restart)"
 cargo test --test serving -q
 
@@ -40,11 +43,26 @@ if grep -n '#\[ignore' tests/conformance.rs; then
     exit 1
 fi
 
-echo "==> cargo test --release --test conformance (scheme-conformance matrix)"
+echo "==> cargo test --test conformance (scheme-conformance matrix, simd + forced-scalar legs)"
+# Both legs must run every cell: the matrix tests count their cells
+# against hard-coded totals, so a silently skipped cell fails either leg.
 if [[ $quick -eq 0 ]]; then
     cargo test --release --test conformance -q -- --include-ignored
+    CBRAIN_FORCE_SCALAR=1 cargo test --release --test conformance -q -- --include-ignored
 else
     cargo test --test conformance -q -- --include-ignored
+    CBRAIN_FORCE_SCALAR=1 cargo test --test conformance -q -- --include-ignored
+fi
+
+if [[ $quick -eq 0 ]]; then
+    echo "==> SIMD kernel microbench (byte-identity gate; timings informational on 1-CPU hosts)"
+    # The binary exits non-zero if any kernel's simd and scalar legs
+    # produce different bytes. The before/after delta against the
+    # committed baseline is printed for the reviewer, not asserted:
+    # wall-clock on shared CI is noise (see EXPERIMENTS.md).
+    ./target/release/bench_kernels --samples 3
+    echo "--- baseline for comparison (BENCH_baseline.json, \"kernels\") ---"
+    sed -n '/"kernels": {/,/^  }/p' BENCH_baseline.json
 fi
 
 if [[ $quick -eq 0 ]]; then

@@ -25,6 +25,7 @@
 use cbrain::functional::{
     improved_inter_forward, inter_forward, partition_forward, unrolled_forward,
 };
+use cbrain::quantized::conv_forward_q16;
 use cbrain_compiler::{compile_conv, compile_layer, Scheme};
 use cbrain_model::rng::XorShift64;
 use cbrain_model::{
@@ -36,6 +37,8 @@ use cbrain_sim::{AcceleratorConfig, Machine};
 const ZOO_CONV_LAYERS: usize = 118;
 /// Residual adds across the six zoo networks (all in resnet18).
 const ZOO_ELTWISE_LAYERS: usize = 5;
+/// Conv layers across the paper's four Table 2 networks: 5 + 57 + 13 + 12.
+const PAPER_CONV_LAYERS: usize = 87;
 
 /// Spatial extent for functional execution: the smallest rectangle that
 /// still exercises every geometric feature — at least two output rows (so
@@ -61,6 +64,34 @@ fn integer_weights(p: &ConvParams, seed: u64) -> ConvWeights {
 
 fn integer_bias(p: &ConvParams) -> Vec<f32> {
     (0..p.out_maps).map(|o| (o % 7) as f32 - 3.0).collect()
+}
+
+/// Q7.8-exact input: every value a multiple of 1/4 in `[-0.75, 0.75]`.
+///
+/// A multiple of `2^-2` quantizes to Q7.8 without rounding, and its product
+/// with a multiple of `2^-3` is a multiple of `2^-5` — also exact in Q7.8
+/// (the `(wide + 128) >> 8` rounding shift in `Fx16::saturating_mul` is
+/// lossless when the wide product is a multiple of 256). Sums of such
+/// products are multiples of `2^-5` too, so as long as no partial sum
+/// reaches the ±128 saturation rails, the 16-bit datapath computes the
+/// *same real number* as the f32 reference: the error must be exactly 0.
+fn q16_input(shape: TensorShape, seed: u64) -> Tensor3 {
+    let mut rng = XorShift64::seed_from_u64(seed);
+    Tensor3::from_fn(shape, |_, _, _| rng.below(7) as f32 * 0.25 - 0.75)
+}
+
+/// Q7.8-exact weights: multiples of 1/8 in `[-0.25, 0.25]`. Small enough
+/// that even VGG's deepest reductions (512 maps x 3x3 = 4608 terms of at
+/// most 0.1875 each, randomly signed) stay far from saturation.
+fn q16_weights(p: &ConvParams, seed: u64) -> ConvWeights {
+    let mut rng = XorShift64::seed_from_u64(seed);
+    ConvWeights::from_fn(p, |_, _, _, _| rng.below(5) as f32 * 0.125 - 0.25)
+}
+
+fn q16_bias(p: &ConvParams) -> Vec<f32> {
+    (0..p.out_maps)
+        .map(|o| (o % 7) as f32 * 0.25 - 0.75)
+        .collect()
 }
 
 /// Executes one cell through the scheme-faithful functional executor.
@@ -157,6 +188,87 @@ fn every_zoo_conv_cell_compiles_and_conserves_macs() {
         }
     }
     assert_eq!(cells, ZOO_CONV_LAYERS * Scheme::ALL.len());
+}
+
+/// The quantized matrix: every conv layer of the paper's four Table 2
+/// networks, executed entirely on the accelerator's Q7.8 datapath
+/// (quantized operands, saturating multiplies, saturating adder-tree
+/// accumulation), reproduces the f32 reference **exactly** when the
+/// operands are Q7.8-exact (see [`q16_input`]). Any rounding or
+/// saturation slip in the 16-bit path — or any reference regression that
+/// perturbs values the fixed path cannot represent — shows up as a
+/// non-zero error.
+#[test]
+fn every_paper_network_conv_survives_the_q16_datapath_exactly() {
+    let mut cells = 0usize;
+    for net in zoo::paper_networks() {
+        for (li, layer) in net.conv_layers().enumerate() {
+            let p = layer.as_conv().expect("conv layer");
+            let shape = shrunk_shape(layer, p);
+            let seed = 0xF16 * (li as u64 + 1);
+            let input = q16_input(shape, seed);
+            let weights = q16_weights(p, seed ^ 0x57A7);
+            let bias = q16_bias(p);
+            let run = conv_forward_q16(&input, &weights, Some(&bias), p)
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", net.name(), layer.name));
+            assert_eq!(
+                run.max_abs_error,
+                0.0,
+                "{}/{}: Q7.8 datapath drifted from the f32 reference",
+                net.name(),
+                layer.name
+            );
+            assert_eq!(run.rms_error, 0.0, "{}/{}", net.name(), layer.name);
+            cells += 1;
+        }
+    }
+    let expected: usize = zoo::paper_networks()
+        .iter()
+        .map(|n| n.conv_layers().count())
+        .sum();
+    assert_eq!(cells, expected, "a quantized cell was silently skipped");
+    assert_eq!(
+        cells, PAPER_CONV_LAYERS,
+        "the paper zoo shrank; update the quantized matrix"
+    );
+}
+
+/// The quantized path is backend-independent: forcing the scalar kernels
+/// and forcing the SIMD kernels produce byte-identical `QuantizedRun`s on
+/// each paper network's first conv. Today only the embedded f32 reference
+/// is vectorized; this cell pins the bit-parity contract for when the
+/// fixed-point datapath itself grows SIMD kernels.
+#[test]
+fn q16_conv1_is_bit_identical_across_simd_backends() {
+    use cbrain_model::simd;
+    for net in zoo::paper_networks() {
+        let layer = net.conv1();
+        let p = layer.as_conv().expect("conv layer");
+        let shape = shrunk_shape(layer, p);
+        let input = q16_input(shape, 0xBAC2);
+        let weights = q16_weights(p, 0xBAC3);
+        let bias = q16_bias(p);
+        let run = |force: bool| {
+            simd::set_force_scalar(Some(force));
+            let out = conv_forward_q16(&input, &weights, Some(&bias), p);
+            simd::set_force_scalar(None);
+            out.expect("conv1 runs")
+        };
+        let scalar = run(true);
+        let vector = run(false);
+        let bits = |t: &Tensor3| t.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&scalar.output),
+            bits(&vector.output),
+            "{}: backends disagree bitwise",
+            net.name()
+        );
+        assert_eq!(
+            scalar.max_abs_error.to_bits(),
+            vector.max_abs_error.to_bits()
+        );
+        assert_eq!(scalar.rms_error.to_bits(), vector.rms_error.to_bits());
+    }
 }
 
 /// Residual adds: data-exact against a hand-rolled elementwise sum, and
