@@ -81,6 +81,9 @@ pub struct ClientArgs {
     /// Query daemon run-progress counters (protocol v2.1) after the run
     /// (or alone).
     pub progress: bool,
+    /// Query the daemon's full metrics registry (protocol v2.2) after
+    /// the run (or alone).
+    pub metrics: bool,
     /// Ask the daemon to evict down to this many cached layers
     /// (least-recently-used first).
     pub evict: Option<u64>,
@@ -313,6 +316,7 @@ fn parse_client(tokens: &[String]) -> Result<ClientArgs, ArgError> {
         breakdown: false,
         stats: false,
         progress: false,
+        metrics: false,
         evict: None,
         shutdown: false,
     };
@@ -343,6 +347,7 @@ fn parse_client(tokens: &[String]) -> Result<ClientArgs, ArgError> {
             "--breakdown" => args.breakdown = true,
             "--stats" => args.stats = true,
             "--progress" => args.progress = true,
+            "--metrics" => args.metrics = true,
             "--evict" => {
                 let v = f.value("--evict")?;
                 args.evict = Some(
@@ -358,11 +363,12 @@ fn parse_client(tokens: &[String]) -> Result<ClientArgs, ArgError> {
     if args.network.is_none()
         && !args.stats
         && !args.progress
+        && !args.metrics
         && args.evict.is_none()
         && !args.shutdown
     {
         return fail(
-            "cbrand-client needs --network/--spec, --stats, --progress, --evict, or --shutdown",
+            "cbrand-client needs --network/--spec, --stats, --progress, --metrics, --evict, or --shutdown",
         );
     }
     Ok(args)
@@ -563,8 +569,8 @@ USAGE:
   cbrain zoo
   cbrain cbrand-client [--connect HOST:PORT] --network <name> | --spec <file>
                   [--policy ...] [--pe TinxTout] [--mhz N] [--workload ...]
-                  [--batch N] [--breakdown] [--stats] [--progress] [--evict N]
-                  [--shutdown]
+                  [--batch N] [--breakdown] [--stats] [--progress] [--metrics]
+                  [--evict N] [--shutdown]
   cbrain fleet-client [--shards HOST:PORT[,HOST:PORT...]] [--seed N]
                   --network <name> | --spec <file>
                   [--policy ...] [--pe TinxTout] [--mhz N] [--workload ...]
@@ -580,7 +586,9 @@ submits the run to a cbrand daemon instead of simulating in-process;
 the printed report is byte-identical to the equivalent `cbrain run`.
 `cbrand-client --evict N` asks the daemon to drop least-recently-used
 cached layers until at most N remain; `--progress` prints the daemon's
-live run-progress counters. `fleet-client` simulates locally
+live run-progress counters; `--metrics` prints the daemon's full
+metrics registry as one sorted JSON object (protocol v2.2).
+`fleet-client` simulates locally
 but scatters compile misses over a fleet of cbrand shards (rendezvous
 hashing on the layer key); dead shards reroute or fall back to local
 compilation, and the report stays byte-identical to `cbrain run`.
@@ -777,6 +785,21 @@ mod tests {
             panic!("client expected")
         };
         assert!(args.progress && args.stats);
+    }
+
+    #[test]
+    fn metrics_flag() {
+        // A pure metrics query is a valid control connection on its own.
+        let Command::Client(args) = parse(&toks("cbrand-client --metrics")).unwrap() else {
+            panic!("client expected")
+        };
+        assert!(args.metrics);
+        assert!(args.network.is_none());
+        let Command::Client(args) = parse(&toks("cbrand-client --network nin --metrics")).unwrap()
+        else {
+            panic!("client expected")
+        };
+        assert!(args.metrics && args.network.is_some());
     }
 
     #[test]

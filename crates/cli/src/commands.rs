@@ -266,6 +266,24 @@ pub fn client(args: &ClientArgs) -> Result<String, CommandError> {
             ));
         }
     }
+    if args.metrics {
+        let terminal = client
+            .submit(&Request::Metrics, |_| {})
+            .map_err(|e| CommandError::Serve(e.to_string()))?;
+        if let Event::Metrics { metrics } = terminal {
+            // The exposition contract says members arrive sorted by
+            // name; holding the daemon to it keeps scrapes diffable.
+            if let cbrain_serve::json::Value::Obj(members) = &metrics {
+                if members.windows(2).any(|w| w[0].0 >= w[1].0) {
+                    return Err(CommandError::Serve(
+                        "daemon metrics keys are not sorted".into(),
+                    ));
+                }
+            }
+            out.push_str(&metrics.encode());
+            out.push('\n');
+        }
+    }
     if let Some(max) = args.evict {
         let terminal = client
             .submit(&Request::Evict { max }, |_| {})

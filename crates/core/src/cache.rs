@@ -131,6 +131,7 @@ pub struct CompiledLayerCache {
     entries: RwLock<HashMap<LayerKey, Slot>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     /// Logical clock stamping every lookup/insert; drives LRU eviction.
     tick: AtomicU64,
 }
@@ -236,6 +237,7 @@ impl CompiledLayerCache {
         for (_, _, key) in order.iter().take(evict) {
             map.remove(key);
         }
+        self.evictions.fetch_add(evict as u64, Ordering::Relaxed);
         evict
     }
 
@@ -289,6 +291,13 @@ impl CompiledLayerCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Global count of entries dropped by [`CompiledLayerCache::evict_lru`]
+    /// since construction (the daemon samples this into its `metrics`
+    /// exposition as `cache_evictions_total`).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
     /// Global hit rate in `[0, 1]`; `0.0` before any lookup.
     pub fn hit_rate(&self) -> f64 {
         let h = self.hits() as f64;
@@ -305,6 +314,7 @@ impl CompiledLayerCache {
         self.entries.write().expect("cache lock").clear();
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
+        self.evictions.store(0, Ordering::Relaxed);
     }
 }
 

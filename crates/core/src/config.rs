@@ -1,6 +1,6 @@
 //! The one place `CBRAIN_*` environment variables are read.
 //!
-//! Eight knobs configure the workspace from the environment. Each has a
+//! Ten knobs configure the workspace from the environment. Each has a
 //! single documented precedence: **CLI flag > environment > default**.
 //! Call sites never touch [`std::env::var`] for these directly — they go
 //! through [`EnvConfig`], which captures the raw environment once and
@@ -16,6 +16,8 @@
 //! | `CBRAIN_JOURNAL`      | [`journal_file`]                          | default run-journal path for sweeps            |
 //! | `CBRAIN_RESUME`       | [`resume`]                                | `1`/`true`/`on` resumes from the journal       |
 //! | `CBRAIN_FORCE_SCALAR` | [`force_scalar`]                          | `1`/`true`/`on` pins the scalar SIMD fallback  |
+//! | `CBRAIN_TELEMETRY`    | [`telemetry_enabled`]                     | `off`/`0`/`false`/`no` disables span timing    |
+//! | `CBRAIN_METRICS_ADDR` | [`metrics_addr`]                          | default `cbrand --metrics-addr` listen address |
 //!
 //! [`persistence_enabled`]: EnvConfig::persistence_enabled
 //! [`cache_file`]: EnvConfig::cache_file
@@ -25,19 +27,23 @@
 //! [`journal_file`]: EnvConfig::journal_file
 //! [`resume`]: EnvConfig::resume
 //! [`force_scalar`]: EnvConfig::force_scalar
+//! [`telemetry_enabled`]: EnvConfig::telemetry_enabled
+//! [`metrics_addr`]: EnvConfig::metrics_addr
 //!
 //! The struct is a plain snapshot: [`EnvConfig::load`] reads the process
 //! environment, [`EnvConfig::from_lookup`] builds one from any closure so
 //! tests never have to mutate process-global state.
 //!
-//! One documented exception to "call sites go through `EnvConfig`":
+//! Two documented exceptions to "call sites go through `EnvConfig`":
 //! `CBRAIN_FORCE_SCALAR` is *acted on* inside `cbrain_simd` (re-exported
-//! as [`cbrain_model::simd`]), which sits below this crate in the
-//! dependency graph and therefore cannot see [`EnvConfig`]. That crate
-//! reads the variable once, at first kernel dispatch, with exactly the
-//! truth-parsing rules [`EnvConfig::force_scalar`] documents; the
-//! accessor here exists so operator tooling reports the knob alongside
-//! the other seven.
+//! as [`cbrain_model::simd`]) and `CBRAIN_TELEMETRY` inside
+//! `cbrain_telemetry` (re-exported as [`crate::telemetry`]) — both crates
+//! sit below this one in the dependency graph and therefore cannot see
+//! [`EnvConfig`]. Each reads its variable once, at first use, with
+//! exactly the truth-parsing rules the matching accessor here documents
+//! ([`EnvConfig::force_scalar`] / [`EnvConfig::telemetry_enabled`]); the
+//! accessors exist so operator tooling reports the knobs alongside the
+//! other eight.
 
 use std::path::PathBuf;
 
@@ -74,6 +80,17 @@ pub const ENV_RESUME: &str = "CBRAIN_RESUME";
 /// must be bit-identical either way, so flipping this only changes speed.
 pub const ENV_FORCE_SCALAR: &str = cbrain_model::simd::ENV_FORCE_SCALAR;
 
+/// The telemetry kill switch (see [`crate::telemetry`]): `off`, `0`,
+/// `false` or `no` disables span/histogram timing; anything else —
+/// including unset — leaves it on. Counters and gauges keep counting
+/// either way because the `stats`/`progress` wire responses read them.
+pub const ENV_TELEMETRY: &str = cbrain_telemetry::ENV_TELEMETRY;
+
+/// Default listen address for `cbrand --metrics-addr` (Prometheus
+/// text-format exposition over `GET /metrics`). The flag always beats
+/// this; unset or blank means "no exposition listener".
+pub const ENV_METRICS_ADDR: &str = "CBRAIN_METRICS_ADDR";
+
 /// A typed snapshot of every `CBRAIN_*` environment variable (plus the
 /// `XDG_CACHE_HOME`/`HOME` fallbacks that cache-path resolution needs).
 ///
@@ -89,6 +106,8 @@ pub struct EnvConfig {
     journal: Option<String>,
     resume: Option<String>,
     force_scalar: Option<String>,
+    telemetry: Option<String>,
+    metrics_addr: Option<String>,
     xdg_cache_home: Option<String>,
     home: Option<String>,
 }
@@ -113,6 +132,8 @@ impl EnvConfig {
             journal: lookup(ENV_JOURNAL),
             resume: lookup(ENV_RESUME),
             force_scalar: lookup(ENV_FORCE_SCALAR),
+            telemetry: lookup(ENV_TELEMETRY),
+            metrics_addr: lookup(ENV_METRICS_ADDR),
             xdg_cache_home: lookup("XDG_CACHE_HOME"),
             home: lookup("HOME"),
         }
@@ -243,6 +264,35 @@ impl EnvConfig {
             Some("1") | Some("true") | Some("on")
         )
     }
+
+    /// Whether span/histogram timing is enabled. `off`, `0`, `false` or
+    /// `no` (case-insensitive, trimmed) disable it; anything else —
+    /// including unset — enables it, because telemetry is designed to be
+    /// on by default and byte-invisible to reports.
+    ///
+    /// Reporting-only here — the gate itself is read (with identical
+    /// parsing, via [`cbrain_telemetry::value_means_off`]) inside
+    /// `cbrain_telemetry`, the second crate allowed to read its variable
+    /// directly (see the module docs).
+    #[must_use]
+    pub fn telemetry_enabled(&self) -> bool {
+        match self.telemetry.as_deref() {
+            Some(v) => !cbrain_telemetry::value_means_off(v),
+            None => true,
+        }
+    }
+
+    /// The default metrics listen address (`HOST:PORT`), or `None` when
+    /// the variable is unset or blank. A flag (`--metrics-addr`) always
+    /// beats this.
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<String> {
+        self.metrics_addr
+            .as_deref()
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_owned)
+    }
 }
 
 #[cfg(test)]
@@ -359,6 +409,37 @@ mod tests {
         // The dispatch-time read lives in cbrain_simd; the two constants
         // must never drift apart.
         assert_eq!(ENV_FORCE_SCALAR, "CBRAIN_FORCE_SCALAR");
+    }
+
+    #[test]
+    fn telemetry_defaults_on_and_disables_only_on_explicit_off() {
+        assert!(config(&[]).telemetry_enabled(), "unset means on");
+        for off in ["off", "OFF", " 0 ", "false", "no"] {
+            assert!(
+                !config(&[(ENV_TELEMETRY, off)]).telemetry_enabled(),
+                "{off:?}"
+            );
+        }
+        for on in ["on", "1", "true", "", "yes", "typo"] {
+            assert!(config(&[(ENV_TELEMETRY, on)]).telemetry_enabled(), "{on:?}");
+        }
+    }
+
+    #[test]
+    fn telemetry_name_matches_the_telemetry_crate() {
+        // The gate-time read lives in cbrain_telemetry; the two constants
+        // must never drift apart.
+        assert_eq!(ENV_TELEMETRY, "CBRAIN_TELEMETRY");
+    }
+
+    #[test]
+    fn metrics_addr_ignores_blank_values() {
+        assert_eq!(
+            config(&[(ENV_METRICS_ADDR, " 127.0.0.1:9200 ")]).metrics_addr(),
+            Some("127.0.0.1:9200".to_owned())
+        );
+        assert_eq!(config(&[(ENV_METRICS_ADDR, "  ")]).metrics_addr(), None);
+        assert_eq!(config(&[]).metrics_addr(), None);
     }
 
     #[test]

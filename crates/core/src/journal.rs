@@ -347,6 +347,19 @@ impl Journal {
             journal.compact()?;
             journal.rewrite_pending = false;
         }
+        let reg = cbrain_telemetry::Registry::global();
+        reg.counter(
+            "journal_records_replayed_total",
+            "journal records decoded on open",
+        )
+        .add(journal.cells.len() as u64);
+        if dropped_bytes > 0 {
+            reg.counter(
+                "journal_torn_truncations_total",
+                "journal opens that dropped a torn tail",
+            )
+            .inc();
+        }
         let outcome = OpenOutcome::Opened {
             cells: journal.index.len(),
             dropped_bytes,
@@ -441,6 +454,12 @@ impl Journal {
     /// After a recovery or version mismatch the whole file is instead
     /// rewritten atomically (temp + rename), clearing the stale bytes.
     pub fn append(&mut self, cell: Cell) -> Result<(), JournalError> {
+        cbrain_telemetry::Registry::global()
+            .counter(
+                "journal_records_appended_total",
+                "journal records appended (including rewrite-path appends)",
+            )
+            .inc();
         if self.rewrite_pending {
             self.cells.push(cell.clone());
             self.index.insert(cell.name, self.cells.len() - 1);

@@ -74,3 +74,4 @@ pub use cbrain_compiler as compiler;
 pub use cbrain_compiler::Scheme;
 pub use cbrain_model as model;
 pub use cbrain_sim as sim;
+pub use cbrain_telemetry as telemetry;

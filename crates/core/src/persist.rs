@@ -779,6 +779,17 @@ pub fn save_with_max(
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, &bytes)?;
     std::fs::rename(&tmp, path)?;
+    let reg = cbrain_telemetry::Registry::global();
+    reg.counter(
+        "persist_saves_total",
+        "cache files written by cbrain::persist",
+    )
+    .inc();
+    reg.counter(
+        "persist_bytes_written_total",
+        "bytes written to persisted cache files",
+    )
+    .add(bytes.len() as u64);
     Ok(entries)
 }
 
@@ -837,6 +848,14 @@ pub fn load_into(cache: &CompiledLayerCache, path: &Path) -> Result<LoadOutcome,
     for (key, value) in decoded {
         cache.insert(key, value);
     }
+    let reg = cbrain_telemetry::Registry::global();
+    reg.counter("persist_loads_total", "cache files read by cbrain::persist")
+        .inc();
+    reg.counter(
+        "persist_bytes_read_total",
+        "bytes read from persisted cache files",
+    )
+    .add(bytes.len() as u64);
     Ok(LoadOutcome::Loaded { entries })
 }
 

@@ -110,6 +110,16 @@ pub fn compile_on_shard(
 ) -> Result<Vec<(LayerKey, CachedLayer)>, FleetError> {
     let mut last = None;
     for attempt in 0..policy.attempts.max(1) {
+        if attempt > 0 {
+            // Retries are rare (they ride on a backoff sleep), so the
+            // registry lookup here is off every hot path.
+            cbrain::telemetry::Registry::global()
+                .counter(
+                    &format!("router_retries_total{{shard=\"{addr}\"}}"),
+                    "extra transport attempts per shard",
+                )
+                .inc();
+        }
         let backoff = policy.backoff_before(attempt);
         if !backoff.is_zero() {
             std::thread::sleep(backoff);

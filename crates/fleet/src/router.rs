@@ -6,10 +6,57 @@ use crate::health::{probe, RetryPolicy, ShardState};
 use crate::ring::Ring;
 use cbrain::cache::{CompiledLayerCache, LayerKey};
 use cbrain::persist::key_hash;
+use cbrain::telemetry::{Counter, Histogram, Registry, Span, DURATION_BUCKETS};
 use cbrain::{compile_cache_entry, try_parallel_map, CompileBackend, RunError};
 use cbrain_model::Layer;
 use cbrain_serve::ClientError;
 use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+/// Per-shard router counters, registered in [`Registry::global`] under
+/// `router_*_total{shard="ADDR"}` names so any process embedding a
+/// router (coordinator tools, tests) can scrape or sample them.
+/// Counters record unconditionally — they are failure accounting, not
+/// timing, so the `CBRAIN_TELEMETRY` kill switch does not blank them.
+#[derive(Debug)]
+pub struct ShardMetrics {
+    /// Extra transport attempts (`router_retries_total`): one per
+    /// retry after the first attempt of a shard request.
+    pub retries: Arc<Counter>,
+    /// Batches this shard shed with `busy` after the busy-wait budget
+    /// (`router_busy_backoffs_total`).
+    pub busy_backoffs: Arc<Counter>,
+    /// Times this shard was marked down by a failed batch
+    /// (`router_downmarks_total`).
+    pub downmarks: Arc<Counter>,
+    /// Keys destined for this shard that were re-pended to another
+    /// shard or to the local pool (`router_reroutes_total`).
+    pub reroutes: Arc<Counter>,
+}
+
+impl ShardMetrics {
+    fn new(addr: &str) -> Self {
+        let registry = Registry::global();
+        Self {
+            retries: registry.counter(
+                &format!("router_retries_total{{shard=\"{addr}\"}}"),
+                "extra transport attempts per shard",
+            ),
+            busy_backoffs: registry.counter(
+                &format!("router_busy_backoffs_total{{shard=\"{addr}\"}}"),
+                "batches shed with busy after the busy-wait budget, per shard",
+            ),
+            downmarks: registry.counter(
+                &format!("router_downmarks_total{{shard=\"{addr}\"}}"),
+                "times a failed batch marked the shard down",
+            ),
+            reroutes: registry.counter(
+                &format!("router_reroutes_total{{shard=\"{addr}\"}}"),
+                "keys re-pended away from their preferred shard",
+            ),
+        }
+    }
+}
 
 /// Routes compile work-lists across a fleet of `cbrand` shards.
 ///
@@ -37,6 +84,10 @@ pub struct FleetRouter {
     shards: Vec<ShardState>,
     retry: RetryPolicy,
     local_jobs: usize,
+    /// Per-shard counters, parallel to `shards` (ring order).
+    metrics: Vec<ShardMetrics>,
+    /// Wall-clock seconds per scatter round (`router_scatter_seconds`).
+    scatter_seconds: Arc<Histogram>,
 }
 
 impl FleetRouter {
@@ -59,12 +110,20 @@ impl FleetRouter {
         local_jobs: usize,
     ) -> Self {
         let ring = Ring::new(addrs.clone(), seed);
+        let metrics = addrs.iter().map(|a| ShardMetrics::new(a)).collect();
         let shards = addrs.into_iter().map(ShardState::new).collect();
+        let scatter_seconds = Registry::global().histogram(
+            "router_scatter_seconds",
+            "wall-clock seconds per scatter round over the fleet",
+            &DURATION_BUCKETS,
+        );
         Self {
             ring,
             shards,
             retry,
             local_jobs,
+            metrics,
+            scatter_seconds,
         }
     }
 
@@ -76,6 +135,13 @@ impl FleetRouter {
     /// Per-shard health states, in ring order.
     pub fn shard_states(&self) -> &[ShardState] {
         &self.shards
+    }
+
+    /// Per-shard counters, in ring order (parallel to
+    /// [`Self::shard_states`]). The same counters are registered in
+    /// [`Registry::global`], so a scrape sees them too.
+    pub fn shard_metrics(&self) -> &[ShardMetrics] {
+        &self.metrics
     }
 
     /// A stable provenance string for run journals: the shard ring
@@ -161,6 +227,7 @@ impl CompileBackend for FleetRouter {
             }
 
             // Scatter: one thread per shard group, all in flight at once.
+            let scatter_span = (!groups.is_empty()).then(|| Span::start(&self.scatter_seconds));
             let results: Vec<_> = std::thread::scope(|scope| {
                 let handles: Vec<_> = groups
                     .iter()
@@ -179,6 +246,7 @@ impl CompileBackend for FleetRouter {
                     .map(|h| h.join().expect("shard thread"))
                     .collect()
             });
+            drop(scatter_span);
 
             // Gather: insert what came back, re-pend what did not.
             for ((i, group), result) in groups.into_iter().zip(results) {
@@ -191,10 +259,14 @@ impl CompileBackend for FleetRouter {
                     Err(e) if e.is_busy() => {
                         // Healthy but shedding: reroute without the
                         // down-mark, and stop asking it this batch.
+                        self.metrics[i].busy_backoffs.inc();
+                        self.metrics[i].reroutes.add(group.len() as u64);
                         busy.insert(i);
                         pending.extend(group);
                     }
                     Err(e) if e.is_retryable() => {
+                        self.metrics[i].downmarks.inc();
+                        self.metrics[i].reroutes.add(group.len() as u64);
                         self.shards[i].mark_down();
                         pending.extend(group);
                     }

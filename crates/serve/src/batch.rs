@@ -13,12 +13,13 @@
 //! identical, and the runner's serial accounting pass (which already ran
 //! before the work-list was handed over) is unaffected.
 
+use cbrain::telemetry::{Histogram, Registry, Span, DURATION_BUCKETS, SIZE_BUCKETS};
 use cbrain::{
     compile_cache_entry, parallel_map, CompileBackend, CompiledLayerCache, LayerKey, RunError,
 };
 use cbrain_model::Layer;
 use std::collections::{HashMap, HashSet};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 #[derive(Debug, Default)]
 struct BatchState {
@@ -42,17 +43,46 @@ pub struct CompileBatcher {
     jobs: usize,
     state: Mutex<BatchState>,
     cv: Condvar,
+    /// Batch-size distribution (`compile_batch_size`), when a registry
+    /// was wired in. Recorded unconditionally (`observe_always`): batch
+    /// shape is structural accounting, not timing, so the
+    /// `CBRAIN_TELEMETRY` kill switch does not blank it.
+    batch_size: Option<Arc<Histogram>>,
+    /// Per-batch fan-out duration (`compile_batch_seconds`), when a
+    /// registry was wired in. Timing, so the kill switch gates it.
+    batch_seconds: Option<Arc<Histogram>>,
 }
 
 impl CompileBatcher {
     /// A batcher fanning each batch over `jobs` pool workers (`0` means
-    /// one worker).
+    /// one worker). No metrics are recorded; use [`Self::with_registry`]
+    /// to instrument.
     pub fn new(jobs: usize) -> Self {
         Self {
             jobs: jobs.max(1),
             state: Mutex::new(BatchState::default()),
             cv: Condvar::new(),
+            batch_size: None,
+            batch_seconds: None,
         }
+    }
+
+    /// Like [`Self::new`], but registers `compile_batch_size` and
+    /// `compile_batch_seconds` histograms in `registry` and records one
+    /// observation per drained batch.
+    pub fn with_registry(jobs: usize, registry: &Registry) -> Self {
+        let mut batcher = Self::new(jobs);
+        batcher.batch_size = Some(registry.histogram(
+            "compile_batch_size",
+            "unique layers compiled per pool batch",
+            &SIZE_BUCKETS,
+        ));
+        batcher.batch_seconds = Some(registry.histogram(
+            "compile_batch_seconds",
+            "wall-clock seconds per compile batch fan-out",
+            &DURATION_BUCKETS,
+        ));
+        batcher
     }
 
     /// Number of batches a single compile may wait through before the
@@ -112,9 +142,14 @@ impl CompileBackend for CompileBatcher {
             st.worker_running = true;
             drop(st);
 
+            if let Some(h) = &self.batch_size {
+                h.observe_always(batch.len() as f64);
+            }
+            let _span = self.batch_seconds.as_ref().map(Span::start);
             let results = parallel_map(self.jobs, batch, |(key, layer)| {
                 (key, compile_cache_entry(&layer, &key))
             });
+            drop(_span);
 
             let mut st = self.state.lock().expect("batcher lock");
             for (key, result) in results {

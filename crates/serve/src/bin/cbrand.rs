@@ -3,13 +3,18 @@
 //! ```text
 //! cbrand [--host HOST] [--port PORT] [--jobs N] [--cache auto|off|PATH]
 //!        [--workers N] [--queue-depth N] [--high-water N] [--low-water N]
+//!        [--metrics-addr ADDR]
 //! ```
 //!
 //! Prints `cbrand listening on HOST:PORT` on stdout once bound (scripts
 //! parse the port from this line when `--port 0` asks for an ephemeral
-//! one), then serves until a client sends `shutdown`.
+//! one), then serves until a client sends `shutdown`. With a metrics
+//! listener enabled (`--metrics-addr`, or the `CBRAIN_METRICS_ADDR`
+//! environment variable when the flag is absent) it also prints
+//! `cbrand metrics listening on HOST:PORT` — again parseable when the
+//! requested port was 0.
 
-use cbrain_serve::daemon::{Daemon, DaemonOptions};
+use cbrain_serve::daemon::{resolve_metrics_addr, Daemon, DaemonOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -33,6 +38,10 @@ OPTIONS:
                     `busy` instead of queueing (default: the queue depth)
     --low-water N   Queue depth at which shedding stops again
                     (default: half the high-water mark)
+    --metrics-addr ADDR
+                    Serve Prometheus text-format metrics over HTTP at
+                    ADDR (e.g. 127.0.0.1:9227; port 0 picks an ephemeral
+                    port). Default: CBRAIN_METRICS_ADDR, else disabled
     --help          Show this help
 ";
 
@@ -45,6 +54,7 @@ struct Args {
     queue_depth: usize,
     high_water: Option<usize>,
     low_water: Option<usize>,
+    metrics_addr: Option<String>,
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
@@ -57,6 +67,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         queue_depth: 0,
         high_water: None,
         low_water: None,
+        metrics_addr: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -103,6 +114,7 @@ fn parse_args() -> Result<Option<Args>, String> {
                         .map_err(|_| format!("bad low-water mark `{value}`"))?,
                 );
             }
+            "--metrics-addr" => args.metrics_addr = Some(value.clone()),
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 2;
@@ -144,6 +156,7 @@ fn main() -> ExitCode {
         high_water: args.high_water,
         low_water: args.low_water,
         busy_retry_ms: 0,
+        metrics_addr: resolve_metrics_addr(args.metrics_addr, &cbrain::config::EnvConfig::load()),
     };
     let daemon = match Daemon::bind(&format!("{}:{}", args.host, args.port), opts) {
         Ok(daemon) => daemon,
@@ -154,6 +167,9 @@ fn main() -> ExitCode {
     };
     eprintln!("cbrand: {}", daemon.load_note());
     println!("cbrand listening on {}", daemon.local_addr());
+    if let Some(addr) = daemon.metrics_addr() {
+        println!("cbrand metrics listening on {addr}");
+    }
     // Scripts wait on this line; make sure it is out before we block.
     use std::io::Write as _;
     let _ = std::io::stdout().flush();

@@ -21,12 +21,17 @@
 //! accept loop returns.
 
 use crate::batch::CompileBatcher;
+use crate::json::{self, Value};
 use crate::wire::{
     CompileItem, Event, NetworkSource, Request, RunRequest, PROTOCOL_MINOR, PROTOCOL_VERSION,
 };
 use cbrain::forward::{forward, NetworkWeights};
 use cbrain::persist::{self, LoadOutcome};
-use cbrain::{CompileBackend as _, CompiledLayerCache, RunOptions, Runner};
+use cbrain::telemetry::{
+    self, http::MetricsServer, Counter, Gauge, Histogram, MetricKind, Registry, Sample,
+    SampleValue, Span, DURATION_BUCKETS,
+};
+use cbrain::{CompileBackend as _, CompiledLayerCache, EnvConfig, RunOptions, Runner};
 use cbrain_model::{spec, zoo, Layer, Network, Tensor3};
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
@@ -83,6 +88,19 @@ pub struct DaemonOptions {
     /// daemon's current load (queued + in-flight connections). `0`
     /// resolves to 25.
     pub busy_retry_ms: u64,
+    /// Bind address for the Prometheus text-format exposition listener
+    /// (`GET /metrics` over HTTP/1.0). `None` disables the listener.
+    /// Resolve flag > `CBRAIN_METRICS_ADDR` > none with
+    /// [`resolve_metrics_addr`].
+    pub metrics_addr: Option<String>,
+}
+
+/// Resolves the effective metrics listen address with the standard
+/// flag > environment > default precedence (the default being "no
+/// exposition listener").
+#[must_use]
+pub fn resolve_metrics_addr(flag: Option<String>, env: &EnvConfig) -> Option<String> {
+    flag.or_else(|| env.metrics_addr())
 }
 
 /// The outcome [`Admission::admit`] hands back to the accept loop.
@@ -114,21 +132,23 @@ struct AdmissionQueue {
 }
 
 /// Server-side admission control: a bounded queue of accepted-but-unserved
-/// connections, the shed/accept hysteresis, and the live counters the
-/// `stats` request reports.
+/// connections and the shed/accept hysteresis. The live counters the
+/// `stats` request reports are telemetry-registry handles — one set of
+/// numbers backs the wire response, the `metrics` object, and the
+/// Prometheus exposition.
 struct Admission {
     queue: Mutex<AdmissionQueue>,
     available: Condvar,
     high_water: usize,
     low_water: usize,
     busy_retry_ms: u64,
-    accepted: AtomicU64,
-    shed: AtomicU64,
-    in_flight: AtomicU64,
+    accepted: Arc<Counter>,
+    shed: Arc<Counter>,
+    in_flight: Arc<Gauge>,
 }
 
 impl Admission {
-    fn new(high_water: usize, low_water: usize, busy_retry_ms: u64) -> Self {
+    fn new(high_water: usize, low_water: usize, busy_retry_ms: u64, registry: &Registry) -> Self {
         Self {
             queue: Mutex::new(AdmissionQueue {
                 conns: VecDeque::new(),
@@ -141,16 +161,25 @@ impl Admission {
             high_water,
             low_water,
             busy_retry_ms,
-            accepted: AtomicU64::new(0),
-            shed: AtomicU64::new(0),
-            in_flight: AtomicU64::new(0),
+            accepted: registry.counter(
+                "admission_accepted_total",
+                "connections accepted by the listener (admitted or shed)",
+            ),
+            shed: registry.counter(
+                "admission_shed_total",
+                "connections refused with a busy answer",
+            ),
+            in_flight: registry.gauge(
+                "admission_in_flight",
+                "connections currently being served by workers",
+            ),
         }
     }
 
     /// Queues `stream` for a worker, or decides to shed it. Queue length
     /// never exceeds the high-water mark.
     fn admit(&self, stream: TcpStream) -> AdmitOutcome {
-        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.accepted.inc();
         let mut q = self.queue.lock().expect("admission lock");
         let depth = q.conns.len();
         if q.shedding {
@@ -162,11 +191,11 @@ impl Admission {
         }
         if q.shedding {
             drop(q);
-            self.shed.fetch_add(1, Ordering::Relaxed);
+            self.shed.inc();
             // The hint grows with total outstanding load so a deep
             // backlog spreads retries out further, bounded so a client
             // is never told to vanish for whole seconds.
-            let load = self.in_flight.load(Ordering::Relaxed) + depth as u64 + 1;
+            let load = self.in_flight.get_clamped() + depth as u64 + 1;
             AdmitOutcome::Shed {
                 stream,
                 retry_after_ms: self
@@ -249,12 +278,36 @@ impl Admission {
 /// they are. `layers_total`/`layers_done` cover *active* runs only —
 /// a run's contribution is unwound when it finishes, so `done/total`
 /// always reads as "this much of the in-flight work is complete".
-#[derive(Default)]
+/// Registry-resident since v2.2: the wire response and the `metrics`
+/// exposition read the same handles.
 struct ProgressCounters {
-    runs_active: AtomicU64,
-    runs_done: AtomicU64,
-    layers_done: AtomicU64,
-    layers_total: AtomicU64,
+    runs_active: Arc<Gauge>,
+    runs_done: Arc<Counter>,
+    layers_done: Arc<Gauge>,
+    layers_total: Arc<Gauge>,
+}
+
+impl ProgressCounters {
+    fn new(registry: &Registry) -> Self {
+        Self {
+            runs_active: registry.gauge(
+                "progress_runs_active",
+                "simulate/compile runs executing right now",
+            ),
+            runs_done: registry.counter(
+                "progress_runs_done_total",
+                "runs completed since daemon startup",
+            ),
+            layers_done: registry.gauge(
+                "progress_layers_done",
+                "layer cells finished across the active runs",
+            ),
+            layers_total: registry.gauge(
+                "progress_layers_total",
+                "layer cells planned across the active runs",
+            ),
+        }
+    }
 }
 
 /// Registers one run with the progress counters and unwinds its
@@ -268,8 +321,8 @@ struct RunProgress<'a> {
 
 impl<'a> RunProgress<'a> {
     fn start(counters: &'a ProgressCounters, planned: u64) -> Self {
-        counters.runs_active.fetch_add(1, Ordering::Relaxed);
-        counters.layers_total.fetch_add(planned, Ordering::Relaxed);
+        counters.runs_active.inc();
+        counters.layers_total.add(planned as i64);
         Self {
             counters,
             planned,
@@ -279,20 +332,49 @@ impl<'a> RunProgress<'a> {
 
     fn layer_done(&self) {
         self.seen.fetch_add(1, Ordering::Relaxed);
-        self.counters.layers_done.fetch_add(1, Ordering::Relaxed);
+        self.counters.layers_done.inc();
     }
 }
 
 impl Drop for RunProgress<'_> {
     fn drop(&mut self) {
-        self.counters.runs_active.fetch_sub(1, Ordering::Relaxed);
-        self.counters.runs_done.fetch_add(1, Ordering::Relaxed);
-        self.counters
-            .layers_total
-            .fetch_sub(self.planned, Ordering::Relaxed);
+        self.counters.runs_active.dec();
+        self.counters.runs_done.inc();
+        self.counters.layers_total.add(-(self.planned as i64));
         self.counters
             .layers_done
-            .fetch_sub(self.seen.load(Ordering::Relaxed), Ordering::Relaxed);
+            .add(-(self.seen.load(Ordering::Relaxed) as i64));
+    }
+}
+
+/// Request-type labels the per-request latency histograms are keyed by;
+/// sorted so registration order matches exposition order.
+const REQUEST_KINDS: [&str; 10] = [
+    "compile",
+    "compile_keys",
+    "evict",
+    "forward",
+    "hello",
+    "metrics",
+    "progress",
+    "shutdown",
+    "simulate",
+    "stats",
+];
+
+/// The wire label of a request, for metrics.
+fn request_kind(request: &Request) -> &'static str {
+    match request {
+        Request::Hello { .. } => "hello",
+        Request::Compile(_) => "compile",
+        Request::CompileKeys { .. } => "compile_keys",
+        Request::Simulate(_) => "simulate",
+        Request::Forward { .. } => "forward",
+        Request::Stats => "stats",
+        Request::Progress => "progress",
+        Request::Metrics => "metrics",
+        Request::Evict { .. } => "evict",
+        Request::Shutdown => "shutdown",
     }
 }
 
@@ -301,8 +383,122 @@ struct ServerState {
     batcher: Arc<CompileBatcher>,
     admission: Admission,
     stop: AtomicBool,
-    requests: AtomicU64,
+    requests: Arc<Counter>,
     progress: ProgressCounters,
+    /// This daemon's own registry: per-daemon so multiple in-process
+    /// daemons (tests, tools) keep exact, independent counts. The
+    /// exposition merges it with [`Registry::global`], which collects
+    /// the core-layer metrics (journal, persist).
+    registry: Arc<Registry>,
+    request_seconds: HashMap<&'static str, Arc<Histogram>>,
+}
+
+impl ServerState {
+    fn request_span(&self, request: &Request) -> Span {
+        Span::start(&self.request_seconds[request_kind(request)])
+    }
+}
+
+/// One full metrics snapshot: computed gauges (queue depth, cache
+/// occupancy — state that lives outside the registry), this daemon's
+/// registry, and the process-global registry (core-layer journal and
+/// persistence counters). Earlier sets win on name collisions and the
+/// merge sorts by name, so two scrapes of an idle daemon are
+/// byte-identical.
+fn metrics_samples(state: &ServerState) -> Vec<Sample> {
+    let accepted = state.admission.accepted.get();
+    let shed = state.admission.shed.get();
+    let shed_ratio = if accepted + shed == 0 {
+        0.0
+    } else {
+        shed as f64 / (accepted + shed) as f64
+    };
+    let computed = vec![
+        Sample {
+            name: "admission_queued".to_owned(),
+            help: "connections accepted but not yet picked up by a worker".to_owned(),
+            kind: MetricKind::Gauge,
+            value: SampleValue::Gauge(state.admission.queued() as i64),
+        },
+        Sample {
+            name: "admission_shed_ratio".to_owned(),
+            help: "shed connections over all admission decisions since startup".to_owned(),
+            kind: MetricKind::Gauge,
+            value: SampleValue::GaugeF64(shed_ratio),
+        },
+        Sample {
+            name: "cache_entries".to_owned(),
+            help: "compiled layers resident in the cache".to_owned(),
+            kind: MetricKind::Gauge,
+            value: SampleValue::Gauge(state.cache.len() as i64),
+        },
+        Sample {
+            name: "cache_evictions_total".to_owned(),
+            help: "compiled layers evicted by the LRU capacity bound".to_owned(),
+            kind: MetricKind::Counter,
+            value: SampleValue::Counter(state.cache.evictions()),
+        },
+        Sample {
+            name: "cache_hits_total".to_owned(),
+            help: "compile requests answered from the cache".to_owned(),
+            kind: MetricKind::Counter,
+            value: SampleValue::Counter(state.cache.hits()),
+        },
+        Sample {
+            name: "cache_misses_total".to_owned(),
+            help: "compile requests that had to run the backend".to_owned(),
+            kind: MetricKind::Counter,
+            value: SampleValue::Counter(state.cache.misses()),
+        },
+    ];
+    telemetry::merge_samples(vec![
+        computed,
+        state.registry.samples(),
+        Registry::global().samples(),
+    ])
+}
+
+/// The `metrics` request's JSON view of a snapshot: one object member
+/// per sample, in the (sorted) order [`metrics_samples`] produced.
+/// Histograms become `{"buckets": {bound: cumulative, ..., "+Inf": n},
+/// "sum": s, "count": n}`.
+fn samples_to_json(samples: &[Sample]) -> Value {
+    let members = samples
+        .iter()
+        .map(|sample| {
+            let value = match &sample.value {
+                SampleValue::Counter(v) => json::u(*v),
+                SampleValue::Gauge(v) => {
+                    if *v >= 0 {
+                        json::u(*v as u64)
+                    } else {
+                        Value::Int(*v)
+                    }
+                }
+                SampleValue::GaugeF64(v) => Value::Num(*v),
+                SampleValue::Histogram {
+                    bounds,
+                    cumulative,
+                    sum,
+                    count,
+                } => {
+                    let mut buckets: Vec<(String, Value)> = bounds
+                        .iter()
+                        .zip(cumulative.iter())
+                        .map(|(bound, cum)| (telemetry::format_f64(*bound), json::u(*cum)))
+                        .collect();
+                    buckets.push(("+Inf".to_owned(), json::u(*count)));
+                    json::obj(vec![
+                        ("buckets", Value::Obj(buckets)),
+                        ("sum", Value::Num(*sum)),
+                        ("count", json::u(*count)),
+                    ])
+                }
+            };
+            (sample.name.clone(), value)
+        })
+        .collect();
+    Value::Obj(members)
 }
 
 /// A bound, not-yet-running daemon.
@@ -313,6 +509,10 @@ pub struct Daemon {
     cache_path: Option<PathBuf>,
     load_note: String,
     workers: usize,
+    /// The Prometheus exposition listener, when `--metrics-addr` is on.
+    /// Owned here so it serves for exactly the daemon's lifetime; the
+    /// drop at the end of [`Daemon::run`] stops it.
+    metrics: Option<MetricsServer>,
 }
 
 impl std::fmt::Debug for Daemon {
@@ -373,14 +573,40 @@ impl Daemon {
         } else {
             opts.busy_retry_ms
         };
+        let registry = Arc::new(Registry::new());
+        let request_seconds = REQUEST_KINDS
+            .iter()
+            .map(|kind| {
+                (
+                    *kind,
+                    registry.histogram(
+                        &format!("request_seconds{{req=\"{kind}\"}}"),
+                        "request service latency by request type, seconds",
+                        &DURATION_BUCKETS,
+                    ),
+                )
+            })
+            .collect();
         let state = Arc::new(ServerState {
             cache,
-            batcher: Arc::new(CompileBatcher::new(opts.jobs)),
-            admission: Admission::new(high_water, low_water, busy_retry_ms),
+            batcher: Arc::new(CompileBatcher::with_registry(opts.jobs, &registry)),
+            admission: Admission::new(high_water, low_water, busy_retry_ms, &registry),
             stop: AtomicBool::new(false),
-            requests: AtomicU64::new(0),
-            progress: ProgressCounters::default(),
+            requests: registry.counter("requests_total", "protocol requests decoded since startup"),
+            progress: ProgressCounters::new(&registry),
+            registry: Arc::clone(&registry),
+            request_seconds,
         });
+        let metrics = match &opts.metrics_addr {
+            None => None,
+            Some(addr) => {
+                let st = Arc::clone(&state);
+                Some(MetricsServer::serve(
+                    addr.as_str(),
+                    Arc::new(move || telemetry::render_prometheus(&metrics_samples(&st))),
+                )?)
+            }
+        };
         Ok(Self {
             listener,
             addr,
@@ -388,6 +614,7 @@ impl Daemon {
             cache_path: opts.cache_path,
             load_note,
             workers,
+            metrics,
         })
     }
 
@@ -409,6 +636,12 @@ impl Daemon {
     /// The resolved worker-pool size this daemon will run with.
     pub fn workers(&self) -> usize {
         self.workers
+    }
+
+    /// The bound address of the Prometheus exposition listener, when one
+    /// was requested (read the port from here when binding to 0).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(MetricsServer::addr)
     }
 
     /// Runs the accept loop until a client sends `shutdown`, then saves
@@ -510,10 +743,10 @@ fn worker_loop(state: &ServerState, addr: SocketAddr) {
             // `close` cannot sever.
             continue;
         };
-        state.admission.in_flight.fetch_add(1, Ordering::Relaxed);
+        state.admission.in_flight.inc();
         // Connection errors are the client's problem, not ours.
         let _ = serve_connection(stream, state, addr);
-        state.admission.in_flight.fetch_sub(1, Ordering::Relaxed);
+        state.admission.in_flight.dec();
         state.admission.deregister(token);
     }
 }
@@ -772,7 +1005,7 @@ fn serve_connection(stream: TcpStream, state: &ServerState, addr: SocketAddr) ->
         if line.trim().is_empty() {
             continue;
         }
-        state.requests.fetch_add(1, Ordering::Relaxed);
+        state.requests.inc();
         let (request, id) = match Request::decode_framed(&line) {
             Ok(decoded) => decoded,
             Err(e) => {
@@ -786,6 +1019,7 @@ fn serve_connection(stream: TcpStream, state: &ServerState, addr: SocketAddr) ->
                 continue;
             }
         };
+        let _span = state.request_span(&request);
         match request {
             Request::Hello { version } => {
                 if version != PROTOCOL_VERSION {
@@ -811,6 +1045,7 @@ fn serve_connection(stream: TcpStream, state: &ServerState, addr: SocketAddr) ->
                             "evict".to_owned(),
                             "busy".to_owned(),
                             "progress".to_owned(),
+                            "metrics".to_owned(),
                         ],
                     },
                     id,
@@ -826,21 +1061,28 @@ fn serve_connection(stream: TcpStream, state: &ServerState, addr: SocketAddr) ->
                     entries: state.cache.len() as u64,
                     hits: state.cache.hits(),
                     misses: state.cache.misses(),
-                    requests: state.requests.load(Ordering::Relaxed),
-                    accepted: state.admission.accepted.load(Ordering::Relaxed),
+                    requests: state.requests.get(),
+                    accepted: state.admission.accepted.get(),
                     queued: state.admission.queued(),
-                    shed: state.admission.shed.load(Ordering::Relaxed),
-                    in_flight: state.admission.in_flight.load(Ordering::Relaxed),
+                    shed: state.admission.shed.get(),
+                    in_flight: state.admission.in_flight.get_clamped(),
                 },
                 id,
             )?,
             Request::Progress => write_event(
                 &mut out,
                 &Event::Progress {
-                    runs_active: state.progress.runs_active.load(Ordering::Relaxed),
-                    runs_done: state.progress.runs_done.load(Ordering::Relaxed),
-                    layers_done: state.progress.layers_done.load(Ordering::Relaxed),
-                    layers_total: state.progress.layers_total.load(Ordering::Relaxed),
+                    runs_active: state.progress.runs_active.get_clamped(),
+                    runs_done: state.progress.runs_done.get(),
+                    layers_done: state.progress.layers_done.get_clamped(),
+                    layers_total: state.progress.layers_total.get_clamped(),
+                },
+                id,
+            )?,
+            Request::Metrics => write_event(
+                &mut out,
+                &Event::Metrics {
+                    metrics: samples_to_json(&metrics_samples(state)),
                 },
                 id,
             )?,

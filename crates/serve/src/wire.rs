@@ -31,9 +31,12 @@ pub const PROTOCOL_VERSION: u32 = 2;
 /// all of which a v2.0 peer simply never sees (a v2.0 *client* talking
 /// to a v2.1 daemon under overload sees the connection refused with an
 /// unknown event, which is the correct failure for a peer that cannot
-/// honor the backoff hint). Peers never refuse a connection over a minor
-/// skew.
-pub const PROTOCOL_MINOR: u32 = 1;
+/// honor the backoff hint). v2.2 adds the `metrics` request/event pair
+/// (the telemetry registry as a deterministic sorted JSON object) and
+/// the matching `metrics` capability label; older peers never send the
+/// request and never see the event. Peers never refuse a connection over
+/// a minor skew.
+pub const PROTOCOL_MINOR: u32 = 2;
 
 /// Error from decoding a request or event line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -151,6 +154,9 @@ pub enum Request {
     /// Live run-progress counters (protocol v2.1): how many runs are in
     /// flight and how far through their layers they are.
     Progress,
+    /// The full telemetry registry as one deterministic sorted JSON
+    /// object (protocol v2.2, capability `metrics`).
+    Metrics,
     /// Evict least-recently-used cache entries down to a bound.
     Evict {
         /// Maximum entries to keep.
@@ -189,6 +195,7 @@ impl Request {
             Request::Forward { run, seed } => run_obj("forward", run, Some(*seed)),
             Request::Stats => obj(vec![("req", s("stats"))]),
             Request::Progress => obj(vec![("req", s("progress"))]),
+            Request::Metrics => obj(vec![("req", s("metrics"))]),
             Request::Evict { max } => obj(vec![("req", s("evict")), ("max", u(*max))]),
             Request::Shutdown => obj(vec![("req", s("shutdown"))]),
         }
@@ -227,6 +234,7 @@ impl Request {
             }),
             "stats" => Ok(Request::Stats),
             "progress" => Ok(Request::Progress),
+            "metrics" => Ok(Request::Metrics),
             "evict" => Ok(Request::Evict {
                 max: u64_field(v, "max")?,
             }),
@@ -483,6 +491,17 @@ pub enum Event {
         /// Layer cells planned across the active runs.
         layers_total: u64,
     },
+    /// Terminal answer to a `metrics` request: the daemon's telemetry
+    /// registry rendered as one JSON object whose members are sorted by
+    /// metric name (protocol v2.2). Counters and gauges are numbers;
+    /// histograms are objects with `buckets` (cumulative counts keyed by
+    /// upper bound, ending at `+Inf`), `sum` and `count`. Iteration
+    /// order is deterministic, so two scrapes after identical workloads
+    /// encode byte-identically.
+    Metrics {
+        /// The sorted metrics object.
+        metrics: Value,
+    },
     /// Terminal answer to a `hello` request.
     Hello {
         /// The daemon's [`PROTOCOL_VERSION`].
@@ -624,6 +643,9 @@ impl Event {
                 ("layers_done", u(*layers_done)),
                 ("layers_total", u(*layers_total)),
             ]),
+            Event::Metrics { metrics } => {
+                obj(vec![("ev", s("metrics")), ("metrics", metrics.clone())])
+            }
             Event::Hello {
                 version,
                 minor,
@@ -748,6 +770,12 @@ impl Event {
                 runs_done: u64_field(v, "runs_done")?,
                 layers_done: u64_field(v, "layers_done")?,
                 layers_total: u64_field(v, "layers_total")?,
+            }),
+            "metrics" => Ok(Event::Metrics {
+                metrics: v
+                    .get("metrics")
+                    .cloned()
+                    .ok_or_else(|| WireError("missing `metrics`".into()))?,
             }),
             "busy" => Ok(Event::Busy {
                 retry_after_ms: u64_field(v, "retry_after_ms")?,
@@ -922,6 +950,7 @@ mod tests {
             },
             Request::Evict { max: 128 },
             Request::Progress,
+            Request::Metrics,
         ];
         for req in reqs {
             let line = req.encode();
@@ -1037,6 +1066,19 @@ mod tests {
                 layers_done: 9,
                 layers_total: 21,
             },
+            Event::Metrics {
+                metrics: obj(vec![
+                    ("admission_shed_total", u(4)),
+                    (
+                        "request_seconds{req=\"stats\"}",
+                        obj(vec![
+                            ("buckets", obj(vec![("0.001", u(1)), ("+Inf", u(2))])),
+                            ("sum", Value::Num(1.5)),
+                            ("count", u(2)),
+                        ]),
+                    ),
+                ]),
+            },
             Event::Hello {
                 version: PROTOCOL_VERSION,
                 minor: PROTOCOL_MINOR,
@@ -1045,6 +1087,7 @@ mod tests {
                     "evict".into(),
                     "busy".into(),
                     "progress".into(),
+                    "metrics".into(),
                 ],
             },
             Event::Busy {

@@ -1,0 +1,170 @@
+//! Minimal HTTP/1.0 exposition listener: `GET /metrics` only.
+//!
+//! Deliberately tiny — no keep-alive, no chunking, no TLS — just enough
+//! for a standard Prometheus scraper (which speaks plain HTTP GET) or a
+//! `bash /dev/tcp` probe to pull the text exposition. Every response
+//! closes the connection. Anything that is not `GET /metrics` gets a 404.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Renders the exposition body on demand (called once per scrape, after
+/// the owner has refreshed any sampled gauges).
+pub type RenderFn = Arc<dyn Fn() -> String + Send + Sync>;
+
+/// A background thread serving `GET /metrics` on a bound listener.
+///
+/// Dropping the server stops the thread (flag + self-connect, the same
+/// unblocking idiom the daemon's accept loop uses).
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for MetricsServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:0`) and start serving scrapes.
+    pub fn serve(addr: impl ToSocketAddrs, render: RenderFn) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("cbrain-metrics".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = conn else { continue };
+                    // Scrapes are rare and tiny; answering inline keeps the
+                    // server single-threaded and deterministic.
+                    let _ = answer(stream, &render);
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the serving thread and join it.
+    pub fn stop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            self.stop.store(true, Ordering::SeqCst);
+            // Unblock the accept call.
+            let _ = TcpStream::connect(self.addr);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Read one request, answer it, close. Bounded reads so a slow or
+/// malicious peer cannot park the thread for long.
+fn answer(stream: TcpStream, render: &RenderFn) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(2)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    // Drain headers until the blank line, with a hard cap.
+    let mut header = String::new();
+    for _ in 0..64 {
+        header.clear();
+        if reader.read_line(&mut header).unwrap_or(0) == 0 || header.trim().is_empty() {
+            break;
+        }
+    }
+    let mut stream = reader.into_inner();
+    if method == "GET" && (path == "/metrics" || path == "/metrics/") {
+        let body = render();
+        write!(
+            stream,
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    } else {
+        let body = "not found: only GET /metrics is served\n";
+        write!(
+            stream,
+            "HTTP/1.0 404 Not Found\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+            body.len(),
+            body
+        )?;
+    }
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+    use std::io::Read;
+
+    fn scrape(addr: SocketAddr, request: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(request.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_metrics_and_rejects_other_paths() {
+        let reg = Arc::new(Registry::new());
+        reg.counter("up_total", "liveness").add(3);
+        let r = Arc::clone(&reg);
+        let render: RenderFn = Arc::new(move || crate::render_prometheus(&r.samples()));
+        let mut srv = MetricsServer::serve("127.0.0.1:0", render).unwrap();
+
+        let ok = scrape(srv.addr(), "GET /metrics HTTP/1.0\r\n\r\n");
+        assert!(ok.starts_with("HTTP/1.0 200 OK\r\n"), "{ok}");
+        assert!(ok.contains("up_total 3\n"));
+
+        let two = scrape(srv.addr(), "GET /metrics HTTP/1.0\r\nHost: x\r\n\r\n");
+        assert_eq!(
+            ok.lines().last(),
+            two.lines().last(),
+            "idle scrapes are byte-stable"
+        );
+
+        let missing = scrape(srv.addr(), "GET /other HTTP/1.0\r\n\r\n");
+        assert!(missing.starts_with("HTTP/1.0 404"), "{missing}");
+
+        srv.stop();
+        assert!(
+            TcpStream::connect(srv.addr()).is_err() || {
+                // The OS may accept briefly after close on some platforms;
+                // a second stop is a no-op either way.
+                true
+            }
+        );
+    }
+}

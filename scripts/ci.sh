@@ -148,6 +148,106 @@ if [[ $quick -eq 0 ]]; then
 fi
 
 if [[ $quick -eq 0 ]]; then
+    echo "==> metrics smoke: protocol + HTTP scrapes must be sorted, stable, and agree with the report"
+    met_dir="$(mktemp -d)"
+    trap 'kill "$met_pid" 2>/dev/null || true; rm -rf "$met_dir"' EXIT
+    ./target/release/cbrand --port 0 --cache off --metrics-addr 127.0.0.1:0 \
+        >"$met_dir/daemon.out" 2>"$met_dir/daemon.err" &
+    met_pid=$!
+    addr=""
+    maddr=""
+    for _ in $(seq 1 50); do
+        addr="$(sed -n 's/^cbrand listening on //p' "$met_dir/daemon.out")"
+        maddr="$(sed -n 's/^cbrand metrics listening on //p' "$met_dir/daemon.out")"
+        [[ -n "$addr" && -n "$maddr" ]] && break
+        sleep 0.1
+    done
+    [[ -n "$addr" ]] || { echo "error: metrics-smoke cbrand never reported its address" >&2; cat "$met_dir/daemon.err" >&2; exit 1; }
+    [[ -n "$maddr" ]] || { echo "error: cbrand never reported its metrics address" >&2; cat "$met_dir/daemon.err" >&2; exit 1; }
+
+    ./target/release/cbrain cbrand-client --connect "$addr" \
+        --spec specs/alexnet.spec >"$met_dir/report.txt" 2>/dev/null
+
+    # Protocol leg: `--metrics` prints the registry as one JSON object
+    # (the client itself fails if the daemon's keys are not sorted).
+    ./target/release/cbrain cbrand-client --connect "$addr" --metrics >"$met_dir/metrics.json"
+    grep -q '"requests_total":' "$met_dir/metrics.json" \
+        || { echo "error: --metrics JSON lacks requests_total" >&2; cat "$met_dir/metrics.json" >&2; exit 1; }
+
+    # The registry's cache counters must agree with the report's own
+    # `cache Nh/Mm` summary token — same counters, two views.
+    cache_tok="$(grep -o 'cache [0-9]*h/[0-9]*m' "$met_dir/report.txt" | head -n1)"
+    rep_hits="$(sed -n 's/cache \([0-9]*\)h.*/\1/p' <<<"$cache_tok")"
+    met_hits="$(grep -o '"cache_hits_total":[0-9]*' "$met_dir/metrics.json" | grep -o '[0-9]*$')"
+    [[ -n "$rep_hits" && "$rep_hits" == "$met_hits" ]] \
+        || { echo "error: cache_hits_total=$met_hits but the report says '$cache_tok'" >&2; exit 1; }
+
+    # HTTP leg, curl-less via bash /dev/tcp: two idle scrapes must be
+    # byte-identical, well-formed, and sorted.
+    scrape() {
+        exec 3<>"/dev/tcp/${maddr%:*}/${maddr##*:}"
+        printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+        cat <&3
+        exec 3<&- 3>&-
+    }
+    scrape | tr -d '\r' | sed '1,/^$/d' >"$met_dir/scrape1.txt"
+    scrape | tr -d '\r' | sed '1,/^$/d' >"$met_dir/scrape2.txt"
+    diff -u "$met_dir/scrape1.txt" "$met_dir/scrape2.txt" \
+        || { echo "error: two idle scrapes differ" >&2; exit 1; }
+    grep -q '^# HELP cache_hits_total ' "$met_dir/scrape1.txt" \
+        || { echo "error: exposition lacks a cache_hits_total HELP line" >&2; exit 1; }
+    grep '^# HELP ' "$met_dir/scrape1.txt" | awk '{print $3}' >"$met_dir/families.txt"
+    LC_ALL=C sort -c "$met_dir/families.txt" \
+        || { echo "error: exposition families are not sorted" >&2; exit 1; }
+    grep -q "^cache_hits_total $met_hits\$" "$met_dir/scrape1.txt" \
+        || { echo "error: HTTP scrape disagrees with --metrics on cache_hits_total" >&2; exit 1; }
+
+    ./target/release/cbrain cbrand-client --connect "$addr" --shutdown >/dev/null
+    wait "$met_pid"
+    trap - EXIT
+    rm -rf "$met_dir"
+fi
+
+if [[ $quick -eq 0 ]]; then
+    echo "==> telemetry kill-switch leg: CBRAIN_TELEMETRY=off reports must stay byte-identical"
+    off_dir="$(mktemp -d)"
+    trap 'kill "$off_pid" 2>/dev/null || true; rm -rf "$off_dir"' EXIT
+    CBRAIN_TELEMETRY=off ./target/release/cbrand --port 0 --cache off --workers 2 --queue-depth 1 \
+        >"$off_dir/daemon.out" 2>"$off_dir/daemon.err" &
+    off_pid=$!
+    addr=""
+    for _ in $(seq 1 50); do
+        addr="$(sed -n 's/^cbrand listening on //p' "$off_dir/daemon.out")"
+        [[ -n "$addr" ]] && break
+        sleep 0.1
+    done
+    [[ -n "$addr" ]] || { echo "error: kill-switch cbrand never reported its address" >&2; cat "$off_dir/daemon.err" >&2; exit 1; }
+
+    # A small flood so the shed path runs with telemetry off too.
+    off_pids=()
+    for pe in 32x32 8x8 24x24; do
+        CBRAIN_TELEMETRY=off ./target/release/cbrain cbrand-client --connect "$addr" \
+            --spec specs/alexnet.spec --pe "$pe" >"$off_dir/flood_$pe.txt" 2>/dev/null &
+        off_pids+=($!)
+    done
+    CBRAIN_TELEMETRY=off ./target/release/cbrain cbrand-client --connect "$addr" \
+        --spec specs/alexnet.spec >"$off_dir/client.txt" 2>/dev/null
+    for pid in "${off_pids[@]}"; do
+        wait "$pid" || { echo "error: a client failed under CBRAIN_TELEMETRY=off" >&2; exit 1; }
+    done
+    ./target/release/cbrain run --spec specs/alexnet.spec >"$off_dir/direct.txt"
+    if ! diff -u "$off_dir/direct.txt" "$off_dir/client.txt"; then
+        echo "error: CBRAIN_TELEMETRY=off changed the report bytes" >&2
+        exit 1
+    fi
+
+    ./target/release/cbrain cbrand-client --connect "$addr" --shutdown >/dev/null
+    wait "$off_pid"
+    trap - EXIT
+    rm -rf "$off_dir"
+fi
+
+if [[ $quick -eq 0 ]]; then
     echo "==> fleet smoke: 3-shard report must match cbrain run, before and after a SIGKILL"
     fleet_dir="$(mktemp -d)"
     pids=()

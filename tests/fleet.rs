@@ -116,6 +116,24 @@ fn three_shard_fleet_is_byte_identical_for_every_zoo_network() {
         "healthy shards must stay up"
     );
 
+    // Per-shard router metrics exist for all three shards (ring order)
+    // and a healthy fleet records no failures. The same counters are
+    // registered process-globally under labeled names, so a scrape of
+    // this process would expose them too.
+    assert_eq!(router.shard_metrics().len(), 3);
+    for m in router.shard_metrics() {
+        assert_eq!(m.downmarks.get(), 0, "no healthy shard was down-marked");
+        assert_eq!(m.reroutes.get(), 0, "no key left its preferred shard");
+    }
+    let global = cbrain::telemetry::Registry::global().samples();
+    for addr in [&a, &b, &c] {
+        let name = format!("router_downmarks_total{{shard=\"{addr}\"}}");
+        assert!(
+            global.iter().any(|s| s.name == name),
+            "global registry must carry {name}"
+        );
+    }
+
     for addr in [&a, &b, &c] {
         shutdown(addr);
     }
@@ -158,6 +176,15 @@ fn fleet_survives_a_shard_dying_mid_run() {
     );
     assert!(!router.shard_states()[1].is_down());
     assert!(!router.shard_states()[2].is_down());
+    // The failover is visible in the router metrics: the rogue shard
+    // took a down-mark, its keys rerouted, and the transport retries
+    // before the mark were counted — all without costing a report byte.
+    let rogue_metrics = &router.shard_metrics()[0];
+    assert_eq!(rogue_metrics.downmarks.get(), 1, "one down-mark per death");
+    assert!(rogue_metrics.reroutes.get() > 0, "its keys moved elsewhere");
+    assert!(rogue_metrics.retries.get() > 0, "retries precede the mark");
+    assert_eq!(router.shard_metrics()[1].downmarks.get(), 0);
+    assert_eq!(router.shard_metrics()[2].downmarks.get(), 0);
 
     // Now kill a *real* shard between runs: connection-refused is the
     // other transport failure mode, and the survivor plus local
@@ -173,6 +200,12 @@ fn fleet_survives_a_shard_dying_mid_run() {
         router.shard_states()[1].is_down(),
         "killed shard marked down"
     );
+    assert_eq!(
+        router.shard_metrics()[1].downmarks.get(),
+        1,
+        "connection-refused advances the killed shard's down-mark counter"
+    );
+    assert!(router.shard_metrics()[1].reroutes.get() > 0);
 
     shutdown(&b);
     hb.join().expect("server thread").expect("clean exit");
@@ -234,6 +267,15 @@ fn busy_shard_is_backed_off_but_never_marked_down() {
         "busy answers mid-run must not mark the shard down"
     );
     assert!(!router.shard_states()[1].is_down());
+    assert!(
+        router.shard_metrics()[0].busy_backoffs.get() > 0,
+        "the shed answers were counted as busy backoffs"
+    );
+    assert_eq!(
+        router.shard_metrics()[0].downmarks.get(),
+        0,
+        "busy is never a down-mark"
+    );
 
     shutdown(&real);
     handle.join().expect("server thread").expect("clean exit");

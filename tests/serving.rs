@@ -5,8 +5,10 @@
 use cbrain::report::render_run_report;
 use cbrain::{RunOptions, Runner};
 use cbrain_serve::daemon::{Daemon, DaemonOptions};
+use cbrain_serve::json::Value;
 use cbrain_serve::wire::{Event, NetworkSource, Request, RunRequest};
 use cbrain_serve::{Client, ClientError};
+use std::io::{Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
 use std::time::Duration;
@@ -272,6 +274,227 @@ fn progress_counters_track_runs_and_settle_idle() {
     // nothing active, no layer cells in flight.
     assert_eq!(progress(&mut client), (0, 1, 0, 0));
 
+    client.submit(&Request::Shutdown, |_| {}).expect("shutdown");
+    server.join().expect("server thread").expect("clean exit");
+}
+
+/// Submits a `metrics` request and returns the decoded registry object.
+fn fetch_metrics(client: &mut Client) -> Value {
+    let terminal = client.submit(&Request::Metrics, |_| {}).expect("metrics");
+    let Event::Metrics { metrics } = terminal else {
+        panic!("expected metrics, got {terminal:?}");
+    };
+    metrics
+}
+
+/// The u64 payload of a named counter in a metrics object.
+fn counter(metrics: &Value, name: &str) -> u64 {
+    metrics
+        .get(name)
+        .unwrap_or_else(|| panic!("metric `{name}` missing"))
+        .as_u64()
+        .unwrap_or_else(|| panic!("metric `{name}` is not a u64"))
+}
+
+#[test]
+fn metrics_request_is_sorted_and_agrees_with_stats() {
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        DaemonOptions {
+            jobs: 2,
+            ..DaemonOptions::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = daemon.local_addr().to_string();
+    let server = thread::spawn(move || daemon.run());
+
+    let mut client = Client::builder(&addr).connect().expect("connect");
+    let run = RunRequest {
+        network: NetworkSource::Zoo("alexnet".into()),
+        ..RunRequest::default()
+    };
+    let report = client.simulate(&run, |_| {}).expect("simulate");
+
+    let metrics = fetch_metrics(&mut client);
+    let Value::Obj(members) = &metrics else {
+        panic!("metrics must be an object");
+    };
+    // Sorted, duplicate-free member names — the diff-stability contract.
+    assert!(
+        members.windows(2).all(|w| w[0].0 < w[1].0),
+        "metrics keys must be strictly sorted"
+    );
+
+    // The registry view and the v2.1 stats view must agree: both are
+    // fed by the same counters.
+    let stats = client.submit(&Request::Stats, |_| {}).expect("stats");
+    let Event::Stats {
+        entries,
+        hits,
+        misses,
+        ..
+    } = stats
+    else {
+        panic!("expected stats, got {stats:?}");
+    };
+    assert_eq!(counter(&metrics, "cache_hits_total"), hits);
+    assert_eq!(counter(&metrics, "cache_misses_total"), misses);
+    assert_eq!(counter(&metrics, "cache_entries"), entries);
+    assert_eq!(
+        counter(&metrics, "cache_misses_total"),
+        report.cache_misses,
+        "a lone client's misses are the daemon's misses"
+    );
+    assert!(counter(&metrics, "requests_total") >= 2);
+    assert_eq!(counter(&metrics, "admission_shed_total"), 0);
+    assert_eq!(counter(&metrics, "progress_runs_done_total"), 1);
+    // The per-request histograms exist for every request kind, as
+    // nested objects with a bucket map.
+    let sim = metrics
+        .get("request_seconds{req=\"simulate\"}")
+        .expect("simulate latency histogram");
+    assert_eq!(counter(sim, "count"), 1);
+    assert!(sim.get("buckets").is_some());
+
+    client.submit(&Request::Shutdown, |_| {}).expect("shutdown");
+    server.join().expect("server thread").expect("clean exit");
+}
+
+/// One plain HTTP/1.0 GET against the metrics listener; returns
+/// (status line, body).
+fn http_get(addr: &str, path: &str) -> (String, String) {
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect metrics");
+    write!(stream, "GET {path} HTTP/1.0\r\n\r\n").expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("header/body separator");
+    let status = head.lines().next().expect("status line").to_owned();
+    (status, body.to_owned())
+}
+
+#[test]
+fn prometheus_scrape_is_byte_stable_and_sorted() {
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        DaemonOptions {
+            jobs: 2,
+            metrics_addr: Some("127.0.0.1:0".to_owned()),
+            ..DaemonOptions::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = daemon.local_addr().to_string();
+    let scrape_addr = daemon
+        .metrics_addr()
+        .expect("metrics listener bound")
+        .to_string();
+    let server = thread::spawn(move || daemon.run());
+
+    let mut client = Client::builder(&addr).connect().expect("connect");
+    let run = RunRequest {
+        network: NetworkSource::Zoo("nin".into()),
+        ..RunRequest::default()
+    };
+    client.simulate(&run, |_| {}).expect("simulate");
+
+    // Two scrapes of an idle daemon must be byte-identical — the
+    // exposition carries no timestamps and sampling mutates nothing.
+    let (status, first) = http_get(&scrape_addr, "/metrics");
+    assert!(status.contains("200"), "{status}");
+    let (_, second) = http_get(&scrape_addr, "/metrics");
+    assert_eq!(first, second, "idle scrapes must not drift");
+
+    // Text-format sanity: HELP/TYPE lines present, series names sorted.
+    assert!(first.starts_with("# HELP "), "{first}");
+    let series: Vec<&str> = first
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .collect();
+    assert!(series.iter().any(|l| l.starts_with("cache_misses_total ")));
+    assert!(series
+        .iter()
+        .any(|l| l.starts_with("request_seconds_bucket{req=\"simulate\"")));
+    let families: Vec<&str> = first
+        .lines()
+        .filter_map(|l| l.strip_prefix("# HELP "))
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    let mut sorted = families.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(families, sorted, "families must render sorted, once each");
+
+    // Anything else is a 404, not a hang or a crash.
+    let (status, _) = http_get(&scrape_addr, "/other");
+    assert!(status.contains("404"), "{status}");
+
+    client.submit(&Request::Shutdown, |_| {}).expect("shutdown");
+    server.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn shed_flood_counts_exactly_in_metrics() {
+    // Same overload shape as the shedding test above, but the assertion
+    // under test is the *metrics* contract: every `busy` line a client
+    // observed is one shed connection, so `admission_shed_total` must
+    // equal the observed count exactly — no double counting, no misses.
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        DaemonOptions {
+            jobs: 1,
+            workers: 2,
+            queue_depth: 1,
+            busy_retry_ms: 5,
+            ..DaemonOptions::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = daemon.local_addr().to_string();
+    let server = thread::spawn(move || daemon.run());
+
+    let busy_seen = AtomicU64::new(0);
+    let runs: Vec<RunRequest> = [(16, 16), (32, 32), (8, 8), (24, 24), (8, 16), (16, 8)]
+        .iter()
+        .map(|&pe| RunRequest {
+            network: NetworkSource::Zoo("nin".into()),
+            pe,
+            ..RunRequest::default()
+        })
+        .collect();
+    thread::scope(|scope| {
+        for run in &runs {
+            let addr = addr.clone();
+            let busy_seen = &busy_seen;
+            scope.spawn(move || loop {
+                match Client::builder(&addr).busy_wait(Duration::ZERO).connect() {
+                    Ok(mut client) => {
+                        client.simulate(run, |_| {}).expect("simulate");
+                        return;
+                    }
+                    Err(ClientError::Busy { retry_after_ms, .. }) => {
+                        busy_seen.fetch_add(1, Ordering::SeqCst);
+                        thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+                    }
+                    Err(e) => panic!("unexpected client failure: {e}"),
+                }
+            });
+        }
+    });
+
+    let mut client = Client::builder(&addr).connect().expect("connect");
+    let metrics = fetch_metrics(&mut client);
+    assert_eq!(
+        counter(&metrics, "admission_shed_total"),
+        busy_seen.load(Ordering::SeqCst),
+        "every busy line is exactly one shed connection"
+    );
+    assert!(
+        counter(&metrics, "admission_accepted_total") >= runs.len() as u64,
+        "every client eventually got in"
+    );
     client.submit(&Request::Shutdown, |_| {}).expect("shutdown");
     server.join().expect("server thread").expect("clean exit");
 }
