@@ -1,0 +1,230 @@
+//! Readiness polling over a rebuilt-per-iteration descriptor set.
+//!
+//! A [`Poller`] is a thin, allocation-reusing wrapper around one
+//! `poll(2)` call: each reactor iteration registers the descriptors it
+//! currently cares about (listener, waker, every connection), polls,
+//! and reads back per-slot [`Readiness`]. Rebuilding the set every
+//! iteration is O(connections) — the same order as the kernel's own
+//! scan inside `poll` — and keeps the API free of registration
+//! lifetimes entirely.
+
+use crate::sys::{self, PollFd};
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// What a caller wants to hear about a descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when reading would not block (or a listener has a pending
+    /// connection).
+    pub readable: bool,
+    /// Wake when writing would not block.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READ: Self = Self {
+        readable: true,
+        writable: false,
+    };
+    /// Write-only interest.
+    pub const WRITE: Self = Self {
+        readable: false,
+        writable: true,
+    };
+    /// No requested events — errors and hangups still report.
+    pub const NONE: Self = Self {
+        readable: false,
+        writable: false,
+    };
+
+    fn events(self) -> i16 {
+        let mut events = 0;
+        if self.readable {
+            events |= sys::POLLIN;
+        }
+        if self.writable {
+            events |= sys::POLLOUT;
+        }
+        events
+    }
+}
+
+/// What the kernel reported for one registered slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Readiness {
+    raw: i16,
+}
+
+impl Readiness {
+    /// Reading would not block.
+    #[must_use]
+    pub fn readable(self) -> bool {
+        self.raw & sys::POLLIN != 0
+    }
+
+    /// Writing would not block.
+    #[must_use]
+    pub fn writable(self) -> bool {
+        self.raw & sys::POLLOUT != 0
+    }
+
+    /// The descriptor errored, hung up, or is invalid — the connection
+    /// is beyond saving.
+    #[must_use]
+    pub fn failed(self) -> bool {
+        self.raw & (sys::POLLERR | sys::POLLNVAL) != 0
+    }
+
+    /// The peer hung up. Reads may still drain buffered bytes first.
+    #[must_use]
+    pub fn hangup(self) -> bool {
+        self.raw & sys::POLLHUP != 0
+    }
+
+    /// Anything at all was reported.
+    #[must_use]
+    pub fn any(self) -> bool {
+        self.raw != 0
+    }
+}
+
+/// The reusable descriptor set (see the module docs for the lifecycle).
+#[derive(Debug, Default)]
+pub struct Poller {
+    fds: Vec<PollFd>,
+}
+
+impl Poller {
+    /// An empty poller.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Empties the set for the next iteration, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.fds.clear();
+    }
+
+    /// Adds `fd` with `interest`, returning the slot index for
+    /// [`Poller::readiness`] after the next [`Poller::poll`].
+    pub fn register(&mut self, fd: RawFd, interest: Interest) -> usize {
+        self.fds.push(PollFd {
+            fd,
+            events: interest.events(),
+            revents: 0,
+        });
+        self.fds.len() - 1
+    }
+
+    /// Registered slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fds.len()
+    }
+
+    /// Whether no descriptors are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty()
+    }
+
+    /// Waits for readiness on the registered set; `None` waits forever.
+    /// Returns how many slots have events.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`sys::poll_fds`] failures.
+    pub fn poll(&mut self, timeout: Option<Duration>) -> io::Result<usize> {
+        for fd in &mut self.fds {
+            fd.revents = 0;
+        }
+        sys::poll_fds(&mut self.fds, timeout)
+    }
+
+    /// The readiness recorded for `slot` by the last poll.
+    #[must_use]
+    pub fn readiness(&self, slot: usize) -> Readiness {
+        Readiness {
+            raw: self.fds[slot].revents,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn listener_reports_readable_on_pending_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let mut poller = Poller::new();
+        poller.register(listener.as_raw_fd(), Interest::READ);
+        let n = poller.poll(Some(Duration::ZERO)).expect("poll");
+        assert_eq!(n, 0, "no pending connection yet");
+
+        let _client = TcpStream::connect(addr).expect("connect");
+        poller.clear();
+        let slot = poller.register(listener.as_raw_fd(), Interest::READ);
+        let n = poller.poll(Some(Duration::from_secs(5))).expect("poll");
+        assert_eq!(n, 1);
+        assert!(poller.readiness(slot).readable());
+    }
+
+    #[test]
+    fn stream_reports_writable_then_readable() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (mut served, _) = listener.accept().expect("accept");
+
+        let mut poller = Poller::new();
+        let slot = poller.register(
+            client.as_raw_fd(),
+            Interest {
+                readable: true,
+                writable: true,
+            },
+        );
+        poller.poll(Some(Duration::from_secs(5))).expect("poll");
+        let ready = poller.readiness(slot);
+        assert!(ready.writable(), "fresh socket must be writable");
+        assert!(!ready.readable(), "nothing sent yet");
+
+        served.write_all(b"ping").expect("write");
+        poller.clear();
+        let slot = poller.register(client.as_raw_fd(), Interest::READ);
+        poller.poll(Some(Duration::from_secs(5))).expect("poll");
+        assert!(poller.readiness(slot).readable());
+    }
+
+    #[test]
+    fn hangup_reports_without_requested_events() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = TcpStream::connect(addr).expect("connect");
+        let (served, _) = listener.accept().expect("accept");
+        // A lone peer FIN is just readable-EOF on TCP; POLLHUP needs
+        // both directions down. Close the peer and our send side.
+        drop(served);
+        client
+            .shutdown(std::net::Shutdown::Write)
+            .expect("shutdown");
+
+        let mut poller = Poller::new();
+        let slot = poller.register(client.as_raw_fd(), Interest::NONE);
+        poller.poll(Some(Duration::from_secs(5))).expect("poll");
+        let ready = poller.readiness(slot);
+        assert!(
+            ready.hangup() || ready.failed(),
+            "full teardown must surface even with no requested events, got {ready:?}"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! The raw `poll(2)` surface.
+//!
+//! The workspace takes no external dependencies, so instead of the
+//! `libc` crate this module declares the one symbol it needs — `poll` —
+//! against the C library every Rust binary on a Unix host already
+//! links. The wrapper retries `EINTR` and converts the millisecond
+//! timeout so callers think in [`Duration`]s.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::time::Duration;
+
+/// One entry in the `poll(2)` descriptor array, layout-compatible with
+/// the C `struct pollfd`.
+#[repr(C)]
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PollFd {
+    /// The descriptor to watch (negative entries are ignored by the
+    /// kernel, a property [`crate::Poller`] does not currently use).
+    pub fd: RawFd,
+    /// Requested readiness, a bitmask of [`POLLIN`] / [`POLLOUT`].
+    pub events: i16,
+    /// Kernel-reported readiness: the requested bits plus the
+    /// always-reported [`POLLERR`] / [`POLLHUP`] / [`POLLNVAL`].
+    pub revents: i16,
+}
+
+/// Data is available to read (or a listener has a pending connection).
+pub const POLLIN: i16 = 0x001;
+/// Writing would not block.
+pub const POLLOUT: i16 = 0x004;
+/// An error condition is pending on the descriptor.
+pub const POLLERR: i16 = 0x008;
+/// The peer hung up (reported even when not requested).
+pub const POLLHUP: i16 = 0x010;
+/// The descriptor is not open (reported even when not requested).
+pub const POLLNVAL: i16 = 0x020;
+
+#[cfg(target_os = "linux")]
+type NfdsT = std::ffi::c_ulong;
+#[cfg(not(target_os = "linux"))]
+type NfdsT = std::ffi::c_uint;
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: std::ffi::c_int) -> std::ffi::c_int;
+}
+
+/// Blocks until at least one descriptor in `fds` is ready or the
+/// timeout expires (`Ok(0)`). Signal interruptions are absorbed:
+/// `EINTR` restarts the call with the full timeout, so callers with
+/// real deadlines should recompute the remaining wait per call.
+///
+/// `None` means "wait forever". Sub-millisecond timeouts round *up* so
+/// a short deadline cannot degenerate into a hot zero-timeout spin.
+///
+/// # Errors
+///
+/// Any `poll(2)` failure other than `EINTR` (`EBADF`, `ENOMEM`, ...).
+pub fn poll_fds(fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+    let timeout_ms: std::ffi::c_int = match timeout {
+        None => -1,
+        Some(d) => {
+            let micros = d.as_micros();
+            let ms = micros.div_ceil(1000);
+            ms.min(i32::MAX as u128) as std::ffi::c_int
+        }
+    };
+    loop {
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as NfdsT, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = io::Error::last_os_error();
+        if err.kind() != io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn empty_set_times_out() {
+        let start = Instant::now();
+        let n = poll_fds(&mut [], Some(Duration::from_millis(10))).expect("poll");
+        assert_eq!(n, 0);
+        assert!(start.elapsed() >= Duration::from_millis(10));
+    }
+
+    #[test]
+    fn zero_timeout_returns_immediately() {
+        let n = poll_fds(&mut [], Some(Duration::ZERO)).expect("poll");
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn pollfd_matches_c_layout() {
+        // `struct pollfd` is { int fd; short events; short revents; }:
+        // 8 bytes, int-aligned. A drifted layout would corrupt the
+        // kernel's view of every descriptor after the first.
+        assert_eq!(std::mem::size_of::<PollFd>(), 8);
+        assert_eq!(
+            std::mem::align_of::<PollFd>(),
+            std::mem::align_of::<std::ffi::c_int>()
+        );
+    }
+}

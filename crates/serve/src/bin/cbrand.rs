@@ -3,7 +3,7 @@
 //! ```text
 //! cbrand [--host HOST] [--port PORT] [--jobs N] [--cache auto|off|PATH]
 //!        [--workers N] [--queue-depth N] [--high-water N] [--low-water N]
-//!        [--metrics-addr ADDR]
+//!        [--metrics-addr ADDR] [--max-connections N]
 //! ```
 //!
 //! Prints `cbrand listening on HOST:PORT` on stdout once bound (scripts
@@ -14,7 +14,7 @@
 //! `cbrand metrics listening on HOST:PORT` — again parseable when the
 //! requested port was 0.
 
-use cbrain_serve::daemon::{resolve_metrics_addr, Daemon, DaemonOptions};
+use cbrain_serve::daemon::{resolve_max_connections, resolve_metrics_addr, Daemon, DaemonOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -42,6 +42,10 @@ OPTIONS:
                     Serve Prometheus text-format metrics over HTTP at
                     ADDR (e.g. 127.0.0.1:9227; port 0 picks an ephemeral
                     port). Default: CBRAIN_METRICS_ADDR, else disabled
+    --max-connections N
+                    Hard cap on concurrently open connections; arrivals
+                    past it are answered `busy`. 0 = no cap.
+                    Default: CBRAIN_MAX_CONNS, else 0
     --help          Show this help
 ";
 
@@ -55,6 +59,7 @@ struct Args {
     high_water: Option<usize>,
     low_water: Option<usize>,
     metrics_addr: Option<String>,
+    max_connections: Option<usize>,
 }
 
 fn parse_args() -> Result<Option<Args>, String> {
@@ -68,6 +73,7 @@ fn parse_args() -> Result<Option<Args>, String> {
         high_water: None,
         low_water: None,
         metrics_addr: None,
+        max_connections: None,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -115,6 +121,13 @@ fn parse_args() -> Result<Option<Args>, String> {
                 );
             }
             "--metrics-addr" => args.metrics_addr = Some(value.clone()),
+            "--max-connections" => {
+                args.max_connections = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("bad connection cap `{value}`"))?,
+                );
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
         i += 2;
@@ -157,6 +170,10 @@ fn main() -> ExitCode {
         low_water: args.low_water,
         busy_retry_ms: 0,
         metrics_addr: resolve_metrics_addr(args.metrics_addr, &cbrain::config::EnvConfig::load()),
+        max_connections: resolve_max_connections(
+            args.max_connections,
+            &cbrain::config::EnvConfig::load(),
+        ),
     };
     let daemon = match Daemon::bind(&format!("{}:{}", args.host, args.port), opts) {
         Ok(daemon) => daemon,

@@ -1,24 +1,40 @@
 //! The `cbrand` TCP daemon.
 //!
-//! One process owns one [`CompiledLayerCache`] and a **bounded worker
-//! pool**: the accept loop pushes connections onto a bounded admission
-//! queue and a fixed set of worker threads drains it, each wiring a
-//! [`Runner`] to the shared cache and the [`CompileBatcher`] that merges
-//! concurrent compile work-lists into deterministic pool batches.
-//! Per-layer report lines stream back as the serial merge pass finishes
-//! them.
+//! One **reactor thread** owns every socket: the listener, a wakeup
+//! channel, and all client connections, multiplexed through
+//! [`cbrain_reactor`]'s `poll(2)` loop. Connections cost a descriptor
+//! and a buffer while idle — never a thread — so thousands of
+//! keep-alive clients coexist with a worker pool sized to the CPU.
 //!
-//! When the queue crosses its high-water mark the daemon stops queueing
-//! and *sheds*: each surplus connection is answered with a single
-//! protocol v2.1 [`Event::Busy`] line carrying a retry hint, then
-//! half-closed and drained. Shedding stops once the queue drains to the
-//! low-water mark. Overload therefore costs clients a bounded wait, not
-//! the daemon its life — thread count stays pool-sized no matter how
-//! many clients flood in.
+//! Compute stays scarce on purpose: a parsed `compile`/`simulate`/
+//! `forward`/`compile_keys` request becomes a **ticket** on a bounded
+//! queue that a fixed pool of workers drains, each wiring a [`Runner`]
+//! to the shared [`CompiledLayerCache`] and the [`CompileBatcher`] that
+//! merges concurrent compile work-lists into deterministic pool
+//! batches. Per-layer report lines stream back through the reactor as
+//! the serial merge pass finishes them. Cheap control requests
+//! (`hello`, `stats`, `progress`, `metrics`, `evict`, `shutdown`) are
+//! answered inline on the reactor thread, so observability stays
+//! responsive even when every worker is busy.
+//!
+//! Overload is handled at the front door. The reactor tracks how many
+//! connections *occupy* the daemon — fresh peers that have not yet
+//! completed a request, plus anything with a ticket in flight or bytes
+//! buffered — and sheds new arrivals with a single protocol v2
+//! [`Event::Busy`] line (retry hint included) once occupancy crosses
+//! the high-water mark, resuming accepts at the low-water mark. A shed
+//! socket is half-closed and *drained* in-loop (the `Draining` phase
+//! replaces the dedicated reaper thread of earlier versions) so the
+//! close cannot RST the busy answer away. A silent connection that
+//! never completes a handshake keeps counting as occupancy — a
+//! connection storm of idle openers is shed exactly like a compute
+//! flood. An optional hard cap ([`DaemonOptions::max_connections`])
+//! additionally answers `busy` to every arrival past the cap, keeping
+//! surplus clients out of the kernel backlog.
 //!
 //! On startup the daemon warms the cache from a persisted file (if one
 //! is configured); on `shutdown` it saves the cache back before the
-//! accept loop returns.
+//! reactor returns.
 
 use crate::batch::CompileBatcher;
 use crate::json::{self, Value};
@@ -33,21 +49,23 @@ use cbrain::telemetry::{
 };
 use cbrain::{CompileBackend as _, CompiledLayerCache, EnvConfig, RunOptions, Runner};
 use cbrain_model::{spec, zoo, Layer, Network, Tensor3};
+use cbrain_reactor::{Connection, Interest, Phase, Poller, WakeHandle, Waker};
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Worker-pool floor when [`DaemonOptions::workers`] is `0`: even a
-/// single-core host serves a few connections concurrently, since most
-/// requests are short and cache-hit dominated.
+/// single-core host serves a few requests concurrently, since most
+/// are short and cache-hit dominated.
 const DEFAULT_MIN_WORKERS: usize = 4;
 
-/// Admission-queue bound when [`DaemonOptions::queue_depth`] is `0`.
+/// Ticket-queue bound when [`DaemonOptions::queue_depth`] is `0`.
 const DEFAULT_QUEUE_DEPTH: usize = 64;
 
 /// Per-unit-of-load retry hint when [`DaemonOptions::busy_retry_ms`] is
@@ -58,11 +76,34 @@ const DEFAULT_BUSY_RETRY_MS: u64 = 25;
 /// to stay away longer than this, however deep the backlog.
 const MAX_RETRY_HINT_MS: u64 = 1_000;
 
-/// First sleep after a failed `accept` (doubles per consecutive failure).
+/// First accept pause after a failed `accept` (doubles per consecutive
+/// failure). The reactor keeps polling connections during the pause; it
+/// only stops watching the listener.
 const ACCEPT_BACKOFF_BASE_MS: u64 = 5;
 
-/// Sleep ceiling between failed `accept` calls.
+/// Accept-pause ceiling between failed `accept` calls.
 const ACCEPT_BACKOFF_MAX_MS: u64 = 500;
+
+/// Hard cap on one NDJSON request line. Far above any real request
+/// (even a thousand-layer `compile_keys` batch), far below a
+/// memory-exhaustion write.
+const MAX_REQUEST_LINE: usize = 16 << 20;
+
+/// Per-connection read budget per reactor iteration, so one firehose
+/// peer cannot starve the rest of the loop.
+const READ_BUDGET_PER_TICK: usize = 256 * 1024;
+
+/// How long a shed connection's `Draining` phase waits for the peer's
+/// EOF before closing anyway.
+const SHED_DRAIN_MS: u64 = 2_000;
+
+/// How many already-sent peer bytes a `Draining` connection discards
+/// before closing anyway.
+const SHED_DRAIN_BUDGET: usize = 64 * 1024;
+
+/// After `shutdown`, how long the reactor keeps flushing pending
+/// responses to slow readers before exiting regardless.
+const STOP_FLUSH_MS: u64 = 1_000;
 
 /// Daemon construction options.
 #[derive(Debug, Clone, Default)]
@@ -72,20 +113,23 @@ pub struct DaemonOptions {
     /// Cache file to load on startup and save on shutdown (`None`
     /// disables persistence).
     pub cache_path: Option<PathBuf>,
-    /// Connection-serving worker threads. `0` resolves to
-    /// `max(available_jobs(), 4)`.
+    /// Compute-pool worker threads draining the ticket queue. `0`
+    /// resolves to `max(available_jobs(), 4)`.
     pub workers: usize,
-    /// Bound on accepted-but-unserved connections. `0` resolves to 64.
+    /// Bound on parsed-but-unserved compute requests. `0` resolves to
+    /// 64.
     pub queue_depth: usize,
-    /// Queue depth at which the daemon starts shedding with `busy`.
-    /// `None` resolves to the queue depth (shed only when full); any
-    /// value is clamped into `1..=queue_depth`.
+    /// Occupancy above the worker pool at which the daemon starts
+    /// shedding new connections with `busy`. `None` resolves to the
+    /// queue depth (shed only when full); any value is clamped into
+    /// `1..=queue_depth`.
     pub high_water: Option<usize>,
-    /// Queue depth at which shedding stops again. `None` resolves to
-    /// half the high-water mark; any value is clamped below it.
+    /// Occupancy above the worker pool at which shedding stops again.
+    /// `None` resolves to half the high-water mark; any value is
+    /// clamped below it.
     pub low_water: Option<usize>,
     /// Base retry hint in milliseconds; the shed answer scales it by the
-    /// daemon's current load (queued + in-flight connections). `0`
+    /// daemon's current load (queued + in-flight requests). `0`
     /// resolves to 25.
     pub busy_retry_ms: u64,
     /// Bind address for the Prometheus text-format exposition listener
@@ -93,6 +137,11 @@ pub struct DaemonOptions {
     /// Resolve flag > `CBRAIN_METRICS_ADDR` > none with
     /// [`resolve_metrics_addr`].
     pub metrics_addr: Option<String>,
+    /// Hard cap on concurrently open connections; arrivals past it are
+    /// answered with `busy` instead of queueing in the kernel backlog.
+    /// `0` means no cap. Resolve flag > `CBRAIN_MAX_CONNS` > none with
+    /// [`resolve_max_connections`].
+    pub max_connections: usize,
 }
 
 /// Resolves the effective metrics listen address with the standard
@@ -103,173 +152,135 @@ pub fn resolve_metrics_addr(flag: Option<String>, env: &EnvConfig) -> Option<Str
     flag.or_else(|| env.metrics_addr())
 }
 
-/// The outcome [`Admission::admit`] hands back to the accept loop.
-enum AdmitOutcome {
-    /// The connection was queued; a worker will pick it up.
-    Queued,
-    /// The daemon is over its high-water mark: answer `busy` and close.
-    Shed {
-        stream: TcpStream,
-        retry_after_ms: u64,
-        queue_depth: u64,
-    },
+/// Resolves the effective connection cap with the standard flag >
+/// environment > default precedence (the default being "no cap",
+/// expressed as `0`).
+#[must_use]
+pub fn resolve_max_connections(flag: Option<usize>, env: &EnvConfig) -> usize {
+    flag.or_else(|| env.max_conns()).unwrap_or(0)
 }
 
-/// The admission queue proper, guarded by [`Admission::queue`].
-struct AdmissionQueue {
-    conns: VecDeque<TcpStream>,
-    /// Hysteresis state: `true` between crossing the high-water mark and
-    /// draining back to the low-water mark.
-    shedding: bool,
-    /// Set once the accept loop exits; wakes and retires the workers.
+/// One parsed compute request waiting for (or holding) a pool worker.
+struct Ticket {
+    /// Reactor token of the connection that sent the request.
+    conn: u64,
+    request: Request,
+    /// The client's frame id, echoed on every response event.
+    id: Option<u64>,
+    /// Cleared by the reactor when the connection dies, so a worker can
+    /// skip (or abort) work nobody will read.
+    alive: Arc<AtomicBool>,
+    enqueued: Instant,
+}
+
+struct TicketQueueInner {
+    tickets: VecDeque<Ticket>,
     closed: bool,
-    /// Read-side handles of the connections workers are serving right
-    /// now, severed on close: a blocking read on an idle keep-alive
-    /// connection must not park the pool past `shutdown`.
-    active: HashMap<u64, TcpStream>,
-    /// Token source for [`AdmissionQueue::active`] registrations.
-    next_token: u64,
 }
 
-/// Server-side admission control: a bounded queue of accepted-but-unserved
-/// connections and the shed/accept hysteresis. The live counters the
-/// `stats` request reports are telemetry-registry handles — one set of
-/// numbers backs the wire response, the `metrics` object, and the
-/// Prometheus exposition.
-struct Admission {
-    queue: Mutex<AdmissionQueue>,
+/// The bounded compute admission queue: the reactor pushes, pool
+/// workers block on [`TicketQueue::next`].
+struct TicketQueue {
+    inner: Mutex<TicketQueueInner>,
     available: Condvar,
+}
+
+impl TicketQueue {
+    fn new() -> Self {
+        Self {
+            inner: Mutex::new(TicketQueueInner {
+                tickets: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Queues a ticket and returns the queue depth after the push.
+    fn push(&self, ticket: Ticket) -> usize {
+        let mut q = self.inner.lock().expect("ticket lock");
+        q.tickets.push_back(ticket);
+        self.available.notify_one();
+        q.tickets.len()
+    }
+
+    /// Blocks until a ticket is available (`Some`) or the queue is
+    /// closed (`None`, retiring the calling worker).
+    fn next(&self) -> Option<Ticket> {
+        let mut q = self.inner.lock().expect("ticket lock");
+        loop {
+            if let Some(ticket) = q.tickets.pop_front() {
+                return Some(ticket);
+            }
+            if q.closed {
+                return None;
+            }
+            q = self.available.wait(q).expect("ticket lock");
+        }
+    }
+
+    /// Closes the queue and hands back whatever was still waiting:
+    /// stop means stop, a queued request is dropped with its
+    /// connection. Idempotent; later calls return nothing.
+    fn close(&self) -> Vec<Ticket> {
+        let mut q = self.inner.lock().expect("ticket lock");
+        q.closed = true;
+        let dropped = q.tickets.drain(..).collect();
+        self.available.notify_all();
+        dropped
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().expect("ticket lock").tickets.len()
+    }
+}
+
+/// Server-side admission control: the bounded ticket queue plus the
+/// water marks and counters the shed/accept hysteresis runs on. The
+/// live counters the `stats` request reports are telemetry-registry
+/// handles — one set of numbers backs the wire response, the `metrics`
+/// object, and the Prometheus exposition.
+struct Admission {
+    tickets: TicketQueue,
     high_water: usize,
     low_water: usize,
     busy_retry_ms: u64,
     accepted: Arc<Counter>,
     shed: Arc<Counter>,
+    rejected: Arc<Counter>,
     in_flight: Arc<Gauge>,
+    ticket_wait: Arc<Histogram>,
 }
 
 impl Admission {
     fn new(high_water: usize, low_water: usize, busy_retry_ms: u64, registry: &Registry) -> Self {
         Self {
-            queue: Mutex::new(AdmissionQueue {
-                conns: VecDeque::new(),
-                shedding: false,
-                closed: false,
-                active: HashMap::new(),
-                next_token: 0,
-            }),
-            available: Condvar::new(),
+            tickets: TicketQueue::new(),
             high_water,
             low_water,
             busy_retry_ms,
             accepted: registry.counter(
                 "admission_accepted_total",
-                "connections accepted by the listener (admitted or shed)",
+                "connections admitted for service (shed arrivals count separately)",
             ),
             shed: registry.counter(
                 "admission_shed_total",
                 "connections refused with a busy answer",
             ),
+            rejected: registry.counter(
+                "accept_rejected_total",
+                "connections refused with busy by the --max-connections cap",
+            ),
             in_flight: registry.gauge(
                 "admission_in_flight",
-                "connections currently being served by workers",
+                "compute requests executing on pool workers right now",
+            ),
+            ticket_wait: registry.histogram(
+                "ticket_wait_seconds",
+                "wait between request parse and compute-pool admission, seconds",
+                &DURATION_BUCKETS,
             ),
         }
-    }
-
-    /// Queues `stream` for a worker, or decides to shed it. Queue length
-    /// never exceeds the high-water mark.
-    fn admit(&self, stream: TcpStream) -> AdmitOutcome {
-        self.accepted.inc();
-        let mut q = self.queue.lock().expect("admission lock");
-        let depth = q.conns.len();
-        if q.shedding {
-            if depth <= self.low_water {
-                q.shedding = false;
-            }
-        } else if depth >= self.high_water {
-            q.shedding = true;
-        }
-        if q.shedding {
-            drop(q);
-            self.shed.inc();
-            // The hint grows with total outstanding load so a deep
-            // backlog spreads retries out further, bounded so a client
-            // is never told to vanish for whole seconds.
-            let load = self.in_flight.get_clamped() + depth as u64 + 1;
-            AdmitOutcome::Shed {
-                stream,
-                retry_after_ms: self
-                    .busy_retry_ms
-                    .saturating_mul(load)
-                    .min(MAX_RETRY_HINT_MS),
-                queue_depth: depth as u64,
-            }
-        } else {
-            q.conns.push_back(stream);
-            self.available.notify_one();
-            AdmitOutcome::Queued
-        }
-    }
-
-    /// Blocks until a connection is available (`Some`) or the queue is
-    /// closed (`None`, retiring the calling worker).
-    fn next(&self) -> Option<TcpStream> {
-        let mut q = self.queue.lock().expect("admission lock");
-        loop {
-            if q.closed {
-                return None;
-            }
-            if let Some(stream) = q.conns.pop_front() {
-                return Some(stream);
-            }
-            q = self.available.wait(q).expect("admission lock");
-        }
-    }
-
-    /// Registers the connection a worker is about to serve so that
-    /// [`Admission::close`] can sever it, returning the deregistration
-    /// token. `None` means the connection must not be served: the queue
-    /// already closed (the stream was popped just before), or fd
-    /// exhaustion broke `try_clone` — an unseverable connection could
-    /// park its worker past `shutdown` forever.
-    fn register(&self, stream: &TcpStream) -> Option<u64> {
-        let clone = stream.try_clone().ok()?;
-        let mut q = self.queue.lock().expect("admission lock");
-        if q.closed {
-            return None;
-        }
-        let token = q.next_token;
-        q.next_token += 1;
-        q.active.insert(token, clone);
-        Some(token)
-    }
-
-    /// Drops the severing handle registered for `token`.
-    fn deregister(&self, token: u64) {
-        self.queue
-            .lock()
-            .expect("admission lock")
-            .active
-            .remove(&token);
-    }
-
-    /// Closes the queue and drops any still-queued connections: stop
-    /// means stop, a queued client reconnects elsewhere. In-flight
-    /// connections get their read side severed — the request being
-    /// served still completes and its response still flushes, but the
-    /// next read sees EOF instead of parking a worker on an idle peer.
-    fn close(&self) {
-        let mut q = self.queue.lock().expect("admission lock");
-        q.closed = true;
-        q.conns.clear();
-        for stream in q.active.values() {
-            let _ = stream.shutdown(Shutdown::Read);
-        }
-        self.available.notify_all();
-    }
-
-    fn queued(&self) -> u64 {
-        self.queue.lock().expect("admission lock").conns.len() as u64
     }
 }
 
@@ -378,11 +389,22 @@ fn request_kind(request: &Request) -> &'static str {
     }
 }
 
+/// Whether a request needs a pool worker (true) or is answered inline
+/// on the reactor thread (false).
+fn is_compute(request: &Request) -> bool {
+    matches!(
+        request,
+        Request::Compile(_)
+            | Request::Simulate(_)
+            | Request::Forward { .. }
+            | Request::CompileKeys { .. }
+    )
+}
+
 struct ServerState {
     cache: Arc<CompiledLayerCache>,
     batcher: Arc<CompileBatcher>,
     admission: Admission,
-    stop: AtomicBool,
     requests: Arc<Counter>,
     progress: ProgressCounters,
     /// This daemon's own registry: per-daemon so multiple in-process
@@ -391,6 +413,9 @@ struct ServerState {
     /// the core-layer metrics (journal, persist).
     registry: Arc<Registry>,
     request_seconds: HashMap<&'static str, Arc<Histogram>>,
+    conns_open: Arc<Gauge>,
+    conns_idle: Arc<Gauge>,
+    poll_wakeups: Arc<Counter>,
 }
 
 impl ServerState {
@@ -416,9 +441,9 @@ fn metrics_samples(state: &ServerState) -> Vec<Sample> {
     let computed = vec![
         Sample {
             name: "admission_queued".to_owned(),
-            help: "connections accepted but not yet picked up by a worker".to_owned(),
+            help: "compute requests parsed but not yet picked up by a pool worker".to_owned(),
             kind: MetricKind::Gauge,
-            value: SampleValue::Gauge(state.admission.queued() as i64),
+            value: SampleValue::Gauge(state.admission.tickets.len() as i64),
         },
         Sample {
             name: "admission_shed_ratio".to_owned(),
@@ -509,6 +534,7 @@ pub struct Daemon {
     cache_path: Option<PathBuf>,
     load_note: String,
     workers: usize,
+    max_conns: usize,
     /// The Prometheus exposition listener, when `--metrics-addr` is on.
     /// Owned here so it serves for exactly the daemon's lifetime; the
     /// drop at the end of [`Daemon::run`] stops it.
@@ -591,11 +617,22 @@ impl Daemon {
             cache,
             batcher: Arc::new(CompileBatcher::with_registry(opts.jobs, &registry)),
             admission: Admission::new(high_water, low_water, busy_retry_ms, &registry),
-            stop: AtomicBool::new(false),
             requests: registry.counter("requests_total", "protocol requests decoded since startup"),
             progress: ProgressCounters::new(&registry),
             registry: Arc::clone(&registry),
             request_seconds,
+            conns_open: registry.gauge(
+                "connections_open",
+                "connections currently open on the serving listener",
+            ),
+            conns_idle: registry.gauge(
+                "connections_idle",
+                "open connections idle between requests (proven keep-alive peers)",
+            ),
+            poll_wakeups: registry.counter(
+                "poll_wakeups_total",
+                "reactor poll(2) returns that reported at least one ready descriptor",
+            ),
         });
         let metrics = match &opts.metrics_addr {
             None => None,
@@ -614,6 +651,7 @@ impl Daemon {
             cache_path: opts.cache_path,
             load_note,
             workers,
+            max_conns: opts.max_connections,
             metrics,
         })
     }
@@ -644,83 +682,78 @@ impl Daemon {
         self.metrics.as_ref().map(MetricsServer::addr)
     }
 
-    /// Runs the accept loop until a client sends `shutdown`, then saves
-    /// the cache (if persistence is on). Connections are served by a
-    /// fixed pool of [`Self::workers`] threads draining the admission
-    /// queue; requests on one connection are sequential. Connections
-    /// arriving past the high-water mark are answered with a single
-    /// [`Event::Busy`] line and closed.
+    /// Runs the reactor loop until a client sends `shutdown`, then saves
+    /// the cache (if persistence is on). One thread polls every socket;
+    /// a fixed pool of [`Self::workers`] threads executes compute
+    /// tickets; requests on one connection are sequential. Connections
+    /// arriving while the daemon is over its occupancy high-water mark
+    /// (or the `--max-connections` cap) are answered with a single
+    /// [`Event::Busy`] line, half-closed, and drained.
     ///
-    /// On `shutdown`, queued-but-unserved connections are dropped and
-    /// in-flight ones are severed once their current request finishes —
-    /// an idle keep-alive peer cannot hold the pool (and this call)
-    /// hostage.
+    /// On `shutdown`, queued-but-unstarted tickets are dropped with
+    /// their connections, executing tickets finish and flush (bounded),
+    /// and idle keep-alive peers are simply closed — nothing can hold
+    /// this call hostage.
     ///
     /// Returns a note describing the final cache save.
     ///
     /// # Errors
     ///
-    /// Returns thread-spawn failures. Per-connection and accept errors
-    /// only drop that connection (accept errors with bounded logging and
-    /// an exponential pause so fd exhaustion cannot spin the loop hot).
+    /// Returns thread-spawn, waker-setup, and `poll` failures.
+    /// Per-connection errors only drop that connection; accept errors
+    /// get bounded logging and an exponential accept pause so fd
+    /// exhaustion cannot spin the loop hot.
     pub fn run(self) -> io::Result<String> {
-        // Shed sockets go to one reaper thread that drains whatever the
-        // client already wrote: closing with unread bytes in the receive
-        // buffer would send an RST that can destroy the in-flight `busy`
-        // line before the client reads it.
-        let (shed_tx, shed_rx) = mpsc::channel::<TcpStream>();
-        let reaper = std::thread::Builder::new()
-            .name("cbrand-shed".to_owned())
-            .spawn(move || reap_shed_connections(&shed_rx))?;
+        self.listener.set_nonblocking(true)?;
+        let waker = Waker::new()?;
+        let wake = waker.handle();
+        let (tx, rx) = mpsc::channel::<PoolMsg>();
         let mut workers = Vec::with_capacity(self.workers);
         for n in 0..self.workers {
             let state = Arc::clone(&self.state);
-            let addr = self.addr;
+            let tx = tx.clone();
+            let wake = wake.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("cbrand-worker-{n}"))
-                    .spawn(move || worker_loop(&state, addr))?,
+                    .spawn(move || pool_worker(&state, &tx, &wake))?,
             );
         }
-        let mut accept_failures: u32 = 0;
-        for conn in self.listener.incoming() {
-            if self.state.stop.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match conn {
-                Ok(stream) => {
-                    accept_failures = 0;
-                    stream
-                }
-                Err(e) => {
-                    // A persistent accept failure (EMFILE when fds run
-                    // out) must neither spin this loop at 100% CPU nor
-                    // flood stderr: log the first few and every 100th,
-                    // and back off exponentially until accept recovers.
-                    accept_failures = accept_failures.saturating_add(1);
-                    if accept_failures <= 3 || accept_failures.is_multiple_of(100) {
-                        eprintln!("cbrand: accept failed ({accept_failures} consecutive): {e}");
-                    }
-                    let pause = ACCEPT_BACKOFF_BASE_MS << accept_failures.min(7).saturating_sub(1);
-                    std::thread::sleep(Duration::from_millis(pause.min(ACCEPT_BACKOFF_MAX_MS)));
-                    continue;
-                }
+        // Workers own the only senders left: the channel closes with the
+        // pool, never before.
+        drop(tx);
+        let result = {
+            let mut reactor = Reactor {
+                state: &self.state,
+                listener: &self.listener,
+                poller: Poller::new(),
+                waker,
+                rx,
+                conns: HashMap::new(),
+                next_token: 0,
+                occupied: 0,
+                shedding: false,
+                outstanding: 0,
+                stop_requested: false,
+                stopping: false,
+                stop_deadline: None,
+                accept_failures: 0,
+                accept_pause_until: None,
+                cap_high: self.workers + self.state.admission.high_water,
+                cap_low: self.workers + self.state.admission.low_water,
+                max_conns: self.max_conns,
             };
-            match self.state.admission.admit(stream) {
-                AdmitOutcome::Queued => {}
-                AdmitOutcome::Shed {
-                    stream,
-                    retry_after_ms,
-                    queue_depth,
-                } => shed_connection(stream, retry_after_ms, queue_depth, &shed_tx),
-            }
+            reactor.run_loop()
+        };
+        // The shutdown path closes the queue inside the loop; an error
+        // exit must still retire blocked workers before returning.
+        for ticket in self.state.admission.tickets.close() {
+            ticket.alive.store(false, Ordering::SeqCst);
         }
-        self.state.admission.close();
         for worker in workers {
             let _ = worker.join();
         }
-        drop(shed_tx);
-        let _ = reaper.join();
+        result?;
         let note = match &self.cache_path {
             None => "cache persistence disabled; nothing saved".to_owned(),
             Some(path) => match persist::save(&self.state.cache, path) {
@@ -734,57 +767,99 @@ impl Daemon {
     }
 }
 
-/// One pool worker: serve queued connections until the queue closes.
-fn worker_loop(state: &ServerState, addr: SocketAddr) {
-    while let Some(stream) = state.admission.next() {
-        let Some(token) = state.admission.register(&stream) else {
-            // Unregisterable (queue closed underneath us, or try_clone
-            // failed): drop the connection rather than serve something
-            // `close` cannot sever.
-            continue;
-        };
-        state.admission.in_flight.inc();
-        // Connection errors are the client's problem, not ours.
-        let _ = serve_connection(stream, state, addr);
-        state.admission.in_flight.dec();
-        state.admission.deregister(token);
-    }
+/// What a pool worker sends back to the reactor: response bytes to
+/// queue on a connection, then a completion marker. Every send is
+/// followed by a [`WakeHandle::wake`] so a reactor parked in `poll`
+/// notices (wakes coalesce; see [`Waker`]).
+enum PoolMsg {
+    /// One encoded, newline-terminated event line for `conn`.
+    Line { conn: u64, bytes: Vec<u8> },
+    /// The ticket for `conn` finished (or was skipped dead); the
+    /// connection may read its next request.
+    Done { conn: u64 },
 }
 
-/// Answers a shed connection with its `busy` line, half-closes it, and
-/// hands it to the reaper for draining.
-fn shed_connection(
-    mut stream: TcpStream,
-    retry_after_ms: u64,
-    queue_depth: u64,
-    reaper: &mpsc::Sender<TcpStream>,
-) {
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-    let busy = Event::Busy {
-        retry_after_ms,
-        queue_depth,
-    };
-    let sent = stream
-        .write_all(busy.encode().as_bytes())
-        .and_then(|()| stream.write_all(b"\n"));
-    if sent.is_ok() {
-        let _ = stream.shutdown(Shutdown::Write);
-        let _ = reaper.send(stream);
-    }
+/// Where a request handler writes its response events. Pool workers
+/// stream through the reactor mailbox ([`PoolSink`]); tests can collect
+/// directly.
+trait EventSink {
+    /// Queues one response event. An `Err` aborts the handler's
+    /// streaming — the connection is gone.
+    fn event(&mut self, event: &Event, id: Option<u64>) -> io::Result<()>;
 }
 
-/// Drains shed sockets until the peer closes (or a bounded budget runs
-/// out) so dropping them cannot RST the `busy` answer away.
-fn reap_shed_connections(rx: &mpsc::Receiver<TcpStream>) {
-    for mut stream in rx {
-        let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
-        let mut buf = [0u8; 1024];
-        for _ in 0..64 {
-            match stream.read(&mut buf) {
-                Ok(0) | Err(_) => break,
-                Ok(_) => {}
-            }
+/// The pool-worker sink: encodes each event and mails it to the
+/// reactor. Fails fast once the reactor marked the connection dead, so
+/// a long run stops streaming into the void — the same abort the old
+/// per-connection writer got from its socket error.
+struct PoolSink<'a> {
+    conn: u64,
+    alive: &'a AtomicBool,
+    tx: &'a mpsc::Sender<PoolMsg>,
+    wake: &'a WakeHandle,
+}
+
+impl EventSink for PoolSink<'_> {
+    fn event(&mut self, event: &Event, id: Option<u64>) -> io::Result<()> {
+        if !self.alive.load(Ordering::SeqCst) {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "connection closed",
+            ));
         }
+        let mut line = event.encode_framed(id);
+        line.push('\n');
+        self.tx
+            .send(PoolMsg::Line {
+                conn: self.conn,
+                bytes: line.into_bytes(),
+            })
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "reactor gone"))?;
+        self.wake.wake();
+        Ok(())
+    }
+}
+
+/// One pool worker: execute tickets until the queue closes. A ticket
+/// whose connection died while waiting is skipped (its `Done` still
+/// goes back so the reactor's outstanding count balances).
+fn pool_worker(state: &ServerState, tx: &mpsc::Sender<PoolMsg>, wake: &WakeHandle) {
+    while let Some(ticket) = state.admission.tickets.next() {
+        if ticket.alive.load(Ordering::SeqCst) {
+            state
+                .admission
+                .ticket_wait
+                .observe_duration(ticket.enqueued.elapsed());
+            state.admission.in_flight.inc();
+            let mut sink = PoolSink {
+                conn: ticket.conn,
+                alive: &ticket.alive,
+                tx,
+                wake,
+            };
+            let _span = state.request_span(&ticket.request);
+            // Streaming errors mean the peer is gone — their problem.
+            let _ = dispatch_compute(state, &ticket.request, &mut sink, ticket.id);
+            state.admission.in_flight.dec();
+        }
+        let _ = tx.send(PoolMsg::Done { conn: ticket.conn });
+        wake.wake();
+    }
+}
+
+fn dispatch_compute(
+    state: &ServerState,
+    request: &Request,
+    sink: &mut dyn EventSink,
+    id: Option<u64>,
+) -> io::Result<()> {
+    match request {
+        Request::Compile(run) => handle_run(state, run, false, sink, id),
+        Request::Simulate(run) => handle_run(state, run, true, sink, id),
+        Request::Forward { run, seed } => handle_forward(run, *seed, sink, id),
+        Request::CompileKeys { items } => handle_compile_keys(state, items, sink, id),
+        // Non-compute requests are answered inline and never ticketed.
+        _ => Ok(()),
     }
 }
 
@@ -813,23 +888,16 @@ fn runner_for(state: &ServerState, run: &RunRequest) -> Runner {
     .with_compile_backend(Arc::clone(&state.batcher) as Arc<dyn cbrain::CompileBackend>)
 }
 
-fn write_event(out: &mut BufWriter<TcpStream>, event: &Event, id: Option<u64>) -> io::Result<()> {
-    out.write_all(event.encode_framed(id).as_bytes())?;
-    out.write_all(b"\n")?;
-    // Flush per line: streaming is the point.
-    out.flush()
-}
-
 fn handle_run(
     state: &ServerState,
     run: &RunRequest,
     full_stats: bool,
-    out: &mut BufWriter<TcpStream>,
+    sink: &mut dyn EventSink,
     id: Option<u64>,
 ) -> io::Result<()> {
     let net = match resolve_network(&run.network) {
         Ok(net) => net,
-        Err(message) => return write_event(out, &Event::Error { message }, id),
+        Err(message) => return sink.event(&Event::Error { message }, id),
     };
     let runner = runner_for(state, run);
     let progress = RunProgress::start(&state.progress, net.layers().len() as u64);
@@ -856,7 +924,7 @@ fn handle_run(
                 cycles: layer.stats.cycles,
             }
         };
-        if let Err(e) = write_event(out, &event, id) {
+        if let Err(e) = sink.event(&event, id) {
             io_err = Some(e);
         }
     });
@@ -864,8 +932,7 @@ fn handle_run(
         return Err(e);
     }
     match result {
-        Ok(report) => write_event(
-            out,
+        Ok(report) => sink.event(
             &Event::Done {
                 network: report.network.clone(),
                 batch: report.batch as u64,
@@ -877,8 +944,7 @@ fn handle_run(
             },
             id,
         ),
-        Err(e) => write_event(
-            out,
+        Err(e) => sink.event(
             &Event::Error {
                 message: e.to_string(),
             },
@@ -890,12 +956,12 @@ fn handle_run(
 fn handle_forward(
     run: &RunRequest,
     seed: u64,
-    out: &mut BufWriter<TcpStream>,
+    sink: &mut dyn EventSink,
     id: Option<u64>,
 ) -> io::Result<()> {
     let net = match resolve_network(&run.network) {
         Ok(net) => net,
-        Err(message) => return write_event(out, &Event::Error { message }, id),
+        Err(message) => return sink.event(&Event::Error { message }, id),
     };
     let input = Tensor3::random(net.input(), seed);
     let weights = NetworkWeights::random(&net, seed.wrapping_add(1));
@@ -908,8 +974,7 @@ fn handle_forward(
                 .take(8)
                 .map(|v| f64::from(*v))
                 .collect();
-            write_event(
-                out,
+            sink.event(
                 &Event::Forward {
                     output_len: result.output.len() as u64,
                     checksum,
@@ -918,8 +983,7 @@ fn handle_forward(
                 id,
             )
         }
-        Err(e) => write_event(
-            out,
+        Err(e) => sink.event(
             &Event::Error {
                 message: e.to_string(),
             },
@@ -933,7 +997,7 @@ fn handle_forward(
 fn handle_compile_keys(
     state: &ServerState,
     items: &[CompileItem],
-    out: &mut BufWriter<TcpStream>,
+    sink: &mut dyn EventSink,
     id: Option<u64>,
 ) -> io::Result<()> {
     // Decode every key before compiling anything: a malformed item fails
@@ -943,8 +1007,7 @@ fn handle_compile_keys(
         match persist::decode_key_bytes(&item.key) {
             Ok(key) => keys.push(key),
             Err(e) => {
-                return write_event(
-                    out,
+                return sink.event(
                     &Event::Error {
                         message: format!("bad key for `{}`: {e}", item.name),
                     },
@@ -973,8 +1036,7 @@ fn handle_compile_keys(
         })
         .collect();
     if let Err(e) = state.batcher.compile_batch(&state.cache, worklist) {
-        return write_event(
-            out,
+        return sink.event(
             &Event::Error {
                 message: e.to_string(),
             },
@@ -986,125 +1048,573 @@ fn handle_compile_keys(
             .cache
             .peek(key)
             .expect("compile_batch caches every key");
-        write_event(
-            out,
+        sink.event(
             &Event::Entry {
                 data: persist::entry_bytes(key, &entry),
             },
             id,
         )?;
     }
-    write_event(out, &Event::Ok, id)
+    sink.event(&Event::Ok, id)
 }
 
-fn serve_connection(stream: TcpStream, state: &ServerState, addr: SocketAddr) -> io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
-    let mut out = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+/// Encodes `event` and queues it on the connection (reactor-side
+/// responses; the flush happens in the loop's write pass).
+fn queue_event(io: &mut Connection, event: &Event, id: Option<u64>) {
+    let mut line = event.encode_framed(id);
+    line.push('\n');
+    io.queue(line.as_bytes());
+}
+
+/// One reactor-owned connection: the transport state machine plus the
+/// daemon's bookkeeping around it.
+struct ConnState {
+    io: Connection,
+    /// Shared with any ticket this connection has in flight; cleared on
+    /// close so workers skip or abort work nobody will read.
+    alive: Arc<AtomicBool>,
+    /// Whether this peer ever completed a request. Fresh connections
+    /// count as occupancy until they prove themselves — which is what
+    /// makes a storm of silent connections sheddable.
+    served_any: bool,
+    /// A compute ticket is queued or executing; request parsing is
+    /// paused until its `Done` comes back.
+    ticket_out: bool,
+    /// Close as soon as pending output flushes (shutdown acknowledged,
+    /// protocol-fatal answer sent).
+    close_after_flush: bool,
+    /// Half-close and enter `Draining` as soon as pending output
+    /// flushes (the shed path: the busy line must land first).
+    shed_after_flush: bool,
+}
+
+impl ConnState {
+    fn fresh(io: Connection) -> Self {
+        Self {
+            io,
+            alive: Arc::new(AtomicBool::new(true)),
+            served_any: false,
+            ticket_out: false,
+            close_after_flush: false,
+            shed_after_flush: false,
         }
-        state.requests.inc();
-        let (request, id) = match Request::decode_framed(&line) {
-            Ok(decoded) => decoded,
-            Err(e) => {
-                write_event(
-                    &mut out,
-                    &Event::Error {
-                        message: e.to_string(),
-                    },
-                    None,
-                )?;
-                continue;
+    }
+}
+
+/// The event loop proper. Owns every socket; everything it shares with
+/// the pool goes through the ticket queue (out) and the mailbox (back).
+struct Reactor<'a> {
+    state: &'a ServerState,
+    listener: &'a TcpListener,
+    poller: Poller,
+    waker: Waker,
+    rx: mpsc::Receiver<PoolMsg>,
+    conns: HashMap<u64, ConnState>,
+    next_token: u64,
+    /// Occupancy as of the *end of the previous iteration*: connections
+    /// that are fresh, computing, or mid-transfer. Settled once per
+    /// iteration so that an accept burst inside one iteration can only
+    /// add pressure, never hide it.
+    occupied: usize,
+    /// Hysteresis state: `true` between crossing the occupancy
+    /// high-water mark and draining back to the low-water mark.
+    shedding: bool,
+    /// Tickets dispatched whose `Done` has not come back (queued +
+    /// executing). Shutdown waits for this to hit zero.
+    outstanding: usize,
+    stop_requested: bool,
+    stopping: bool,
+    stop_deadline: Option<Instant>,
+    accept_failures: u32,
+    /// While set, the listener is left out of the poll set (EMFILE
+    /// backoff); connections keep being served at full speed.
+    accept_pause_until: Option<Instant>,
+    /// Occupancy at which shedding starts: the pool can hold `workers`
+    /// executing plus `high_water` queued before anyone waits twice.
+    cap_high: usize,
+    /// Occupancy at which shedding stops again.
+    cap_low: usize,
+    /// Hard cap on open connections (`0` = uncapped).
+    max_conns: usize,
+}
+
+impl Reactor<'_> {
+    /// Whether the loop wants more request bytes from this connection:
+    /// draining discards everything; otherwise only when no ticket is
+    /// pending, no close is staged, and no parsed line is already
+    /// waiting (pipelined bytes back-pressure in the kernel).
+    fn wants_read(c: &ConnState) -> bool {
+        if matches!(c.io.phase(), Phase::Draining { .. }) {
+            return true;
+        }
+        !c.ticket_out && !c.close_after_flush && !c.shed_after_flush && !c.io.has_complete_line()
+    }
+
+    fn run_loop(&mut self) -> io::Result<()> {
+        loop {
+            // Register: listener (unless stopping or paused), waker,
+            // and every connection with its current interest.
+            self.poller.clear();
+            let now = Instant::now();
+            if self.accept_pause_until.is_some_and(|until| now >= until) {
+                self.accept_pause_until = None;
             }
-        };
-        let _span = state.request_span(&request);
-        match request {
-            Request::Hello { version } => {
-                if version != PROTOCOL_VERSION {
-                    write_event(
-                        &mut out,
-                        &Event::Error {
-                            message: format!(
-                                "protocol version mismatch: peer v{version}, daemon v{PROTOCOL_VERSION}"
-                            ),
-                        },
-                        id,
-                    )?;
-                    // Mismatched peers must not keep talking: close.
+            let listener_slot = (!self.stopping && self.accept_pause_until.is_none()).then(|| {
+                self.poller
+                    .register(self.listener.as_raw_fd(), Interest::READ)
+            });
+            let waker_slot = self.poller.register(self.waker.fd(), Interest::READ);
+            let mut slots: Vec<(u64, usize)> = Vec::with_capacity(self.conns.len());
+            for (&token, c) in &self.conns {
+                let interest = c.io.interest(Self::wants_read(c));
+                slots.push((token, self.poller.register(c.io.fd(), interest)));
+            }
+
+            let timeout = self.next_timeout(now);
+            let ready = self.poller.poll(timeout)?;
+            if ready > 0 {
+                self.state.poll_wakeups.inc();
+            }
+            if self.poller.readiness(waker_slot).readable() {
+                self.waker.drain();
+            }
+
+            // Mailbox: queue worker response lines, note completions.
+            let mut work: Vec<u64> = Vec::new();
+            while let Ok(msg) = self.rx.try_recv() {
+                match msg {
+                    PoolMsg::Line { conn, bytes } => {
+                        if let Some(c) = self.conns.get_mut(&conn) {
+                            if c.io.phase() == Phase::AwaitingTicket {
+                                c.io.set_phase(Phase::Streaming);
+                            }
+                            c.io.queue(&bytes);
+                        }
+                    }
+                    PoolMsg::Done { conn } => {
+                        self.outstanding = self.outstanding.saturating_sub(1);
+                        if let Some(c) = self.conns.get_mut(&conn) {
+                            c.ticket_out = false;
+                            c.served_any = true;
+                            if matches!(c.io.phase(), Phase::AwaitingTicket | Phase::Streaming) {
+                                c.io.set_phase(Phase::Reading);
+                            }
+                            // Pipelined requests may already be buffered.
+                            work.push(conn);
+                        }
+                    }
+                }
+            }
+
+            // Accept burst: drain the backlog, shedding per decision.
+            if listener_slot.is_some_and(|slot| self.poller.readiness(slot).readable()) {
+                self.accept_burst();
+            }
+
+            // Socket I/O on whatever poll flagged.
+            for (token, slot) in slots {
+                let ready = self.poller.readiness(slot);
+                if !ready.any() {
+                    continue;
+                }
+                let Some(c) = self.conns.get_mut(&token) else {
+                    continue;
+                };
+                let mut broken = ready.failed();
+                if !broken && ready.readable() {
+                    match c.io.fill(READ_BUDGET_PER_TICK) {
+                        Ok(_) => work.push(token),
+                        Err(_) => broken = true,
+                    }
+                }
+                if !broken && ready.writable() && c.io.flush().is_err() {
+                    broken = true;
+                }
+                // Full teardown with nothing deliverable left (e.g. the
+                // peer vanished while its request computes and reads are
+                // paused): close now rather than spin on POLLHUP.
+                if !broken && ready.hangup() && !ready.readable() && !ready.writable() {
+                    broken = true;
+                }
+                if broken {
+                    if let Some(gone) = self.conns.remove(&token) {
+                        gone.alive.store(false, Ordering::SeqCst);
+                    }
+                }
+            }
+
+            // Parse and dispatch whatever became runnable.
+            for token in work {
+                self.process_conn(token);
+            }
+
+            // Flush pending output, run staged transitions, close what
+            // is finished.
+            let now = Instant::now();
+            let mut dead: Vec<u64> = Vec::new();
+            for (&token, c) in &mut self.conns {
+                if !c.io.out_empty() && c.io.flush().is_err() {
+                    dead.push(token);
+                    continue;
+                }
+                if c.io.out_empty() {
+                    if c.close_after_flush {
+                        dead.push(token);
+                        continue;
+                    }
+                    if c.shed_after_flush {
+                        // The busy line landed: half-close so the peer
+                        // sees clean EOF, then discard whatever they
+                        // already sent (closing with unread bytes would
+                        // RST the answer away).
+                        c.shed_after_flush = false;
+                        c.io.shutdown_write();
+                        c.io.set_phase(Phase::Draining {
+                            deadline: now + Duration::from_millis(SHED_DRAIN_MS),
+                            budget: SHED_DRAIN_BUDGET,
+                        });
+                    }
+                }
+                if c.io.drain_expired(now) {
+                    dead.push(token);
+                    continue;
+                }
+                // Peer finished sending, nothing in flight either way:
+                // the keep-alive session is over. (A partial trailing
+                // line can never complete; it does not keep us open.)
+                if c.io.read_closed()
+                    && !c.ticket_out
+                    && c.io.out_empty()
+                    && !c.io.has_complete_line()
+                    && !matches!(c.io.phase(), Phase::Draining { .. })
+                {
+                    dead.push(token);
+                }
+            }
+            for token in dead {
+                if let Some(gone) = self.conns.remove(&token) {
+                    gone.alive.store(false, Ordering::SeqCst);
+                }
+            }
+
+            // Shutdown sequencing: stop accepting, drop waiting tickets
+            // (stop means stop — those clients see EOF and reconnect
+            // elsewhere), let executing tickets finish and flush.
+            if self.stop_requested && !self.stopping {
+                self.stopping = true;
+                self.stop_deadline = Some(Instant::now() + Duration::from_millis(STOP_FLUSH_MS));
+                for ticket in self.state.admission.tickets.close() {
+                    self.outstanding = self.outstanding.saturating_sub(1);
+                    ticket.alive.store(false, Ordering::SeqCst);
+                    if let Some(gone) = self.conns.remove(&ticket.conn) {
+                        gone.alive.store(false, Ordering::SeqCst);
+                    }
+                }
+            }
+            if self.stopping && self.outstanding == 0 {
+                let flushed = self.conns.values().all(|c| c.io.out_empty());
+                if flushed || self.stop_deadline.is_some_and(|d| Instant::now() >= d) {
                     return Ok(());
                 }
-                write_event(
-                    &mut out,
-                    &Event::Hello {
-                        version: PROTOCOL_VERSION,
-                        minor: PROTOCOL_MINOR,
-                        caps: vec![
-                            "compile_keys".to_owned(),
-                            "evict".to_owned(),
-                            "busy".to_owned(),
-                            "progress".to_owned(),
-                            "metrics".to_owned(),
-                        ],
-                    },
-                    id,
-                )?;
             }
-            Request::Compile(run) => handle_run(state, &run, false, &mut out, id)?,
-            Request::CompileKeys { items } => handle_compile_keys(state, &items, &mut out, id)?,
-            Request::Simulate(run) => handle_run(state, &run, true, &mut out, id)?,
-            Request::Forward { run, seed } => handle_forward(&run, seed, &mut out, id)?,
-            Request::Stats => write_event(
-                &mut out,
-                &Event::Stats {
-                    entries: state.cache.len() as u64,
-                    hits: state.cache.hits(),
-                    misses: state.cache.misses(),
-                    requests: state.requests.get(),
-                    accepted: state.admission.accepted.get(),
-                    queued: state.admission.queued(),
-                    shed: state.admission.shed.get(),
-                    in_flight: state.admission.in_flight.get_clamped(),
-                },
-                id,
-            )?,
-            Request::Progress => write_event(
-                &mut out,
-                &Event::Progress {
-                    runs_active: state.progress.runs_active.get_clamped(),
-                    runs_done: state.progress.runs_done.get(),
-                    layers_done: state.progress.layers_done.get_clamped(),
-                    layers_total: state.progress.layers_total.get_clamped(),
-                },
-                id,
-            )?,
-            Request::Metrics => write_event(
-                &mut out,
-                &Event::Metrics {
-                    metrics: samples_to_json(&metrics_samples(state)),
-                },
-                id,
-            )?,
-            Request::Evict { max } => {
-                let evicted = state.cache.evict_lru(max as usize) as u64;
-                write_event(
-                    &mut out,
-                    &Event::Evicted {
-                        evicted,
-                        entries: state.cache.len() as u64,
-                    },
-                    id,
-                )?;
+
+            // Settle occupancy for the next accept decision, and the
+            // connection gauges with it. Draining connections are
+            // already on their way out; everything else is either
+            // proven-idle or load.
+            let mut occupied = 0usize;
+            let mut idle = 0usize;
+            for c in self.conns.values() {
+                if c.shed_after_flush || matches!(c.io.phase(), Phase::Draining { .. }) {
+                    continue;
+                }
+                let busy = c.ticket_out
+                    || !c.served_any
+                    || c.close_after_flush
+                    || c.io.has_buffered_input()
+                    || !c.io.out_empty();
+                if busy {
+                    occupied += 1;
+                } else {
+                    idle += 1;
+                }
             }
-            Request::Shutdown => {
-                write_event(&mut out, &Event::Ok, id)?;
-                state.stop.store(true, Ordering::SeqCst);
-                // Unblock the accept loop so `run` can save and return.
-                let _ = TcpStream::connect(addr);
-                return Ok(());
+            self.occupied = occupied;
+            self.state.conns_open.set(self.conns.len() as i64);
+            self.state.conns_idle.set(idle as i64);
+        }
+    }
+
+    /// The earliest wall-clock deadline the loop must wake for, as a
+    /// poll timeout. `None` (block forever) whenever nothing is staged:
+    /// an idle daemon makes zero syscalls until a socket stirs, which
+    /// is also what keeps idle Prometheus scrapes byte-stable.
+    fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        let mut deadline: Option<Instant> = None;
+        let mut consider = |d: Instant| {
+            deadline = Some(deadline.map_or(d, |cur| cur.min(d)));
+        };
+        for c in self.conns.values() {
+            if let Some(d) = c.io.drain_deadline() {
+                consider(d);
+            }
+        }
+        if self.stopping {
+            if let Some(d) = self.stop_deadline {
+                consider(d);
+            }
+        }
+        if let Some(d) = self.accept_pause_until {
+            consider(d);
+        }
+        deadline.map(|d| d.saturating_duration_since(now))
+    }
+
+    /// Accepts until the backlog is dry, deciding admit/shed per
+    /// connection. Connections admitted earlier in the same burst count
+    /// as pressure immediately — a flood arriving between two polls is
+    /// shed deterministically, not waved through because occupancy was
+    /// settled before it hit.
+    fn accept_burst(&mut self) {
+        let mut admitted_now = 0usize;
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    self.accept_failures = 0;
+                    if self.max_conns > 0 && self.conns.len() >= self.max_conns {
+                        self.state.admission.rejected.inc();
+                        self.shed_stream(stream);
+                        continue;
+                    }
+                    let pressure = self.occupied + admitted_now;
+                    if self.shedding {
+                        if pressure <= self.cap_low {
+                            self.shedding = false;
+                        }
+                    } else if pressure >= self.cap_high {
+                        self.shedding = true;
+                    }
+                    if self.shedding {
+                        self.shed_stream(stream);
+                        continue;
+                    }
+                    if let Ok(io) = Connection::new(stream, MAX_REQUEST_LINE) {
+                        self.state.admission.accepted.inc();
+                        let token = self.next_token;
+                        self.next_token += 1;
+                        self.conns.insert(token, ConnState::fresh(io));
+                        admitted_now += 1;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) => {
+                    // A persistent accept failure (EMFILE when fds run
+                    // out) must neither spin this loop at 100% CPU nor
+                    // flood stderr: log the first few and every 100th,
+                    // and pause the listener — never the reactor — with
+                    // exponential backoff until accept recovers.
+                    self.accept_failures = self.accept_failures.saturating_add(1);
+                    if self.accept_failures <= 3 || self.accept_failures.is_multiple_of(100) {
+                        eprintln!(
+                            "cbrand: accept failed ({} consecutive): {e}",
+                            self.accept_failures
+                        );
+                    }
+                    let pause =
+                        ACCEPT_BACKOFF_BASE_MS << self.accept_failures.min(7).saturating_sub(1);
+                    self.accept_pause_until = Some(
+                        Instant::now() + Duration::from_millis(pause.min(ACCEPT_BACKOFF_MAX_MS)),
+                    );
+                    break;
+                }
             }
         }
     }
-    Ok(())
+
+    /// Sheds a just-accepted stream: count it, queue the v2 busy line
+    /// (with a retry hint scaled by current load), and stage the
+    /// half-close-and-drain exit.
+    fn shed_stream(&mut self, stream: TcpStream) {
+        self.state.admission.shed.inc();
+        let depth = self.state.admission.tickets.len() as u64;
+        // The hint grows with total outstanding load so a deep backlog
+        // spreads retries out further, bounded so a client is never
+        // told to vanish for whole seconds.
+        let load = self.state.admission.in_flight.get_clamped() + depth + 1;
+        let busy = Event::Busy {
+            retry_after_ms: self
+                .state
+                .admission
+                .busy_retry_ms
+                .saturating_mul(load)
+                .min(MAX_RETRY_HINT_MS),
+            queue_depth: depth,
+        };
+        if let Ok(mut io) = Connection::new(stream, MAX_REQUEST_LINE) {
+            io.queue(busy.encode().as_bytes());
+            io.queue(b"\n");
+            let mut conn = ConnState::fresh(io);
+            conn.shed_after_flush = true;
+            let token = self.next_token;
+            self.next_token += 1;
+            self.conns.insert(token, conn);
+        }
+    }
+
+    /// Parses and serves as many buffered request lines as possible on
+    /// one connection: control requests answer inline, the first
+    /// compute request dispatches a ticket and pauses parsing until its
+    /// `Done` comes back (requests on one connection stay sequential).
+    fn process_conn(&mut self, token: u64) {
+        loop {
+            if self.stopping {
+                return;
+            }
+            let Some(c) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if c.ticket_out || c.close_after_flush || c.shed_after_flush {
+                return;
+            }
+            if !matches!(c.io.phase(), Phase::Reading) {
+                return;
+            }
+            let line = match c.io.next_line() {
+                Ok(Some(line)) => line,
+                Ok(None) => return,
+                Err(e) => {
+                    // A frame-layer violation (overlong or non-UTF-8
+                    // line) is fatal for the connection: answer, close.
+                    queue_event(
+                        &mut c.io,
+                        &Event::Error {
+                            message: e.to_string(),
+                        },
+                        None,
+                    );
+                    c.close_after_flush = true;
+                    return;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            self.state.requests.inc();
+            let (request, id) = match Request::decode_framed(&line) {
+                Ok(decoded) => decoded,
+                Err(e) => {
+                    queue_event(
+                        &mut c.io,
+                        &Event::Error {
+                            message: e.to_string(),
+                        },
+                        None,
+                    );
+                    continue;
+                }
+            };
+            if is_compute(&request) {
+                c.io.set_phase(Phase::AwaitingTicket);
+                c.ticket_out = true;
+                self.outstanding += 1;
+                let depth = self.state.admission.tickets.push(Ticket {
+                    conn: token,
+                    request,
+                    id,
+                    alive: Arc::clone(&c.alive),
+                    enqueued: Instant::now(),
+                });
+                // The accept-side hysteresis also trips when the pool
+                // backlog itself crosses the high-water mark — the next
+                // arrival is shed without waiting for occupancy to
+                // catch up.
+                if !self.shedding && depth >= self.state.admission.high_water {
+                    self.shedding = true;
+                }
+                return;
+            }
+            let _span = self.state.request_span(&request);
+            match request {
+                Request::Hello { version } => {
+                    if version != PROTOCOL_VERSION {
+                        queue_event(
+                            &mut c.io,
+                            &Event::Error {
+                                message: format!(
+                                    "protocol version mismatch: peer v{version}, daemon v{PROTOCOL_VERSION}"
+                                ),
+                            },
+                            id,
+                        );
+                        // Mismatched peers must not keep talking: close.
+                        c.close_after_flush = true;
+                        return;
+                    }
+                    queue_event(
+                        &mut c.io,
+                        &Event::Hello {
+                            version: PROTOCOL_VERSION,
+                            minor: PROTOCOL_MINOR,
+                            caps: vec![
+                                "compile_keys".to_owned(),
+                                "evict".to_owned(),
+                                "busy".to_owned(),
+                                "progress".to_owned(),
+                                "metrics".to_owned(),
+                            ],
+                        },
+                        id,
+                    );
+                    c.served_any = true;
+                }
+                Request::Stats => {
+                    let event = Event::Stats {
+                        entries: self.state.cache.len() as u64,
+                        hits: self.state.cache.hits(),
+                        misses: self.state.cache.misses(),
+                        requests: self.state.requests.get(),
+                        accepted: self.state.admission.accepted.get(),
+                        queued: self.state.admission.tickets.len() as u64,
+                        shed: self.state.admission.shed.get(),
+                        in_flight: self.state.admission.in_flight.get_clamped(),
+                    };
+                    queue_event(&mut c.io, &event, id);
+                    c.served_any = true;
+                }
+                Request::Progress => {
+                    let event = Event::Progress {
+                        runs_active: self.state.progress.runs_active.get_clamped(),
+                        runs_done: self.state.progress.runs_done.get(),
+                        layers_done: self.state.progress.layers_done.get_clamped(),
+                        layers_total: self.state.progress.layers_total.get_clamped(),
+                    };
+                    queue_event(&mut c.io, &event, id);
+                    c.served_any = true;
+                }
+                Request::Metrics => {
+                    let event = Event::Metrics {
+                        metrics: samples_to_json(&metrics_samples(self.state)),
+                    };
+                    queue_event(&mut c.io, &event, id);
+                    c.served_any = true;
+                }
+                Request::Evict { max } => {
+                    let evicted = self.state.cache.evict_lru(max as usize) as u64;
+                    let event = Event::Evicted {
+                        evicted,
+                        entries: self.state.cache.len() as u64,
+                    };
+                    queue_event(&mut c.io, &event, id);
+                    c.served_any = true;
+                }
+                Request::Shutdown => {
+                    queue_event(&mut c.io, &Event::Ok, id);
+                    c.close_after_flush = true;
+                    self.stop_requested = true;
+                    return;
+                }
+                _ => unreachable!("compute requests are ticketed"),
+            }
+        }
+    }
 }

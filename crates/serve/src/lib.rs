@@ -12,9 +12,11 @@
 //! The `hello`/`compile_keys`/`evict` trio plus request-id framing is
 //! what the `cbrain-fleet` shard router builds on.
 //!
-//! * [`daemon`] — the TCP accept loop feeding a bounded worker pool
-//!   through an admission-controlled queue (overflow is shed with a
-//!   protocol v2.1 `busy` answer), all connections sharing one
+//! * [`daemon`] — a single-threaded [`cbrain_reactor`] event loop that
+//!   owns every socket (idle connections cost a descriptor, not a
+//!   thread) and feeds parsed compute requests as tickets into a
+//!   bounded worker pool (overload is shed at accept with a protocol
+//!   v2.1 `busy` answer), all connections sharing one
 //!   [`cbrain::CompiledLayerCache`];
 //! * [`batch`] — the [`cbrain::CompileBackend`] that merges compile
 //!   work-lists from concurrent connections into deterministic pool

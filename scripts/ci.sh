@@ -34,6 +34,11 @@ CBRAIN_FORCE_SCALAR=1 cargo test --workspace -q
 echo "==> serving daemon e2e (loopback concurrency + persisted-cache restart)"
 cargo test --test serving -q
 
+echo "==> idle soak with the telemetry kill switch (counters must stay exact with spans dark)"
+# Name-filtered on purpose: the rest of the suite asserts span-fed
+# histogram counts that the kill switch legitimately blanks.
+CBRAIN_TELEMETRY=off cargo test --test serving -q idle_soak
+
 echo "==> cargo test --workspace --doc -q"
 cargo test --workspace --doc -q
 
@@ -206,6 +211,75 @@ if [[ $quick -eq 0 ]]; then
     wait "$met_pid"
     trap - EXIT
     rm -rf "$met_dir"
+fi
+
+if [[ $quick -eq 0 ]]; then
+    echo "==> C10K-lite smoke: 256 idle connections must not disturb a working client"
+    c10k_dir="$(mktemp -d)"
+    trap 'kill "$c10k_pid" 2>/dev/null || true; rm -rf "$c10k_dir"' EXIT
+    ./target/release/cbrand --port 0 --cache off --metrics-addr 127.0.0.1:0 \
+        >"$c10k_dir/daemon.out" 2>"$c10k_dir/daemon.err" &
+    c10k_pid=$!
+    addr=""
+    maddr=""
+    for _ in $(seq 1 50); do
+        addr="$(sed -n 's/^cbrand listening on //p' "$c10k_dir/daemon.out")"
+        maddr="$(sed -n 's/^cbrand metrics listening on //p' "$c10k_dir/daemon.out")"
+        [[ -n "$addr" && -n "$maddr" ]] && break
+        sleep 0.1
+    done
+    [[ -n "$addr" && -n "$maddr" ]] || { echo "error: C10K cbrand never reported its addresses" >&2; cat "$c10k_dir/daemon.err" >&2; exit 1; }
+
+    # Park 256 keep-alive connections on the daemon, plain bash /dev/tcp.
+    # Each one completes the hello handshake before the next dials:
+    # admission counts a never-handshaking connection as load (that is
+    # the connection-storm defence), so an idle herd must prove itself.
+    c10k_fds=()
+    for i in $(seq 1 256); do
+        exec {c10k_fd}<>"/dev/tcp/${addr%:*}/${addr##*:}" \
+            || { echo "error: idle connection $i failed to open" >&2; exit 1; }
+        printf '{"req":"hello","version":2}\n' >&"$c10k_fd"
+        IFS= read -r c10k_hello <&"$c10k_fd" \
+            || { echo "error: idle connection $i got no hello answer" >&2; exit 1; }
+        grep -q '"ev":"hello"' <<<"$c10k_hello" \
+            || { echo "error: idle connection $i got: $c10k_hello" >&2; exit 1; }
+        c10k_fds+=("$c10k_fd")
+    done
+
+    # A standard client underneath the herd: report must still be
+    # byte-identical to a single-process run.
+    ./target/release/cbrain cbrand-client --connect "$addr" \
+        --spec specs/alexnet.spec >"$c10k_dir/client.txt" 2>/dev/null
+    ./target/release/cbrain run --spec specs/alexnet.spec >"$c10k_dir/direct.txt"
+    if ! diff -u "$c10k_dir/direct.txt" "$c10k_dir/client.txt"; then
+        echo "error: report under a 256-connection idle herd differs from cbrain run" >&2
+        exit 1
+    fi
+
+    # The connection gauges must see exactly the herd once the working
+    # client's close settles (retry briefly: the FIN races the scrape).
+    c10k_scrape() {
+        exec 3<>"/dev/tcp/${maddr%:*}/${maddr##*:}"
+        printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+        cat <&3
+        exec 3<&- 3>&-
+    }
+    open_now=""
+    for _ in $(seq 1 50); do
+        open_now="$(c10k_scrape | tr -d '\r' | sed -n 's/^connections_open //p')"
+        [[ "$open_now" == "256" ]] && break
+        sleep 0.1
+    done
+    [[ "$open_now" == "256" ]] \
+        || { echo "error: connections_open reads '$open_now', want 256" >&2; exit 1; }
+
+    for c10k_fd in "${c10k_fds[@]}"; do
+        exec {c10k_fd}<&- {c10k_fd}>&-
+    done
+    ./target/release/cbrain cbrand-client --connect "$addr" --shutdown >/dev/null
+    wait "$c10k_pid"
+    trap - EXIT
+    rm -rf "$c10k_dir"
 fi
 
 if [[ $quick -eq 0 ]]; then

@@ -500,6 +500,215 @@ fn shed_flood_counts_exactly_in_metrics() {
 }
 
 #[test]
+fn slow_loris_writers_and_stalled_readers_do_not_delay_other_clients() {
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        DaemonOptions {
+            jobs: 1,
+            ..DaemonOptions::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = daemon.local_addr().to_string();
+    let server = thread::spawn(move || daemon.run());
+
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    let run = RunRequest {
+        network: NetworkSource::Zoo("alexnet".into()),
+        ..RunRequest::default()
+    };
+    thread::scope(|scope| {
+        // A slow-loris writer: dribbles a request one byte at a time and
+        // never finishes the line. In a thread-per-connection daemon this
+        // parks a worker; here it must cost a descriptor and nothing else.
+        let loris_addr = addr.clone();
+        let loris_stop = &stop;
+        scope.spawn(move || {
+            let mut socket = std::net::TcpStream::connect(&loris_addr).expect("connect loris");
+            let line = Request::Stats.encode();
+            // Never send the last byte, let alone the newline.
+            for byte in line.as_bytes()[..line.len() - 1].iter().cycle() {
+                if loris_stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if socket.write_all(std::slice::from_ref(byte)).is_err() {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(5));
+            }
+        });
+
+        // A stalled reader: submits a full compute request and then never
+        // reads a byte of the streamed answer. A distinct PE shape keeps
+        // its layer keys out of the honest client's hit/miss line.
+        let stalled_run = RunRequest {
+            pe: (32, 32),
+            ..run.clone()
+        };
+        let stalled_addr = addr.clone();
+        let stalled_stop = &stop;
+        scope.spawn(move || {
+            let mut socket = std::net::TcpStream::connect(&stalled_addr).expect("connect stalled");
+            let mut line = Request::Simulate(stalled_run).encode();
+            line.push('\n');
+            socket.write_all(line.as_bytes()).expect("send request");
+            while !stalled_stop.load(Ordering::SeqCst) {
+                thread::sleep(Duration::from_millis(5));
+            }
+        });
+
+        // Both hostile peers in flight: a normal client must still get a
+        // byte-identical report, promptly. Collect, then release the
+        // hostile threads BEFORE asserting — a failed assert must not
+        // leave the scope joining threads that never stop.
+        thread::sleep(Duration::from_millis(50));
+        let started = std::time::Instant::now();
+        let outcome = Client::builder(&addr).connect().and_then(|mut client| {
+            let report = client.simulate(&run, |_| {})?;
+            let elapsed = started.elapsed();
+            client.submit(&Request::Shutdown, |_| {})?;
+            Ok((render_run_report(&report, true), elapsed))
+        });
+        stop.store(true, Ordering::SeqCst);
+        let (remote, elapsed) = outcome.expect("honest client");
+        assert_eq!(
+            remote,
+            direct_report(&run, true),
+            "hostile peers broke byte-identity"
+        );
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "a loris and a stalled reader delayed an honest client by {elapsed:?}"
+        );
+    });
+    server.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
+fn idle_soak_keepalive_connections_stay_cheap_under_flood() {
+    // The C10K shape: hundreds of proven keep-alive connections parked
+    // on the daemon while a compute flood hits the same tiny pool. Idle
+    // peers must cost a descriptor (never a thread), shed accounting
+    // must stay exact, and reports must stay byte-identical. The ci
+    // harness reruns this test with CBRAIN_TELEMETRY=off — counters and
+    // gauges still count there; only span timing goes dark.
+    const IDLE_CONNS: usize = 500;
+    let daemon = Daemon::bind(
+        "127.0.0.1:0",
+        DaemonOptions {
+            jobs: 1,
+            workers: 2,
+            queue_depth: 1,
+            busy_retry_ms: 5,
+            ..DaemonOptions::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = daemon.local_addr().to_string();
+    let threads_before = os_thread_count();
+    let server = thread::spawn(move || daemon.run());
+
+    // Open the idle herd serially: each connection completes the
+    // connect-time `hello` before the next one dials, proving itself
+    // idle rather than reading as an unproven arrival the admission
+    // logic would shed as a connection storm.
+    let idle: Vec<Client> = (0..IDLE_CONNS)
+        .map(|n| {
+            Client::builder(&addr)
+                .connect()
+                .unwrap_or_else(|e| panic!("idle connect {n}: {e}"))
+        })
+        .collect();
+    let threads_idle = os_thread_count();
+    if let (Some(before), Some(now)) = (threads_before, threads_idle) {
+        assert!(
+            now <= before + 8,
+            "{IDLE_CONNS} idle connections grew threads: {before} before, {now} now"
+        );
+    }
+
+    // The connection gauges see the herd: this metrics client is one
+    // more proven connection on top of it.
+    let busy_seen = AtomicU64::new(0);
+    let connect_counted = |busy_seen: &AtomicU64| loop {
+        match Client::builder(&addr).busy_wait(Duration::ZERO).connect() {
+            Ok(client) => return client,
+            Err(ClientError::Busy { retry_after_ms, .. }) => {
+                busy_seen.fetch_add(1, Ordering::SeqCst);
+                thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+            }
+            Err(e) => panic!("unexpected client failure: {e}"),
+        }
+    };
+    let mut client = connect_counted(&busy_seen);
+    let metrics = fetch_metrics(&mut client);
+    assert_eq!(
+        counter(&metrics, "connections_open"),
+        IDLE_CONNS as u64 + 1,
+        "connections_open must count the idle herd plus this client"
+    );
+    assert!(counter(&metrics, "connections_idle") >= IDLE_CONNS as u64);
+    drop(client);
+
+    // Concurrent flood into workers=2/queue_depth=1: sheds are certain;
+    // every busy line a client saw must be exactly one shed connection.
+    let runs: Vec<RunRequest> = [(16, 16), (32, 32), (8, 8), (24, 24)]
+        .iter()
+        .map(|&pe| RunRequest {
+            network: NetworkSource::Zoo("nin".into()),
+            pe,
+            ..RunRequest::default()
+        })
+        .collect();
+    let mut peak_threads = os_thread_count();
+    thread::scope(|scope| {
+        let handles: Vec<_> = runs
+            .iter()
+            .map(|run| {
+                let busy_seen = &busy_seen;
+                let connect_counted = &connect_counted;
+                scope.spawn(move || {
+                    let mut client = connect_counted(busy_seen);
+                    let report = client.simulate(run, |_| {}).expect("simulate");
+                    render_run_report(&report, true)
+                })
+            })
+            .collect();
+        while handles.iter().any(|h| !h.is_finished()) {
+            peak_threads = peak_threads.max(os_thread_count());
+            thread::sleep(Duration::from_millis(5));
+        }
+        for (run, handle) in runs.iter().zip(handles) {
+            let remote = handle.join().expect("flood client");
+            assert_eq!(
+                remote,
+                direct_report(run, true),
+                "flood over an idle herd broke byte-identity"
+            );
+        }
+    });
+    // Flat under flood too: the 4 flood client threads live in this
+    // process; the daemon itself adds nothing per connection.
+    if let (Some(before), Some(peak)) = (threads_before, peak_threads) {
+        assert!(
+            peak <= before + 12,
+            "thread count grew with load: {before} before, {peak} at peak"
+        );
+    }
+
+    let mut client = connect_counted(&busy_seen);
+    let metrics = fetch_metrics(&mut client);
+    assert_eq!(
+        counter(&metrics, "admission_shed_total"),
+        busy_seen.load(Ordering::SeqCst),
+        "every busy line is exactly one shed connection"
+    );
+    drop(idle);
+    client.submit(&Request::Shutdown, |_| {}).expect("shutdown");
+    server.join().expect("server thread").expect("clean exit");
+}
+
+#[test]
 fn daemon_restart_serves_from_persisted_cache() {
     let dir = std::env::temp_dir().join(format!("cbrand_e2e_{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");
